@@ -1,0 +1,51 @@
+"""Ablation: sensitivity of the device capacity to the broken-qubit yield.
+
+The D-Wave 2X used in the paper had 55 of 1152 qubit sites broken, which
+is what limits the maximal class sizes (537 / 253 / 140 / 108 queries).
+This ablation sweeps the defect rate and reports how many queries of each
+plans-per-query setting still fit, quantifying how sensitive the paper's
+problem-size limits are to manufacturing yield.
+"""
+
+from repro.chimera.defects import DefectModel
+from repro.chimera.topology import ChimeraGraph
+from repro.embedding.native import NativeClusteredEmbedder
+from repro.utils.tables import format_table
+
+
+def bench_ablation_defect_sensitivity(benchmark, save_exhibit):
+    defect_rates = (0.0, 55.0 / 1152.0, 0.10, 0.20)
+    plans_range = (2, 3, 4, 5)
+
+    def sweep():
+        rows = []
+        for rate in defect_rates:
+            topology = ChimeraGraph(12, 12)
+            if rate > 0:
+                topology = DefectModel(broken_fraction=rate).apply(topology, seed=17)
+            embedder = NativeClusteredEmbedder(topology)
+            rows.append(
+                tuple(
+                    [f"{rate * 100:.1f}%", topology.num_qubits]
+                    + [embedder.capacity(plans) for plans in plans_range]
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["defect rate", "functional qubits"]
+        + [f"max queries @ {plans} plans" for plans in plans_range],
+        rows,
+        title="Ablation: device yield vs representable problem size",
+    )
+    save_exhibit("ablation_defects", table)
+
+    # Capacity decreases monotonically as the defect rate grows, for every
+    # plans-per-query setting.
+    for column in range(2, 2 + len(plans_range)):
+        capacities = [row[column] for row in rows]
+        assert capacities == sorted(capacities, reverse=True)
+    # The paper-yield row brackets the published 537-query limit for 2 plans.
+    paper_row = rows[1]
+    assert 480 <= paper_row[2] <= 576

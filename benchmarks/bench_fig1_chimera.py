@@ -1,0 +1,38 @@
+"""Figure 1: the Chimera unit-cell structure of the D-Wave 2X.
+
+The paper's Figure 1 shows four neighbouring unit cells of eight qubits
+each, connected in the Chimera structure.  This benchmark rebuilds the
+full device topology, verifies its structural invariants (cell count,
+qubit count, maximum degree of six) and renders a four-cell extract.
+"""
+
+from repro.chimera.hardware import DWAVE_2X
+from repro.utils.tables import format_table
+
+
+def bench_figure1_chimera_structure(benchmark, save_exhibit):
+    def build():
+        return DWAVE_2X.build_topology(seed=0)
+
+    topology = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rows = [
+        ("unit cells", topology.num_cells),
+        ("qubit sites", topology.num_qubits_total),
+        ("functional qubits", topology.num_qubits),
+        ("broken qubits", len(topology.broken_qubits)),
+        ("couplers", topology.num_couplers),
+        ("max couplers per qubit", topology.max_degree()),
+    ]
+    table = format_table(
+        ["property", "value"],
+        rows,
+        title="Figure 1: D-Wave 2X Chimera structure (simulated device)",
+    )
+    art = topology.render_ascii(max_cells=2)
+    save_exhibit("figure1_chimera", table + "\n\nFour neighbouring unit cells:\n" + art)
+
+    assert topology.num_cells == 144
+    assert topology.num_qubits_total == 1152
+    assert topology.num_qubits == 1097
+    assert topology.max_degree() <= 6

@@ -1,0 +1,54 @@
+"""Figure 2: the TRIAD embedding pattern in different sizes.
+
+The paper's Figure 2 shows TRIAD patterns with 5, 8 and 12 chains and a
+variant with two broken qubits (which invalidate whole chains).  This
+benchmark reconstructs each pattern on a defect-free Chimera, reports the
+chain lengths and qubit counts, and repeats the 12-chain pattern with two
+broken qubits to show the lost chains.
+"""
+
+from repro.chimera.topology import ChimeraGraph
+from repro.embedding.triad import TriadEmbedder, triad_qubit_count
+from repro.utils.tables import format_table
+
+
+def bench_figure2_triad_patterns(benchmark, save_exhibit):
+    topology = ChimeraGraph(12, 12)
+    embedder = TriadEmbedder(topology)
+
+    def build_patterns():
+        return {
+            size: embedder.embed_clique(list(range(size))) for size in (5, 8, 12)
+        }
+
+    embeddings = benchmark.pedantic(build_patterns, rounds=1, iterations=1)
+
+    rows = []
+    for size, embedding in embeddings.items():
+        rows.append(
+            (
+                size,
+                embedding.num_qubits,
+                triad_qubit_count(size),
+                embedding.max_chain_length(),
+                round(embedding.average_chain_length(), 3),
+            )
+        )
+
+    # Figure 2(d): two broken qubits knock out whole chains.
+    plain = TriadEmbedder(topology).pattern_chains(3)
+    broken_topology = topology.with_defects([plain[0][0], plain[5][1]])
+    usable = TriadEmbedder(broken_topology).usable_pattern_chains(3)
+    rows.append(("12 (2 broken qubits)", sum(len(c) for c in usable), "-", 4, len(usable)))
+
+    table = format_table(
+        ["chains", "qubits used", "formula n*(t+1)", "max chain", "avg chain / usable chains"],
+        rows,
+        title="Figure 2: TRIAD pattern sizes (5, 8, 12 chains) and broken-qubit variant",
+    )
+    save_exhibit("figure2_triad", table)
+
+    assert embeddings[5].num_qubits == triad_qubit_count(5)
+    assert embeddings[8].num_qubits == triad_qubit_count(8)
+    assert embeddings[12].num_qubits == triad_qubit_count(12)
+    assert len(usable) == 10  # two of the twelve chains become unusable

@@ -1,0 +1,48 @@
+"""Figure 3: the clustered embedding pattern.
+
+The paper's Figure 3 shows four clusters of eight plans each, every
+cluster embedded as its own TRIAD, with sparse couplers between clusters
+available for work-sharing links.  This benchmark reproduces that
+configuration, reports per-cluster qubit usage and counts how many
+cross-cluster plan pairs the placement can couple.
+"""
+
+from repro.chimera.topology import ChimeraGraph
+from repro.embedding.clustered import ClusteredEmbedder, clustered_qubit_count
+from repro.utils.tables import format_table
+
+
+def bench_figure3_clustered_pattern(benchmark, save_exhibit):
+    topology = ChimeraGraph(12, 12)
+    clusters = [[f"c{c}_p{p}" for p in range(8)] for c in range(4)]
+    embedder = ClusteredEmbedder(topology)
+
+    def build():
+        embedding = embedder.embed(clusters)
+        cross = embedder.realizable_cross_cluster_pairs(embedding, clusters)
+        return embedding, cross
+
+    embedding, cross_pairs = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    intra_pairs = 4 * (8 * 7 // 2)
+    all_cross = (32 * 31 // 2) - intra_pairs
+    rows = [
+        ("clusters", 4),
+        ("plans per cluster", 8),
+        ("qubits used", embedding.num_qubits),
+        ("qubits (closed form)", clustered_qubit_count(4, 8)),
+        ("intra-cluster pairs couplable", intra_pairs),
+        ("cross-cluster pairs couplable", len(cross_pairs)),
+        ("cross-cluster pairs total", all_cross),
+    ]
+    table = format_table(
+        ["property", "value"],
+        rows,
+        title="Figure 3: clustered embedding pattern (4 clusters x 8 plans)",
+    )
+    save_exhibit("figure3_clustered", table)
+
+    assert embedding.num_qubits == clustered_qubit_count(4, 8)
+    # Inter-cluster connectivity is sparse: only a fraction of all
+    # cross-cluster pairs can carry a work-sharing link.
+    assert 0 < len(cross_pairs) < all_cross

@@ -1,0 +1,55 @@
+"""Figure 4: solution cost as a function of optimization time (2 plans/query).
+
+The paper's Figure 4 plots, for 20 instances with 537 queries and two
+plans per query, how the scaled execution cost of the best solution
+evolves over optimization time for the quantum annealer (QA), the integer
+programming solvers (LIN-MQO / LIN-QUB), iterated hill climbing (CLIMB)
+and the genetic algorithms (GA(50), GA(200)).
+
+This benchmark regenerates the same series for the two-plan class at the
+active profile's scale.  The headline qualitative finding asserted here:
+the QA trajectory reaches its near-final quality within milliseconds of
+device time, while the classical solvers need orders of magnitude more
+wall-clock time to match it.
+"""
+
+from repro.experiments.figures import figure4_table, quality_vs_time_rows
+from repro.experiments.runner import QA_SOLVER_NAME
+
+
+def bench_figure4_cost_vs_time_two_plans(
+    benchmark, runner, profile, evaluation_results, save_exhibit
+):
+    test_class = next(c for c in evaluation_results if c.plans_per_query == 2)
+    results = evaluation_results[test_class]
+    solver_names = runner.solver_names()
+
+    def build():
+        return quality_vs_time_rows(results, profile.checkpoints_ms, solver_names)
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_exhibit(
+        "figure4_quality_vs_time_2plans",
+        figure4_table(results, profile.checkpoints_ms, solver_names, test_class),
+    )
+
+    qa_index = 1 + solver_names.index(QA_SOLVER_NAME)
+    final_row = rows[-1]
+    first_row = rows[0]
+    # Structural checks hold at every profile scale.
+    for column in range(1, len(solver_names) + 1):
+        series = [row[column] for row in rows]
+        assert series == sorted(series, reverse=True)
+        assert all(0.0 <= value <= 1.0 for value in series)
+    # QA is already at (or very near) its final quality at the 1 ms checkpoint,
+    # i.e. after the first couple of annealing reads.
+    assert first_row[qa_index] <= final_row[qa_index] + 0.15
+    # At the earliest checkpoint QA is at least as good as every classical
+    # solver (they have barely produced a solution after 1 ms).  On the toy
+    # instances of the smoke profile the classical solvers can be instant,
+    # so the ordering claim is only asserted for non-trivial sizes.
+    if test_class.num_queries >= 20:
+        for index, name in enumerate(solver_names, start=1):
+            if name == QA_SOLVER_NAME:
+                continue
+            assert first_row[qa_index] <= first_row[index] + 1e-9

@@ -1,0 +1,53 @@
+"""Figure 5: solution cost as a function of optimization time (5 plans/query).
+
+The paper's Figure 5 repeats the Figure 4 comparison for the class with
+108 queries and five alternative plans per query.  There the quantum
+annealer's advantage shrinks: it still dominates for very short
+optimization times, but the integer programming solver reaches optimal
+solutions within roughly a hundred milliseconds, and the quality gap of
+the annealer grows compared with the two-plan class because five-plan
+queries need more qubits per logical variable.
+"""
+
+from repro.experiments.figures import figure5_table, quality_vs_time_rows
+from repro.experiments.runner import QA_SOLVER_NAME
+
+
+def bench_figure5_cost_vs_time_five_plans(
+    benchmark, runner, profile, evaluation_results, save_exhibit
+):
+    five_plan_class = next(c for c in evaluation_results if c.plans_per_query == 5)
+    two_plan_class = next(c for c in evaluation_results if c.plans_per_query == 2)
+    results = evaluation_results[five_plan_class]
+    solver_names = runner.solver_names()
+
+    def build():
+        return quality_vs_time_rows(results, profile.checkpoints_ms, solver_names)
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_exhibit(
+        "figure5_quality_vs_time_5plans",
+        figure5_table(results, profile.checkpoints_ms, solver_names, five_plan_class),
+    )
+
+    qa_index = 1 + solver_names.index(QA_SOLVER_NAME)
+    lin_index = 1 + solver_names.index("LIN-MQO")
+    # Structural checks hold at every profile scale.
+    for column in range(1, len(solver_names) + 1):
+        series = [row[column] for row in rows]
+        assert series == sorted(series, reverse=True)
+        assert all(0.0 <= value <= 1.0 for value in series)
+    # By the final checkpoint the exact solver has caught up with (or
+    # overtaken) the annealer — the paper reports optimal solutions within
+    # ~100 ms for this class.
+    assert rows[-1][lin_index] <= rows[-1][qa_index] + 1e-9
+
+    # The ordering claims of the paper (QA superior at small time scales,
+    # larger QA quality gap than in the two-plan class) only materialise on
+    # instances of non-trivial size; the smoke profile runs toy instances.
+    if five_plan_class.num_queries >= 20:
+        assert rows[0][qa_index] <= rows[0][lin_index] + 1e-9
+        two_plan_rows = quality_vs_time_rows(
+            evaluation_results[two_plan_class], profile.checkpoints_ms, solver_names
+        )
+        assert rows[-1][qa_index] >= two_plan_rows[-1][qa_index] - 0.05

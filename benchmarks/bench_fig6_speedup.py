@@ -1,0 +1,36 @@
+"""Figure 6: average quantum speedup versus qubits per logical variable.
+
+The paper's Figure 6 aggregates all four test-case classes: for each
+class it plots the average speedup of the quantum annealer (time for the
+best classical solver to match the quality of the first annealing run,
+divided by the device time of that run) against the number of qubits
+needed per logical variable.  The key shape: the speedup decreases as
+more qubits per variable are required (i.e. as the number of plans per
+query grows).
+"""
+
+from repro.experiments.figures import figure6_rows, figure6_table
+
+
+def bench_figure6_speedup_vs_qubits_per_variable(
+    benchmark, profile, evaluation_results, save_exhibit
+):
+    def build():
+        return figure6_rows(evaluation_results, profile.classical_budget_ms)
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_exhibit(
+        "figure6_speedup",
+        figure6_table(evaluation_results, profile.classical_budget_ms),
+    )
+
+    assert len(rows) == len(evaluation_results)
+    ratios = [row[1] for row in rows]
+    speedups = [row[2] for row in rows]
+    # Qubits per variable grow from the 2-plan class towards the 5-plan class.
+    assert ratios == sorted(ratios)
+    assert ratios[0] >= 1.0
+    assert all(speedup > 0 for speedup in speedups)
+    # Headline shape: the class with the fewest qubits per variable enjoys the
+    # largest quantum speedup, the most qubit-hungry class the smallest.
+    assert speedups[0] >= speedups[-1]

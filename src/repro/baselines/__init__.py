@@ -1,0 +1,31 @@
+"""Classical MQO solvers used as comparison points (paper Section 7.1).
+
+All solvers implement the :class:`AnytimeSolver` interface: they run
+under a wall-clock budget and record how the cost of their best-so-far
+solution evolves over time, which is exactly the quantity Figures 4 and 5
+plot.  Included are the paper's competitors — integer linear programming
+on the MQO formulation (LIN-MQO), integer linear programming on the
+linearised QUBO (LIN-QUB), a genetic algorithm with population 50/200 and
+iterated hill climbing — plus a constructive greedy heuristic.
+"""
+
+from repro.baselines.anytime import AnytimeSolver, SolverTrajectory
+from repro.baselines.hillclimb import IteratedHillClimbing
+from repro.baselines.genetic import GeneticAlgorithmSolver
+from repro.baselines.greedy import GreedyConstructiveSolver
+from repro.baselines.ilp_mqo import IntegerProgrammingMQOSolver
+from repro.baselines.ilp_qubo import IntegerProgrammingQUBOSolver
+from repro.baselines.milp import BinaryLinearProgram, BranchAndBoundSolver, MilpResult
+
+__all__ = [
+    "AnytimeSolver",
+    "SolverTrajectory",
+    "IteratedHillClimbing",
+    "GeneticAlgorithmSolver",
+    "GreedyConstructiveSolver",
+    "IntegerProgrammingMQOSolver",
+    "IntegerProgrammingQUBOSolver",
+    "BinaryLinearProgram",
+    "BranchAndBoundSolver",
+    "MilpResult",
+]

@@ -1,0 +1,154 @@
+"""Anytime-solver framework with best-so-far trajectories.
+
+The paper compares optimisation approaches "in terms of how solution
+quality ... evolves as a function of optimization time" (Section 7.2).
+Every classical solver therefore implements :class:`AnytimeSolver`: it
+runs under a time budget, registers every improvement of its incumbent
+solution with a timestamp, and returns a :class:`SolverTrajectory` from
+which the cost at arbitrary checkpoints can be read.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import SolverError
+from repro.mqo.problem import MQOProblem, MQOSolution
+from repro.utils.rng import SeedLike
+from repro.utils.stopwatch import Stopwatch
+
+__all__ = ["SolverTrajectory", "AnytimeSolver", "TrajectoryRecorder"]
+
+
+@dataclass
+class SolverTrajectory:
+    """Best-so-far cost over time for one solver run.
+
+    Attributes
+    ----------
+    solver_name:
+        Display name of the solver (matches the figure legends).
+    points:
+        Monotonically improving ``(elapsed_ms, best_cost)`` pairs in the
+        order the improvements were found.
+    best_solution:
+        The final incumbent.
+    proved_optimal:
+        Whether the solver proved its incumbent optimal (exact solvers).
+    total_time_ms:
+        Wall-clock (or device) time consumed by the run.
+    """
+
+    solver_name: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+    best_solution: Optional[MQOSolution] = None
+    proved_optimal: bool = False
+    total_time_ms: float = 0.0
+
+    @property
+    def best_cost(self) -> float:
+        """Cost of the final incumbent (``inf`` when nothing was found)."""
+        if not self.points:
+            return float("inf")
+        return self.points[-1][1]
+
+    def cost_at_time(self, time_ms: float) -> float:
+        """Best cost achieved no later than ``time_ms`` (``inf`` before the first)."""
+        best = float("inf")
+        for elapsed, cost in self.points:
+            if elapsed <= time_ms:
+                best = cost
+            else:
+                break
+        return best
+
+    def time_to_reach(self, cost_threshold: float) -> Optional[float]:
+        """Earliest time at which the cost reached (or beat) ``cost_threshold``."""
+        for elapsed, cost in self.points:
+            if cost <= cost_threshold + 1e-9:
+                return elapsed
+        return None
+
+    def sampled(self, checkpoints_ms: Sequence[float]) -> List[Tuple[float, float]]:
+        """The trajectory resampled at the given checkpoints."""
+        return [(t, self.cost_at_time(t)) for t in checkpoints_ms]
+
+
+class TrajectoryRecorder:
+    """Helper that solvers use to register incumbent improvements."""
+
+    def __init__(self, solver_name: str, clock: Stopwatch | None = None) -> None:
+        self.solver_name = solver_name
+        self._clock = clock or Stopwatch().start()
+        self._points: List[Tuple[float, float]] = []
+        self._best_cost = float("inf")
+        self._best_solution: Optional[MQOSolution] = None
+
+    @property
+    def best_cost(self) -> float:
+        """Cost of the current incumbent."""
+        return self._best_cost
+
+    @property
+    def best_solution(self) -> Optional[MQOSolution]:
+        """The current incumbent solution."""
+        return self._best_solution
+
+    def elapsed_ms(self) -> float:
+        """Elapsed time since the recorder was created."""
+        return self._clock.elapsed_ms()
+
+    def record(self, solution: MQOSolution, elapsed_ms: float | None = None) -> bool:
+        """Register ``solution`` if it improves the incumbent.
+
+        Returns whether the incumbent improved.
+        """
+        if not solution.is_valid:
+            raise SolverError(
+                f"{self.solver_name} tried to record an invalid solution"
+            )
+        if solution.cost >= self._best_cost - 1e-12:
+            return False
+        self._best_cost = solution.cost
+        self._best_solution = solution
+        self._points.append(
+            (self.elapsed_ms() if elapsed_ms is None else elapsed_ms, solution.cost)
+        )
+        return True
+
+    def finish(self, proved_optimal: bool = False) -> SolverTrajectory:
+        """Freeze the recording into a :class:`SolverTrajectory`."""
+        return SolverTrajectory(
+            solver_name=self.solver_name,
+            points=list(self._points),
+            best_solution=self._best_solution,
+            proved_optimal=proved_optimal,
+            total_time_ms=self.elapsed_ms(),
+        )
+
+
+class AnytimeSolver(abc.ABC):
+    """Interface of every classical MQO solver in the benchmark suite."""
+
+    #: Display name used in figure legends and tables.
+    name: str = "solver"
+
+    @abc.abstractmethod
+    def solve(
+        self,
+        problem: MQOProblem,
+        time_budget_ms: float,
+        seed: SeedLike = None,
+    ) -> SolverTrajectory:
+        """Optimise ``problem`` within ``time_budget_ms`` milliseconds."""
+
+    def _check_budget(self, time_budget_ms: float) -> None:
+        if time_budget_ms <= 0:
+            raise SolverError(
+                f"{self.name}: time budget must be positive, got {time_budget_ms}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

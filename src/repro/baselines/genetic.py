@@ -1,0 +1,154 @@
+"""Genetic algorithm for MQO (the GA(50) / GA(200) baselines).
+
+The paper uses the Java Genetic Algorithms Package with its default
+configuration: single-point crossover, a top-n ("best chromosomes")
+selection strategy, crossover rate 0.35 and mutation rate 1/12, with
+population sizes 50 and 200.  This module reimplements that algorithm:
+
+* a chromosome is the vector of per-query plan choices,
+* each generation adds offspring created by single-point crossover of
+  randomly drawn parents (``crossover_rate * population`` pairs) and by
+  per-gene mutation with probability ``mutation_rate``,
+* the next generation keeps the best ``population_size`` chromosomes of
+  the combined pool (top-n selection).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.baselines.anytime import AnytimeSolver, SolverTrajectory, TrajectoryRecorder
+from repro.exceptions import SolverError
+from repro.mqo.problem import MQOProblem
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["GeneticAlgorithmSolver"]
+
+
+class GeneticAlgorithmSolver(AnytimeSolver):
+    """Single-point-crossover, top-n-selection genetic algorithm."""
+
+    def __init__(
+        self,
+        population_size: int = 50,
+        crossover_rate: float = 0.35,
+        mutation_rate: float = 1.0 / 12.0,
+        max_generations: int | None = None,
+    ) -> None:
+        if population_size < 2:
+            raise SolverError("population_size must be at least 2")
+        if not 0.0 <= crossover_rate <= 1.0:
+            raise SolverError(f"crossover_rate must be in [0, 1], got {crossover_rate}")
+        if not 0.0 <= mutation_rate <= 1.0:
+            raise SolverError(f"mutation_rate must be in [0, 1], got {mutation_rate}")
+        if max_generations is not None and max_generations <= 0:
+            raise SolverError("max_generations must be positive when given")
+        self.population_size = population_size
+        self.crossover_rate = crossover_rate
+        self.mutation_rate = mutation_rate
+        self.max_generations = max_generations
+        self.name = f"GA({population_size})"
+
+    # ------------------------------------------------------------------ #
+    # Chromosome helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _plan_counts(problem: MQOProblem) -> np.ndarray:
+        return np.asarray([query.num_plans for query in problem.queries], dtype=int)
+
+    @staticmethod
+    def _evaluate(problem: MQOProblem, chromosome: np.ndarray) -> float:
+        return problem.solution_from_choices([int(c) for c in chromosome]).cost
+
+    def _random_population(
+        self, problem: MQOProblem, plan_counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return np.stack(
+            [rng.integers(0, plan_counts) for _ in range(self.population_size)]
+        )
+
+    def _crossover(
+        self, parent_a: np.ndarray, parent_b: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Single-point crossover producing two children."""
+        num_genes = len(parent_a)
+        if num_genes < 2:
+            return parent_a.copy(), parent_b.copy()
+        point = int(rng.integers(1, num_genes))
+        child_a = np.concatenate([parent_a[:point], parent_b[point:]])
+        child_b = np.concatenate([parent_b[:point], parent_a[point:]])
+        return child_a, child_b
+
+    def _mutate(
+        self, chromosome: np.ndarray, plan_counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        mask = rng.random(len(chromosome)) < self.mutation_rate
+        if not mask.any():
+            return chromosome
+        mutated = chromosome.copy()
+        mutated[mask] = rng.integers(0, plan_counts[mask])
+        return mutated
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        problem: MQOProblem,
+        time_budget_ms: float,
+        seed: SeedLike = None,
+    ) -> SolverTrajectory:
+        self._check_budget(time_budget_ms)
+        rng = ensure_rng(seed)
+        recorder = TrajectoryRecorder(self.name)
+        plan_counts = self._plan_counts(problem)
+
+        population = self._random_population(problem, plan_counts, rng)
+        fitness = np.asarray([self._evaluate(problem, chrom) for chrom in population])
+        self._record_best(problem, population, fitness, recorder)
+
+        generation = 0
+        while recorder.elapsed_ms() < time_budget_ms:
+            if self.max_generations is not None and generation >= self.max_generations:
+                break
+            generation += 1
+
+            offspring: List[np.ndarray] = []
+            num_crossovers = max(1, int(round(self.crossover_rate * self.population_size)))
+            for _ in range(num_crossovers):
+                idx_a, idx_b = rng.integers(0, self.population_size, size=2)
+                child_a, child_b = self._crossover(population[idx_a], population[idx_b], rng)
+                offspring.append(child_a)
+                offspring.append(child_b)
+            mutants = [
+                self._mutate(population[int(rng.integers(0, self.population_size))], plan_counts, rng)
+                for _ in range(self.population_size)
+            ]
+            candidates = offspring + mutants
+            candidate_fitness = np.asarray(
+                [self._evaluate(problem, chrom) for chrom in candidates]
+            )
+
+            pool = np.concatenate([population, np.stack(candidates)])
+            pool_fitness = np.concatenate([fitness, candidate_fitness])
+            order = np.argsort(pool_fitness, kind="stable")[: self.population_size]
+            population = pool[order]
+            fitness = pool_fitness[order]
+            self._record_best(problem, population, fitness, recorder)
+        return recorder.finish()
+
+    def _record_best(
+        self,
+        problem: MQOProblem,
+        population: np.ndarray,
+        fitness: np.ndarray,
+        recorder: TrajectoryRecorder,
+    ) -> None:
+        best_index = int(np.argmin(fitness))
+        if fitness[best_index] < recorder.best_cost - 1e-12:
+            solution = problem.solution_from_choices(
+                [int(c) for c in population[best_index]]
+            )
+            recorder.record(solution)

@@ -1,0 +1,55 @@
+"""Constructive greedy heuristic for MQO.
+
+Not one of the paper's headline competitors, but the classical
+"cheap and cheerful" baseline: queries are processed in descending order
+of their cheapest plan cost, and for each query the plan minimising
+(execution cost minus savings realisable with already selected plans) is
+chosen.  The result is also a useful warm start for the exact solvers.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.anytime import AnytimeSolver, SolverTrajectory, TrajectoryRecorder
+from repro.mqo.problem import MQOProblem, MQOSolution
+from repro.utils.rng import SeedLike
+
+__all__ = ["GreedyConstructiveSolver"]
+
+
+class GreedyConstructiveSolver(AnytimeSolver):
+    """One-pass greedy plan selection exploiting already chosen plans."""
+
+    name = "GREEDY"
+
+    def construct(self, problem: MQOProblem) -> MQOSolution:
+        """Build the greedy solution (deterministic, no time accounting)."""
+        selected: list[int] = []
+        selected_set: set[int] = set()
+        order = sorted(
+            problem.queries,
+            key=lambda query: -min(problem.plan_cost(p) for p in query.plan_indices),
+        )
+        for query in order:
+            def marginal(plan: int) -> float:
+                realized = sum(
+                    saving
+                    for partner, saving in problem.sharing_partners(plan).items()
+                    if partner in selected_set
+                )
+                return problem.plan_cost(plan) - realized
+
+            best_plan = min(query.plan_indices, key=marginal)
+            selected.append(best_plan)
+            selected_set.add(best_plan)
+        return problem.solution_from_selection(selected)
+
+    def solve(
+        self,
+        problem: MQOProblem,
+        time_budget_ms: float,
+        seed: SeedLike = None,
+    ) -> SolverTrajectory:
+        self._check_budget(time_budget_ms)
+        recorder = TrajectoryRecorder(self.name)
+        recorder.record(self.construct(problem))
+        return recorder.finish()

@@ -1,0 +1,87 @@
+"""Iterated hill climbing (the CLIMB baseline of the paper).
+
+"Our hill climbing algorithm iteratively generates plan selections
+randomly and improves them via hill climbing until a local optimum is
+reached" (Section 7.1).  A move changes the plan selected for a single
+query; the best improving move is applied until no move improves, then a
+fresh random restart begins.  The global best over all restarts is the
+incumbent.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.anytime import AnytimeSolver, SolverTrajectory, TrajectoryRecorder
+from repro.baselines.selection_state import SelectionState
+from repro.exceptions import SolverError
+from repro.mqo.problem import MQOProblem
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["IteratedHillClimbing"]
+
+
+class IteratedHillClimbing(AnytimeSolver):
+    """Random-restart steepest-descent hill climbing over plan selections."""
+
+    name = "CLIMB"
+
+    def __init__(self, max_restarts: int | None = None, budget_check_interval: int = 16) -> None:
+        if max_restarts is not None and max_restarts <= 0:
+            raise SolverError("max_restarts must be positive when given")
+        if budget_check_interval <= 0:
+            raise SolverError("budget_check_interval must be positive")
+        self.max_restarts = max_restarts
+        self.budget_check_interval = budget_check_interval
+
+    def solve(
+        self,
+        problem: MQOProblem,
+        time_budget_ms: float,
+        seed: SeedLike = None,
+    ) -> SolverTrajectory:
+        self._check_budget(time_budget_ms)
+        rng = ensure_rng(seed)
+        recorder = TrajectoryRecorder(self.name)
+
+        restarts = 0
+        while recorder.elapsed_ms() < time_budget_ms:
+            if self.max_restarts is not None and restarts >= self.max_restarts:
+                break
+            restarts += 1
+            choices = [
+                int(rng.integers(0, query.num_plans)) for query in problem.queries
+            ]
+            state = SelectionState(problem, choices)
+            recorder.record(state.to_solution())
+            self._climb(state, recorder, time_budget_ms)
+        return recorder.finish()
+
+    def _climb(
+        self,
+        state: SelectionState,
+        recorder: TrajectoryRecorder,
+        time_budget_ms: float,
+    ) -> None:
+        """Steepest-descent until a local optimum or the budget is reached."""
+        problem = state.problem
+        moves_since_check = 0
+        while True:
+            best_delta = 0.0
+            best_move: tuple[int, int] | None = None
+            for query in problem.queries:
+                current = state.choices[query.index]
+                for choice in range(query.num_plans):
+                    if choice == current:
+                        continue
+                    delta = state.swap_delta(query.index, choice)
+                    if delta < best_delta - 1e-12:
+                        best_delta = delta
+                        best_move = (query.index, choice)
+                moves_since_check += 1
+                if moves_since_check >= self.budget_check_interval:
+                    moves_since_check = 0
+                    if recorder.elapsed_ms() >= time_budget_ms:
+                        return
+            if best_move is None:
+                return
+            state.apply_swap(*best_move)
+            recorder.record(state.to_solution())

@@ -1,0 +1,15 @@
+"""A small 0-1 integer-linear-programming substrate.
+
+The paper's strongest classical competitor is a commercial integer
+programming solver.  This package provides the equivalent building block
+from scratch: a binary linear program container and an LP-relaxation
+branch-and-bound solver (the relaxations are solved with
+``scipy.optimize.linprog``/HiGHS).  The solver reports every incumbent
+improvement with a timestamp so the MQO front-ends can expose the same
+anytime trajectories as the heuristics.
+"""
+
+from repro.baselines.milp.model import BinaryLinearProgram
+from repro.baselines.milp.branch_and_bound import BranchAndBoundSolver, MilpResult
+
+__all__ = ["BinaryLinearProgram", "BranchAndBoundSolver", "MilpResult"]

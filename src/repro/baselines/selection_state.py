@@ -1,0 +1,108 @@
+"""Incremental plan-selection state shared by the heuristic solvers.
+
+Hill climbing and the genetic algorithm repeatedly evaluate small changes
+to a plan selection.  Recomputing the full objective is ``O(|P| + |S|)``;
+this helper maintains the selection and supports ``O(degree)`` evaluation
+and application of single-query plan swaps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.exceptions import InvalidSolutionError
+from repro.mqo.problem import MQOProblem, MQOSolution
+
+__all__ = ["SelectionState"]
+
+
+class SelectionState:
+    """A mutable one-plan-per-query selection with incremental cost updates."""
+
+    def __init__(self, problem: MQOProblem, choices: Sequence[int]) -> None:
+        if len(choices) != problem.num_queries:
+            raise InvalidSolutionError(
+                f"expected {problem.num_queries} choices, got {len(choices)}"
+            )
+        self.problem = problem
+        self._choices: List[int] = []
+        self._selected_plan: List[int] = []
+        self._selected_set: set[int] = set()
+        for query, choice in zip(problem.queries, choices):
+            if not 0 <= choice < query.num_plans:
+                raise InvalidSolutionError(
+                    f"choice {choice} out of range for query {query.index}"
+                )
+            plan = query.plan_indices[choice]
+            self._choices.append(int(choice))
+            self._selected_plan.append(plan)
+            self._selected_set.add(plan)
+        self._cost = problem.selection_cost(self._selected_set)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def cost(self) -> float:
+        """Objective value of the current selection."""
+        return self._cost
+
+    @property
+    def choices(self) -> List[int]:
+        """Per-query plan offsets of the current selection (copy)."""
+        return list(self._choices)
+
+    def selected_plan(self, query_index: int) -> int:
+        """Global index of the plan currently selected for ``query_index``."""
+        return self._selected_plan[query_index]
+
+    def to_solution(self) -> MQOSolution:
+        """The current selection as an immutable :class:`MQOSolution`."""
+        return self.problem.solution_from_selection(self._selected_plan)
+
+    # ------------------------------------------------------------------ #
+    # Incremental moves
+    # ------------------------------------------------------------------ #
+    def _realized_savings(self, plan: int, excluding_query: int) -> float:
+        """Savings plan realises with currently selected plans of other queries."""
+        total = 0.0
+        for partner, saving in self.problem.sharing_partners(plan).items():
+            if partner in self._selected_set:
+                if self.problem.query_of_plan(partner) == excluding_query:
+                    continue
+                total += saving
+        return total
+
+    def swap_delta(self, query_index: int, new_choice: int) -> float:
+        """Cost change of switching ``query_index`` to plan offset ``new_choice``."""
+        query = self.problem.query(query_index)
+        if not 0 <= new_choice < query.num_plans:
+            raise InvalidSolutionError(
+                f"choice {new_choice} out of range for query {query_index}"
+            )
+        old_plan = self._selected_plan[query_index]
+        new_plan = query.plan_indices[new_choice]
+        if new_plan == old_plan:
+            return 0.0
+        delta = self.problem.plan_cost(new_plan) - self.problem.plan_cost(old_plan)
+        delta -= self._realized_savings(new_plan, excluding_query=query_index)
+        delta += self._realized_savings(old_plan, excluding_query=query_index)
+        return delta
+
+    def apply_swap(self, query_index: int, new_choice: int) -> float:
+        """Apply a swap and return the (possibly zero) cost change."""
+        delta = self.swap_delta(query_index, new_choice)
+        query = self.problem.query(query_index)
+        old_plan = self._selected_plan[query_index]
+        new_plan = query.plan_indices[new_choice]
+        if new_plan != old_plan:
+            self._selected_set.discard(old_plan)
+            self._selected_set.add(new_plan)
+            self._selected_plan[query_index] = new_plan
+            self._choices[query_index] = int(new_choice)
+            self._cost += delta
+        return delta
+
+    def copy(self) -> "SelectionState":
+        """An independent copy of the state."""
+        return SelectionState(self.problem, self._choices)

@@ -1,0 +1,24 @@
+"""Chimera hardware topology model (paper Section 2, Figure 1).
+
+The D-Wave 2X qubit matrix is a 12 x 12 grid of unit cells; each unit
+cell holds eight qubits arranged in two columns ("colons" in the paper)
+of four.  Within a cell every left-column qubit couples to every
+right-column qubit; across cells, left-column qubits couple to their
+counterparts in the cells above/below and right-column qubits to their
+counterparts in the cells to the left/right.  Each qubit therefore has
+at most six couplers.
+"""
+
+from repro.chimera.topology import ChimeraCoordinate, ChimeraGraph
+from repro.chimera.defects import DefectModel, sample_broken_qubits
+from repro.chimera.hardware import DWaveSpec, DWAVE_2X, DWAVE_TWO
+
+__all__ = [
+    "ChimeraCoordinate",
+    "ChimeraGraph",
+    "DefectModel",
+    "sample_broken_qubits",
+    "DWaveSpec",
+    "DWAVE_2X",
+    "DWAVE_TWO",
+]

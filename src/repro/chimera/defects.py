@@ -1,0 +1,73 @@
+"""Broken-qubit (defect) models for the Chimera topology.
+
+The manufacturing process of the D-Wave qubit matrix is imperfect; on the
+machine used in the paper only 1097 of 1152 qubits were functional
+(a ~4.8 % defect rate).  The defect model lets experiments reproduce that
+yield or sweep it for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List
+
+from repro.chimera.topology import ChimeraGraph
+from repro.exceptions import TopologyError
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["DefectModel", "sample_broken_qubits"]
+
+
+def sample_broken_qubits(
+    num_qubits_total: int,
+    num_broken: int,
+    seed: SeedLike = None,
+) -> FrozenSet[int]:
+    """Sample ``num_broken`` distinct broken qubit indices uniformly."""
+    if num_broken < 0:
+        raise TopologyError(f"num_broken must be non-negative, got {num_broken}")
+    if num_broken > num_qubits_total:
+        raise TopologyError(
+            f"cannot break {num_broken} qubits of only {num_qubits_total}"
+        )
+    rng = ensure_rng(seed)
+    chosen = rng.choice(num_qubits_total, size=num_broken, replace=False)
+    return frozenset(int(q) for q in chosen)
+
+
+@dataclass(frozen=True)
+class DefectModel:
+    """A random-yield defect model.
+
+    Attributes
+    ----------
+    broken_fraction:
+        Fraction of qubit sites that are broken (paper machine: 55/1152).
+    """
+
+    broken_fraction: float = 55.0 / 1152.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.broken_fraction < 1.0:
+            raise TopologyError(
+                f"broken_fraction must be in [0, 1), got {self.broken_fraction}"
+            )
+
+    def num_broken(self, num_qubits_total: int) -> int:
+        """Number of broken qubits for a topology of the given size."""
+        return int(round(self.broken_fraction * num_qubits_total))
+
+    def apply(self, topology: ChimeraGraph, seed: SeedLike = None) -> ChimeraGraph:
+        """Return a copy of ``topology`` with randomly sampled broken qubits."""
+        already_broken = topology.broken_qubits
+        target = self.num_broken(topology.num_qubits_total)
+        additional = max(0, target - len(already_broken))
+        if additional == 0:
+            return topology
+        rng = ensure_rng(seed)
+        candidates: List[int] = [
+            q for q in range(topology.num_qubits_total) if q not in already_broken
+        ]
+        chosen = rng.choice(len(candidates), size=additional, replace=False)
+        new_broken = {candidates[int(i)] for i in chosen}
+        return topology.with_defects(new_broken)

@@ -1,0 +1,154 @@
+"""Command-line interface: ``repro-mqo``.
+
+Three subcommands cover the common workflows:
+
+* ``solve``    — generate (or load) an instance and solve it on the
+  simulated annealer plus selected classical baselines,
+* ``capacity`` — print the Figure 7 capacity frontier for a qubit budget,
+* ``info``     — print the device model and profile configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Sequence
+
+from repro.baselines.genetic import GeneticAlgorithmSolver
+from repro.baselines.hillclimb import IteratedHillClimbing
+from repro.baselines.ilp_mqo import IntegerProgrammingMQOSolver
+from repro.chimera.hardware import DWAVE_2X
+from repro.core.pipeline import QuantumMQO
+from repro.experiments.figures import figure7_table
+from repro.experiments.profiles import get_profile
+from repro.mqo.generator import generate_paper_testcase
+from repro.mqo.serialization import load_problem
+from repro.utils.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``repro-mqo`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mqo",
+        description="Multiple query optimization on a simulated adiabatic quantum annealer",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    solve = subparsers.add_parser("solve", help="solve one MQO instance")
+    solve.add_argument("--queries", type=int, default=20, help="number of queries to generate")
+    solve.add_argument("--plans", type=int, default=2, help="plans per query")
+    solve.add_argument("--seed", type=int, default=0, help="random seed")
+    solve.add_argument("--reads", type=int, default=200, help="annealing reads")
+    solve.add_argument(
+        "--problem-file", type=str, default=None, help="load a JSON problem instead of generating"
+    )
+    solve.add_argument(
+        "--baselines",
+        action="store_true",
+        help="also run the classical baselines (LIN-MQO, CLIMB, GA(50))",
+    )
+    solve.add_argument(
+        "--budget-ms", type=float, default=1000.0, help="classical time budget in milliseconds"
+    )
+
+    capacity = subparsers.add_parser(
+        "capacity", help="print the Figure 7 capacity frontier for qubit budgets"
+    )
+    capacity.add_argument(
+        "--qubits",
+        type=int,
+        nargs="+",
+        default=[1152, 2304, 4608],
+        help="qubit budgets to project",
+    )
+    capacity.add_argument(
+        "--pattern",
+        choices=["clustered", "native"],
+        default="clustered",
+        help="embedding pattern used for the projection",
+    )
+
+    subparsers.add_parser("info", help="print device and profile information")
+    return parser
+
+
+def _run_solve(args: argparse.Namespace) -> int:
+    if args.problem_file:
+        problem = load_problem(args.problem_file)
+    else:
+        problem = generate_paper_testcase(args.queries, args.plans, seed=args.seed)
+    print(problem.describe())
+
+    pipeline = QuantumMQO(seed=args.seed)
+    result = pipeline.solve(problem, num_reads=args.reads)
+    rows = [
+        (
+            "QA",
+            result.best_solution.cost,
+            result.device_time_ms,
+            result.qubits_per_variable,
+        )
+    ]
+
+    if args.baselines:
+        for solver in (
+            IntegerProgrammingMQOSolver(),
+            IteratedHillClimbing(),
+            GeneticAlgorithmSolver(population_size=50),
+        ):
+            trajectory = solver.solve(problem, time_budget_ms=args.budget_ms, seed=args.seed)
+            rows.append((solver.name, trajectory.best_cost, trajectory.total_time_ms, float("nan")))
+
+    print()
+    print(
+        format_table(
+            ["solver", "best cost", "time (ms)", "qubits/var"],
+            rows,
+            float_fmt=".3f",
+        )
+    )
+    return 0
+
+
+def _run_capacity(args: argparse.Namespace) -> int:
+    print(figure7_table(qubit_budgets=tuple(args.qubits), pattern=args.pattern))
+    return 0
+
+
+def _run_info() -> int:
+    profile = get_profile()
+    info = {
+        "device": {
+            "name": DWAVE_2X.name,
+            "total_qubits": DWAVE_2X.total_qubits,
+            "functional_qubits": DWAVE_2X.functional_qubits,
+            "time_per_read_us": DWAVE_2X.time_per_read_us,
+        },
+        "profile": {
+            "name": profile.name,
+            "num_instances": profile.num_instances,
+            "classical_budget_ms": profile.classical_budget_ms,
+            "num_reads": profile.num_reads,
+        },
+    }
+    print(json.dumps(info, indent=2))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro-mqo`` command."""
+    args = build_parser().parse_args(list(argv) if argv is not None else None)
+    if args.command == "solve":
+        return _run_solve(args)
+    if args.command == "capacity":
+        return _run_capacity(args)
+    if args.command == "info":
+        return _run_info()
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

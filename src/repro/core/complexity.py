@@ -1,0 +1,170 @@
+"""Qubit-count analysis and capacity projections (paper Section 6, Figure 7).
+
+The paper analyses how many qubits the MQO-to-QUBO mapping needs as a
+function of the problem dimensions ``n`` (query clusters), ``m`` (queries
+per cluster) and ``l`` (plans per query):
+
+* Theorem 2: any embedding of the logical QUBO needs
+  ``Omega(n * (m*l)^2)`` qubits because every plan interacts with
+  ``Omega(m*l)`` other plans but each qubit has at most six couplers.
+* Theorem 3: the clustered TRIAD pattern needs ``Theta(n * (m*l)^2)``
+  qubits, matching the lower bound.
+
+This module provides closed-form qubit counts for the two embedding
+patterns implemented in :mod:`repro.embedding` and inverts them to obtain
+the maximal problem dimensions representable with a given number of
+qubits — the data behind Figure 7.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.exceptions import InvalidProblemError
+
+__all__ = [
+    "logical_qubit_lower_bound",
+    "clustered_pattern_qubits",
+    "native_pattern_qubits",
+    "max_queries_for_qubits",
+    "CapacityPoint",
+    "capacity_frontier",
+    "preprocessing_operation_count",
+]
+
+#: Maximum number of couplers per qubit on a Chimera topology with shore 4.
+MAX_COUPLERS_PER_QUBIT = 6
+
+
+def _check_dimensions(num_clusters: int, queries_per_cluster: int, plans_per_query: int) -> None:
+    if num_clusters <= 0 or queries_per_cluster <= 0 or plans_per_query <= 0:
+        raise InvalidProblemError(
+            "problem dimensions must be positive, got "
+            f"n={num_clusters}, m={queries_per_cluster}, l={plans_per_query}"
+        )
+
+
+def logical_qubit_lower_bound(
+    num_clusters: int, queries_per_cluster: int, plans_per_query: int
+) -> int:
+    """The Theorem 2 lower bound on the number of required qubits.
+
+    Every one of the ``n*m*l`` plans interacts with the other ``m*l - 1``
+    plans of its cluster; with at most six couplers per qubit each plan
+    therefore needs at least ``ceil((m*l - 1) / 6)`` qubits.
+    """
+    _check_dimensions(num_clusters, queries_per_cluster, plans_per_query)
+    plans_per_cluster = queries_per_cluster * plans_per_query
+    qubits_per_plan = max(1, math.ceil((plans_per_cluster - 1) / MAX_COUPLERS_PER_QUBIT))
+    return num_clusters * plans_per_cluster * qubits_per_plan
+
+
+def clustered_pattern_qubits(
+    num_clusters: int,
+    queries_per_cluster: int,
+    plans_per_query: int,
+    shore: int = 4,
+) -> int:
+    """Qubits used by the clustered multi-TRIAD pattern (Theorem 3).
+
+    Each cluster holds ``m*l`` chains of length ``ceil(m*l / shore) + 1``.
+    """
+    _check_dimensions(num_clusters, queries_per_cluster, plans_per_query)
+    if shore <= 0:
+        raise InvalidProblemError(f"shore must be positive, got {shore}")
+    plans_per_cluster = queries_per_cluster * plans_per_query
+    chain_length = math.ceil(plans_per_cluster / shore) + 1
+    return num_clusters * plans_per_cluster * chain_length
+
+
+def native_pattern_qubits(
+    num_queries: int, plans_per_query: int, shore: int = 4
+) -> int:
+    """Qubits used by the compact per-cell pattern (one query per cluster).
+
+    A query with ``l`` plans occupies ``2l - 2`` qubits for ``l >= 2``
+    (two singleton chains plus ``l - 2`` two-qubit chains) and a single
+    qubit for ``l = 1``.  Only defined for ``l <= shore + 1`` — larger
+    cliques do not fit inside one unit cell.
+    """
+    _check_dimensions(1, num_queries, plans_per_query)
+    if plans_per_query > shore + 1:
+        raise InvalidProblemError(
+            f"the per-cell pattern supports at most {shore + 1} plans per query, "
+            f"got {plans_per_query}"
+        )
+    per_query = 1 if plans_per_query == 1 else 2 * plans_per_query - 2
+    return num_queries * per_query
+
+
+def max_queries_for_qubits(
+    num_qubits: int,
+    plans_per_query: int,
+    pattern: str = "clustered",
+    shore: int = 4,
+) -> int:
+    """Largest number of single-query clusters representable with ``num_qubits``.
+
+    ``pattern`` selects the embedding whose qubit count is inverted:
+    ``"clustered"`` (one TRIAD per query, Theorem 3) or ``"native"``
+    (compact per-cell packing).  Returns 0 when even one query does not fit.
+    """
+    if num_qubits <= 0:
+        raise InvalidProblemError(f"num_qubits must be positive, got {num_qubits}")
+    if pattern == "clustered":
+        per_query = clustered_pattern_qubits(1, 1, plans_per_query, shore=shore)
+    elif pattern == "native":
+        if plans_per_query > shore + 1:
+            return 0
+        per_query = native_pattern_qubits(1, plans_per_query, shore=shore)
+    else:
+        raise InvalidProblemError(f"unknown pattern {pattern!r}; use 'clustered' or 'native'")
+    return num_qubits // per_query
+
+
+@dataclass(frozen=True)
+class CapacityPoint:
+    """One point of the Figure 7 frontier."""
+
+    plans_per_query: int
+    max_queries: int
+
+
+def capacity_frontier(
+    num_qubits: int,
+    plans_range: Sequence[int] = tuple(range(2, 21)),
+    pattern: str = "clustered",
+    shore: int = 4,
+) -> List[CapacityPoint]:
+    """Maximal representable problem dimensions for a qubit budget (Figure 7).
+
+    For every plans-per-query value in ``plans_range`` the maximal number
+    of queries (each its own cluster) is computed.  The paper plots this
+    frontier for 1152, 2304 and 4608 qubits.
+    """
+    points = []
+    for plans_per_query in plans_range:
+        points.append(
+            CapacityPoint(
+                plans_per_query=plans_per_query,
+                max_queries=max_queries_for_qubits(
+                    num_qubits, plans_per_query, pattern=pattern, shore=shore
+                ),
+            )
+        )
+    return points
+
+
+def preprocessing_operation_count(
+    num_clusters: int, queries_per_cluster: int, plans_per_query: int
+) -> int:
+    """Order-of-magnitude operation count of the classical mapping (Theorem 4).
+
+    The combined logical and physical mapping runs in
+    ``O(n * (m*l)^2)`` time; this helper returns that product so tests can
+    check the measured growth rate of the implementation against it.
+    """
+    _check_dimensions(num_clusters, queries_per_cluster, plans_per_query)
+    return num_clusters * (queries_per_cluster * plans_per_query) ** 2

@@ -1,0 +1,218 @@
+"""Decomposition: solve one MQO problem as a series of QUBO problems.
+
+The paper's outlook (Section 9) proposes mapping "one MQO problem
+instance into a series of QUBO problems ... which should in principle
+allow to treat larger problem instances".  This module implements that
+extension:
+
+1. queries are clustered by their work-sharing structure
+   (:mod:`repro.mqo.clustering`), with a cluster-size cap chosen so each
+   cluster's sub-problem fits on the device,
+2. clusters are solved one after another on the annealing pipeline; when
+   a cluster is solved, the plans already selected for earlier clusters
+   discount the execution costs of plans that can share work with them
+   (a sequential conditioning scheme), so part of the cross-cluster
+   savings is still realised,
+3. the per-cluster selections are combined into one solution whose cost
+   is evaluated on the *original* problem.
+
+The approach is a heuristic — cross-cluster savings are only considered
+greedily in cluster order — but it removes the hard qubit-budget limit of
+the single-QUBO mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.pipeline import QuantumMQO, QuantumMQOResult
+from repro.exceptions import InvalidProblemError
+from repro.mqo.clustering import cluster_queries
+from repro.mqo.problem import MQOProblem, MQOSolution
+
+__all__ = ["ClusterSubproblem", "DecompositionResult", "DecomposedQuantumMQO"]
+
+
+@dataclass(frozen=True)
+class ClusterSubproblem:
+    """One cluster's sub-problem together with its plan-index mapping.
+
+    Attributes
+    ----------
+    cluster_queries:
+        Original query indices covered by this sub-problem.
+    problem:
+        The standalone MQO instance for those queries.  Plan costs are
+        discounted by savings realisable with plans already selected for
+        earlier clusters, then shifted per query so they stay non-negative
+        (a per-query constant shift never changes which plan is optimal).
+    plan_map:
+        Sub-problem plan index -> original plan index.
+    """
+
+    cluster_queries: Tuple[int, ...]
+    problem: MQOProblem
+    plan_map: Dict[int, int]
+
+
+@dataclass
+class DecompositionResult:
+    """Outcome of a decomposed solve."""
+
+    problem: MQOProblem
+    solution: MQOSolution
+    clusters: List[Tuple[int, ...]]
+    cluster_results: List[QuantumMQOResult] = field(default_factory=list)
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of sub-problems solved."""
+        return len(self.clusters)
+
+    @property
+    def total_device_time_ms(self) -> float:
+        """Accumulated device time over all cluster solves."""
+        return sum(result.device_time_ms for result in self.cluster_results)
+
+    @property
+    def total_preprocessing_time_ms(self) -> float:
+        """Accumulated mapping time over all cluster solves."""
+        return sum(result.preprocessing_time_ms for result in self.cluster_results)
+
+    @property
+    def max_qubits_used(self) -> int:
+        """Largest number of physical qubits any sub-problem needed."""
+        if not self.cluster_results:
+            return 0
+        return max(result.physical_mapping.num_qubits for result in self.cluster_results)
+
+
+class DecomposedQuantumMQO:
+    """Solve MQO problems cluster by cluster on the annealing pipeline.
+
+    Parameters
+    ----------
+    pipeline:
+        The single-QUBO solver used per cluster (a default
+        :class:`QuantumMQO` is created when omitted).
+    max_queries_per_cluster:
+        Upper bound on the cluster size; pick it so the largest cluster's
+        sub-QUBO still fits on the device.
+    """
+
+    def __init__(
+        self,
+        pipeline: QuantumMQO | None = None,
+        max_queries_per_cluster: int = 32,
+    ) -> None:
+        if max_queries_per_cluster <= 0:
+            raise InvalidProblemError(
+                f"max_queries_per_cluster must be positive, got {max_queries_per_cluster}"
+            )
+        self.pipeline = pipeline if pipeline is not None else QuantumMQO()
+        self.max_queries_per_cluster = max_queries_per_cluster
+
+    # ------------------------------------------------------------------ #
+    # Sub-problem construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def build_subproblem(
+        problem: MQOProblem,
+        cluster: Sequence[int],
+        already_selected: Sequence[int] = (),
+    ) -> ClusterSubproblem:
+        """Build the standalone sub-problem for one query cluster.
+
+        ``already_selected`` holds original plan indices chosen for other
+        clusters; savings with those plans are subtracted from the costs
+        of the cluster's plans (sequential conditioning).
+        """
+        cluster = tuple(sorted(int(q) for q in cluster))
+        if not cluster:
+            raise InvalidProblemError("a cluster must contain at least one query")
+        selected_set = {int(p) for p in already_selected}
+        cluster_set = set(cluster)
+
+        plan_map: Dict[int, int] = {}
+        plans_per_query: List[List[float]] = []
+        next_index = 0
+        for query_index in cluster:
+            query = problem.query(query_index)
+            adjusted_costs: List[float] = []
+            for plan_index in query.plan_indices:
+                external_savings = sum(
+                    saving
+                    for partner, saving in problem.sharing_partners(plan_index).items()
+                    if partner in selected_set
+                    and problem.query_of_plan(partner) not in cluster_set
+                )
+                adjusted_costs.append(problem.plan_cost(plan_index) - external_savings)
+                plan_map[next_index] = plan_index
+                next_index += 1
+            # Shift per query so every cost is non-negative; within a query a
+            # constant shift does not change which plan is preferable.
+            minimum = min(adjusted_costs)
+            if minimum < 0:
+                adjusted_costs = [cost - minimum for cost in adjusted_costs]
+            plans_per_query.append(adjusted_costs)
+
+        inverse_map = {original: local for local, original in plan_map.items()}
+        savings: Dict[Tuple[int, int], float] = {}
+        for (p1, p2), saving in problem.interaction_pairs():
+            if p1 in inverse_map and p2 in inverse_map:
+                savings[(inverse_map[p1], inverse_map[p2])] = saving
+
+        sub_problem = MQOProblem(
+            plans_per_query,
+            savings,
+            name=f"{problem.name or 'mqo'}-cluster-{cluster[0]}",
+        )
+        return ClusterSubproblem(
+            cluster_queries=cluster, problem=sub_problem, plan_map=plan_map
+        )
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        problem: MQOProblem,
+        num_reads: int | None = None,
+        num_gauges: int | None = None,
+    ) -> DecompositionResult:
+        """Cluster the queries and solve one sub-QUBO per cluster."""
+        clusters = cluster_queries(problem, max_cluster_size=self.max_queries_per_cluster)
+        # Solve clusters with the strongest internal sharing first so later
+        # clusters can condition on as many selected plans as possible.
+        def internal_weight(cluster: Sequence[int]) -> float:
+            members = set(cluster)
+            total = 0.0
+            for (p1, p2), saving in problem.interaction_pairs():
+                if (
+                    problem.query_of_plan(p1) in members
+                    and problem.query_of_plan(p2) in members
+                ):
+                    total += saving
+            return total
+
+        ordered = sorted(clusters, key=internal_weight, reverse=True)
+
+        selected: List[int] = []
+        cluster_results: List[QuantumMQOResult] = []
+        for cluster in ordered:
+            subproblem = self.build_subproblem(problem, cluster, selected)
+            result = self.pipeline.solve(
+                subproblem.problem, num_reads=num_reads, num_gauges=num_gauges
+            )
+            cluster_results.append(result)
+            for local_plan in result.best_solution.selected_plans:
+                selected.append(subproblem.plan_map[local_plan])
+
+        solution = problem.solution_from_selection(selected)
+        return DecompositionResult(
+            problem=problem,
+            solution=solution,
+            clusters=[tuple(cluster) for cluster in ordered],
+            cluster_results=cluster_results,
+        )

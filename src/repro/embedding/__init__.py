@@ -1,0 +1,38 @@
+"""Minor-embedding of logical QUBO variables onto Chimera qubit chains.
+
+The paper's *physical mapping* (Section 5) first chooses, for every
+logical variable, a connected group of physical qubits (a *chain*), such
+that every pair of logical variables that interact in the energy formula
+is connected by at least one physical coupler between their chains.
+This package provides:
+
+* :class:`Embedding` — the variable-to-chain map plus validation,
+* the TRIAD pattern of Choi (Figure 2) for fully connected problems,
+* the clustered multi-TRIAD pattern (Figure 3),
+* a compact per-cell packing used for the paper's evaluation workloads,
+* a general greedy chain-growth embedder for arbitrary interaction graphs,
+* chain read-out (unembedding) strategies.
+"""
+
+from repro.embedding.base import Embedding
+from repro.embedding.cell_patterns import intra_cell_clique_chains, max_clique_size_per_cell
+from repro.embedding.triad import TriadEmbedder, triad_capacity, triad_qubit_count
+from repro.embedding.clustered import ClusteredEmbedder
+from repro.embedding.native import NativeClusteredEmbedder
+from repro.embedding.greedy import GreedyEmbedder
+from repro.embedding.unembed import ChainReadout, majority_vote, resolve_chains
+
+__all__ = [
+    "Embedding",
+    "intra_cell_clique_chains",
+    "max_clique_size_per_cell",
+    "TriadEmbedder",
+    "triad_capacity",
+    "triad_qubit_count",
+    "ClusteredEmbedder",
+    "NativeClusteredEmbedder",
+    "GreedyEmbedder",
+    "ChainReadout",
+    "majority_vote",
+    "resolve_chains",
+]

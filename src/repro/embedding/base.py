@@ -1,0 +1,239 @@
+"""The :class:`Embedding` container: logical variables mapped to qubit chains."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from repro.chimera.topology import ChimeraGraph
+from repro.exceptions import EmbeddingError
+
+__all__ = ["Embedding"]
+
+Variable = Hashable
+
+
+class Embedding:
+    """A mapping from logical variables to disjoint chains of physical qubits.
+
+    Parameters
+    ----------
+    chains:
+        Mapping from each logical variable to the collection of physical
+        qubit indices representing it.  Chains must be non-empty and
+        pairwise disjoint.
+    """
+
+    def __init__(self, chains: Mapping[Variable, Iterable[int]]) -> None:
+        self._chains: Dict[Variable, Tuple[int, ...]] = {}
+        self._qubit_to_variable: Dict[int, Variable] = {}
+        for var, qubits in chains.items():
+            chain = tuple(dict.fromkeys(int(q) for q in qubits))
+            if not chain:
+                raise EmbeddingError(f"variable {var!r} has an empty chain")
+            for q in chain:
+                if q in self._qubit_to_variable:
+                    raise EmbeddingError(
+                        f"qubit {q} is used by both {self._qubit_to_variable[q]!r} "
+                        f"and {var!r}"
+                    )
+                self._qubit_to_variable[q] = var
+            self._chains[var] = chain
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def variables(self) -> List[Variable]:
+        """Embedded logical variables in insertion order."""
+        return list(self._chains)
+
+    @property
+    def num_variables(self) -> int:
+        """Number of embedded logical variables."""
+        return len(self._chains)
+
+    @property
+    def num_qubits(self) -> int:
+        """Total number of physical qubits used by all chains."""
+        return len(self._qubit_to_variable)
+
+    def chain(self, var: Variable) -> Tuple[int, ...]:
+        """The chain of physical qubits representing ``var``."""
+        try:
+            return self._chains[var]
+        except KeyError:
+            raise EmbeddingError(f"variable {var!r} is not embedded") from None
+
+    def chains(self) -> Dict[Variable, Tuple[int, ...]]:
+        """Copy of the full variable-to-chain mapping."""
+        return dict(self._chains)
+
+    def chain_length(self, var: Variable) -> int:
+        """Number of qubits in the chain of ``var``."""
+        return len(self.chain(var))
+
+    def max_chain_length(self) -> int:
+        """Longest chain length (0 for an empty embedding)."""
+        if not self._chains:
+            return 0
+        return max(len(chain) for chain in self._chains.values())
+
+    def average_chain_length(self) -> float:
+        """Mean chain length, i.e. qubits per logical variable."""
+        if not self._chains:
+            return 0.0
+        return self.num_qubits / self.num_variables
+
+    def variable_of_qubit(self, qubit: int) -> Variable:
+        """The logical variable represented by ``qubit``."""
+        try:
+            return self._qubit_to_variable[qubit]
+        except KeyError:
+            raise EmbeddingError(f"qubit {qubit} is not part of any chain") from None
+
+    def used_qubits(self) -> Set[int]:
+        """All physical qubits used by the embedding."""
+        return set(self._qubit_to_variable)
+
+    def __contains__(self, var: Variable) -> bool:
+        return var in self._chains
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Embedding {self.num_variables} variables -> {self.num_qubits} qubits, "
+            f"max chain {self.max_chain_length()}>"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Structure queries against a topology
+    # ------------------------------------------------------------------ #
+    def chain_is_connected(self, var: Variable, topology: ChimeraGraph) -> bool:
+        """Whether the chain of ``var`` induces a connected subgraph."""
+        chain = self.chain(var)
+        if len(chain) == 1:
+            return topology.has_qubit(chain[0])
+        chain_set = set(chain)
+        if not all(topology.has_qubit(q) for q in chain_set):
+            return False
+        visited = {chain[0]}
+        frontier = [chain[0]]
+        while frontier:
+            current = frontier.pop()
+            for neighbor in topology.neighbors(current):
+                if neighbor in chain_set and neighbor not in visited:
+                    visited.add(neighbor)
+                    frontier.append(neighbor)
+        return len(visited) == len(chain_set)
+
+    def coupler_between(
+        self, var_u: Variable, var_v: Variable, topology: ChimeraGraph
+    ) -> Tuple[int, int] | None:
+        """One physical coupler joining the chains of two variables, if any."""
+        chain_u = self.chain(var_u)
+        chain_v_set = set(self.chain(var_v))
+        for qu in chain_u:
+            if not topology.has_qubit(qu):
+                continue
+            for neighbor in topology.neighbors(qu):
+                if neighbor in chain_v_set:
+                    return (qu, neighbor)
+        return None
+
+    def couplers_between(
+        self, var_u: Variable, var_v: Variable, topology: ChimeraGraph
+    ) -> List[Tuple[int, int]]:
+        """All physical couplers joining the chains of two variables."""
+        chain_u = self.chain(var_u)
+        chain_v_set = set(self.chain(var_v))
+        couplers = []
+        for qu in chain_u:
+            if not topology.has_qubit(qu):
+                continue
+            for neighbor in topology.neighbors(qu):
+                if neighbor in chain_v_set:
+                    couplers.append((qu, neighbor))
+        return couplers
+
+    def chain_edges(self, var: Variable, topology: ChimeraGraph) -> List[Tuple[int, int]]:
+        """Spanning-tree couplers that hold the chain of ``var`` together.
+
+        The physical mapping adds equality-enforcing terms along these
+        edges.  For a single-qubit chain the list is empty.
+        """
+        chain = self.chain(var)
+        if len(chain) == 1:
+            return []
+        chain_set = set(chain)
+        visited = {chain[0]}
+        frontier = [chain[0]]
+        edges: List[Tuple[int, int]] = []
+        while frontier:
+            current = frontier.pop()
+            for neighbor in topology.neighbors(current):
+                if neighbor in chain_set and neighbor not in visited:
+                    visited.add(neighbor)
+                    frontier.append(neighbor)
+                    edges.append((current, neighbor))
+        if len(visited) != len(chain_set):
+            raise EmbeddingError(
+                f"chain of variable {var!r} is not connected on the topology"
+            )
+        return edges
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(
+        self,
+        topology: ChimeraGraph,
+        interactions: Iterable[Tuple[Variable, Variable]] = (),
+    ) -> None:
+        """Check the three embedding constraints of paper Section 5.
+
+        1. Every chain uses only functional qubits and is connected.
+        2. Chains are pairwise disjoint (guaranteed at construction).
+        3. For every logical interaction there is at least one physical
+           coupler joining the two chains.
+
+        Raises :class:`EmbeddingError` on the first violation.
+        """
+        for var, chain in self._chains.items():
+            for q in chain:
+                if not topology.has_qubit(q):
+                    raise EmbeddingError(
+                        f"chain of {var!r} uses broken or unknown qubit {q}"
+                    )
+            if not self.chain_is_connected(var, topology):
+                raise EmbeddingError(f"chain of {var!r} is not connected: {chain}")
+        for u, v in interactions:
+            if u == v:
+                continue
+            if u not in self._chains or v not in self._chains:
+                raise EmbeddingError(
+                    f"interaction ({u!r}, {v!r}) references a variable without a chain"
+                )
+            if self.coupler_between(u, v, topology) is None:
+                raise EmbeddingError(
+                    f"no physical coupler connects the chains of {u!r} and {v!r}"
+                )
+
+    def statistics(self) -> Dict[str, float]:
+        """Summary statistics used by the experiment reports."""
+        lengths = [len(chain) for chain in self._chains.values()]
+        if not lengths:
+            return {
+                "num_variables": 0,
+                "num_qubits": 0,
+                "max_chain_length": 0,
+                "qubits_per_variable": 0.0,
+            }
+        return {
+            "num_variables": float(len(lengths)),
+            "num_qubits": float(sum(lengths)),
+            "max_chain_length": float(max(lengths)),
+            "qubits_per_variable": sum(lengths) / len(lengths),
+        }
+
+    def subembedding(self, variables: Sequence[Variable]) -> "Embedding":
+        """Restriction of the embedding to a subset of variables."""
+        return Embedding({var: self.chain(var) for var in variables})

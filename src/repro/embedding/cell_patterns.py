@@ -1,0 +1,90 @@
+"""Compact clique embeddings inside a single Chimera unit cell.
+
+A unit cell is a complete bipartite graph ``K_{shore,shore}`` between a
+left and a right column of qubits.  A clique on up to ``shore + 1``
+logical variables embeds inside one cell with the pattern
+
+    {L_a}, {R_b}, {L_c, R_c}, {L_d, R_d}, ...
+
+i.e. two singleton chains (one left-column qubit and one right-column
+qubit) plus two-qubit chains occupying both columns of one position.
+Every pair of chains is joined by an intra-cell coupler:
+
+* ``{L_a}`` -- ``{R_b}`` via the coupler ``(L_a, R_b)``,
+* ``{L_a}`` -- ``{L_c, R_c}`` via ``(L_a, R_c)``,
+* ``{R_b}`` -- ``{L_c, R_c}`` via ``(L_c, R_b)``,
+* ``{L_c, R_c}`` -- ``{L_d, R_d}`` via ``(L_c, R_d)``.
+
+This pattern is what lets the paper's evaluation instances use close to
+one qubit per logical variable for two plans per query and roughly 1.3-2
+qubits per variable for three to five plans per query (Figure 6).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import EmbeddingError
+
+__all__ = ["CellPosition", "intra_cell_clique_chains", "max_clique_size_per_cell", "positions_needed"]
+
+#: One usable position ``k`` of a unit cell: the pair (left qubit, right qubit).
+CellPosition = Tuple[int, int]
+
+
+def max_clique_size_per_cell(shore: int) -> int:
+    """Largest clique embeddable inside a single unit cell with ``shore`` qubits per column."""
+    if shore <= 0:
+        raise EmbeddingError(f"shore must be positive, got {shore}")
+    return shore + 1
+
+
+def positions_needed(clique_size: int) -> int:
+    """Number of intact cell positions required to embed a clique of the given size."""
+    if clique_size <= 0:
+        raise EmbeddingError(f"clique_size must be positive, got {clique_size}")
+    if clique_size == 1:
+        return 1
+    return clique_size - 1
+
+
+def intra_cell_clique_chains(
+    positions: Sequence[CellPosition],
+    clique_size: int,
+) -> List[Tuple[int, ...]]:
+    """Chains embedding a clique of ``clique_size`` variables inside one cell.
+
+    Parameters
+    ----------
+    positions:
+        Usable cell positions as ``(left_qubit, right_qubit)`` pairs; both
+        qubits of a used position must be functional.
+    clique_size:
+        Number of mutually interacting logical variables to embed.
+
+    Returns
+    -------
+    list of tuples
+        ``clique_size`` chains.  The first two chains are singletons, the
+        remaining chains contain the two qubits of one position.
+
+    Raises
+    ------
+    EmbeddingError
+        If the cell does not have enough usable positions.
+    """
+    needed = positions_needed(clique_size)
+    if len(positions) < needed:
+        raise EmbeddingError(
+            f"embedding a {clique_size}-clique needs {needed} intact cell positions, "
+            f"only {len(positions)} available"
+        )
+    if clique_size == 1:
+        left, _right = positions[0]
+        return [(left,)]
+    left0, right0 = positions[0]
+    chains: List[Tuple[int, ...]] = [(left0,), (right0,)]
+    for k in range(1, clique_size - 1):
+        left_k, right_k = positions[k]
+        chains.append((left_k, right_k))
+    return chains

@@ -1,0 +1,154 @@
+"""The clustered multi-TRIAD embedding pattern (paper Section 5, Figure 3).
+
+Instead of one global TRIAD connecting every pair of logical variables,
+the clustered pattern allocates one TRIAD per query cluster: all
+variables of a cluster (the plans of its queries) are fully connected
+inside their TRIAD, while variables in different clusters are only
+connected through whatever physical couplers happen to join the two
+TRIAD blocks.  This trades connectivity for a qubit count that grows
+linearly in the number of clusters (Theorem 3: ``Theta(n * (m*l)^2)``).
+
+Cluster TRIADs are packed onto the Chimera grid with a simple shelf
+(row-by-row) packing: clusters are placed left to right along a shelf of
+unit-cell rows whose height is the largest TRIAD in the shelf; when a
+cluster no longer fits, a new shelf is opened below.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.chimera.topology import ChimeraGraph
+from repro.embedding.base import Embedding
+from repro.embedding.triad import TriadEmbedder
+from repro.exceptions import EmbeddingError, EmbeddingNotFoundError
+
+__all__ = ["ClusteredEmbedder", "clustered_qubit_count"]
+
+Variable = Hashable
+
+
+def clustered_qubit_count(
+    num_clusters: int, variables_per_cluster: int, shore: int = 4
+) -> int:
+    """Qubits used by the clustered pattern with equal-size clusters.
+
+    Each cluster of ``v`` variables occupies a TRIAD of
+    ``v * (ceil(v / shore) + 1)`` qubits; the total is the Theorem 3
+    bound ``Theta(n * (m*l)^2)`` with ``v = m*l``.
+    """
+    if num_clusters <= 0 or variables_per_cluster <= 0:
+        raise EmbeddingError("cluster dimensions must be positive")
+    t = math.ceil(variables_per_cluster / shore)
+    return num_clusters * variables_per_cluster * (t + 1)
+
+
+class ClusteredEmbedder:
+    """Embed cluster-structured problems with one TRIAD per cluster."""
+
+    def __init__(self, topology: ChimeraGraph) -> None:
+        self.topology = topology
+        self._triad = TriadEmbedder(topology)
+
+    def _placements(
+        self, cluster_sizes: Sequence[int]
+    ) -> List[Tuple[int, int, int]]:
+        """Shelf-pack the cluster TRIADs; returns (row_offset, col_offset, t) per cluster.
+
+        The footprint ``t`` is the defect-free TRIAD size; the actual
+        embedding may grow it locally when broken qubits invalidate
+        chains, so the packing leaves no slack by design and relies on
+        :meth:`embed` to fail cleanly when the grid is exhausted.
+        """
+        topo = self.topology
+        placements: List[Tuple[int, int, int]] = []
+        shelf_row = 0
+        shelf_height = 0
+        next_col = 0
+        for size in cluster_sizes:
+            t = self._triad.footprint(size)
+            if t > topo.cols or t > topo.rows:
+                raise EmbeddingNotFoundError(
+                    f"a cluster of {size} variables needs a {t}x{t} TRIAD which does not "
+                    f"fit on a {topo.rows}x{topo.cols} Chimera grid"
+                )
+            if next_col + t > topo.cols:
+                shelf_row += shelf_height
+                shelf_height = 0
+                next_col = 0
+            if shelf_row + t > topo.rows:
+                raise EmbeddingNotFoundError(
+                    "the clustered pattern does not fit: ran out of unit-cell rows "
+                    f"after placing {len(placements)} of {len(cluster_sizes)} clusters"
+                )
+            placements.append((shelf_row, next_col, t))
+            next_col += t
+            shelf_height = max(shelf_height, t)
+        return placements
+
+    def embed(
+        self,
+        clusters: Sequence[Sequence[Variable]],
+        interactions: Sequence[Tuple[Variable, Variable]] = (),
+    ) -> Embedding:
+        """Embed the given clusters; optionally validate cross-cluster interactions.
+
+        Parameters
+        ----------
+        clusters:
+            One sequence of logical variables per cluster.  Variables must
+            be globally unique.
+        interactions:
+            Logical interactions to validate.  Intra-cluster interactions
+            are always realisable; inter-cluster interactions are only
+            realisable if the packed TRIADs happen to share couplers, and
+            validation raises :class:`EmbeddingError` otherwise.
+        """
+        if not clusters or any(not cluster for cluster in clusters):
+            raise EmbeddingError("clusters must be non-empty sequences of variables")
+        flat: List[Variable] = [var for cluster in clusters for var in cluster]
+        if len(set(flat)) != len(flat):
+            raise EmbeddingError("variables must be unique across clusters")
+
+        placements = self._placements([len(cluster) for cluster in clusters])
+        chains: Dict[Variable, Tuple[int, ...]] = {}
+        for cluster, (row_offset, col_offset, t) in zip(clusters, placements):
+            sub = self._triad.embed_clique(
+                list(cluster), row_offset=row_offset, col_offset=col_offset, max_size=t
+            )
+            for var in cluster:
+                chains[var] = sub.chain(var)
+
+        embedding = Embedding(chains)
+        intra: List[Tuple[Variable, Variable]] = []
+        for cluster in clusters:
+            cluster_list = list(cluster)
+            for i in range(len(cluster_list)):
+                for j in range(i + 1, len(cluster_list)):
+                    intra.append((cluster_list[i], cluster_list[j]))
+        embedding.validate(self.topology, list(interactions) + intra)
+        return embedding
+
+    def realizable_cross_cluster_pairs(
+        self, embedding: Embedding, clusters: Sequence[Sequence[Variable]]
+    ) -> List[Tuple[Variable, Variable]]:
+        """Cross-cluster variable pairs whose chains share a physical coupler.
+
+        The paper notes that inter-cluster couplers are sparse and "can
+        only represent work sharing opportunities"; this helper exposes
+        which sharing links a workload may use for a given placement.
+        """
+        cluster_of: Dict[Variable, int] = {}
+        for c_index, cluster in enumerate(clusters):
+            for var in cluster:
+                cluster_of[var] = c_index
+        pairs: List[Tuple[Variable, Variable]] = []
+        variables = embedding.variables
+        for i, u in enumerate(variables):
+            for v in variables[i + 1 :]:
+                if cluster_of.get(u) == cluster_of.get(v):
+                    continue
+                if embedding.coupler_between(u, v, self.topology) is not None:
+                    pairs.append((u, v))
+        return pairs

@@ -1,0 +1,184 @@
+"""The TRIAD embedding pattern of Choi (paper Section 5, Figure 2).
+
+The TRIAD pattern embeds a *complete* interaction graph: every pair of
+logical variables is joined by at least one physical coupler, so it can
+represent arbitrary QUBO problems.  The price is a quadratic qubit count
+(Theorem 3): embedding ``n`` variables on a Chimera with shore ``L``
+needs a ``t x t`` block of unit cells with ``t = ceil(n / L)`` and chains
+of length ``t + 1``, i.e. ``n * (t + 1)`` qubits in total.
+
+Construction (variables ``v = L*b + k`` with block ``b`` and position ``k``):
+
+* the *horizontal* chain segment occupies the right-column qubit at
+  position ``k`` of cells ``(b, 0) .. (b, b)``,
+* the *vertical* segment occupies the left-column qubit at position ``k``
+  of cells ``(b, b) .. (t-1, b)``.
+
+The two segments meet in the diagonal cell ``(b, b)`` through an
+intra-cell coupler.  Two chains from blocks ``a < b`` always meet in cell
+``(b, a)``; two chains of the same block meet in the diagonal cell.
+
+Broken qubits make entire chains unusable (Figure 2d); the embedder
+discards such chains and, if necessary, grows the pattern until enough
+intact chains remain.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.chimera.topology import ChimeraCoordinate, ChimeraGraph
+from repro.embedding.base import Embedding
+from repro.exceptions import EmbeddingError, EmbeddingNotFoundError
+
+__all__ = ["TriadEmbedder", "triad_qubit_count", "triad_capacity"]
+
+Variable = Hashable
+
+
+def triad_qubit_count(num_variables: int, shore: int = 4) -> int:
+    """Number of qubits the TRIAD pattern needs for ``num_variables`` chains.
+
+    With ``t = ceil(n / shore)`` each chain has ``t + 1`` qubits, hence
+    ``n * (t + 1)`` qubits in total — the Theta(n^2 / shore) growth of
+    Theorem 3 (for a single cluster).
+    """
+    if num_variables <= 0:
+        raise EmbeddingError(f"num_variables must be positive, got {num_variables}")
+    if shore <= 0:
+        raise EmbeddingError(f"shore must be positive, got {shore}")
+    t = math.ceil(num_variables / shore)
+    return num_variables * (t + 1)
+
+
+def triad_capacity(rows: int, cols: int, shore: int = 4) -> int:
+    """Largest clique embeddable by a TRIAD on a ``rows x cols`` Chimera grid."""
+    if rows <= 0 or cols <= 0 or shore <= 0:
+        raise EmbeddingError("grid dimensions must be positive")
+    return shore * min(rows, cols)
+
+
+class TriadEmbedder:
+    """Embeds complete interaction graphs with the TRIAD pattern.
+
+    Parameters
+    ----------
+    topology:
+        Target Chimera topology (possibly with broken qubits).
+    """
+
+    def __init__(self, topology: ChimeraGraph) -> None:
+        self.topology = topology
+
+    # ------------------------------------------------------------------ #
+    # Pattern construction
+    # ------------------------------------------------------------------ #
+    def _pattern_chain(
+        self, block: int, position: int, t: int, row_offset: int, col_offset: int
+    ) -> List[int]:
+        """Qubits of the TRIAD chain for (block, position) in a ``t x t`` block."""
+        topo = self.topology
+        chain: List[int] = []
+        # Horizontal segment: right-column qubits in row `block`, columns 0..block.
+        for j in range(block + 1):
+            coord = ChimeraCoordinate(row_offset + block, col_offset + j, 1, position)
+            chain.append(topo.coordinate_to_index(coord))
+        # Vertical segment: left-column qubits in column `block`, rows block..t-1.
+        for i in range(block, t):
+            coord = ChimeraCoordinate(row_offset + i, col_offset + block, 0, position)
+            chain.append(topo.coordinate_to_index(coord))
+        return chain
+
+    def pattern_chains(
+        self, t: int, row_offset: int = 0, col_offset: int = 0
+    ) -> List[List[int]]:
+        """All ``shore * t`` chains of the TRIAD pattern of size ``t``.
+
+        Chains containing broken qubits are still returned (callers filter
+        them), which is what Figure 2d visualises.
+        """
+        if t <= 0:
+            raise EmbeddingError(f"TRIAD size must be positive, got {t}")
+        topo = self.topology
+        if row_offset < 0 or col_offset < 0:
+            raise EmbeddingError("TRIAD offsets must be non-negative")
+        if row_offset + t > topo.rows or col_offset + t > topo.cols:
+            raise EmbeddingNotFoundError(
+                f"a TRIAD of size {t} at offset ({row_offset}, {col_offset}) does not fit "
+                f"on a {topo.rows}x{topo.cols} Chimera grid"
+            )
+        chains = []
+        for block in range(t):
+            for position in range(topo.shore):
+                chains.append(
+                    self._pattern_chain(block, position, t, row_offset, col_offset)
+                )
+        return chains
+
+    def usable_pattern_chains(
+        self, t: int, row_offset: int = 0, col_offset: int = 0
+    ) -> List[List[int]]:
+        """Pattern chains whose qubits are all functional."""
+        topo = self.topology
+        return [
+            chain
+            for chain in self.pattern_chains(t, row_offset, col_offset)
+            if all(topo.has_qubit(q) for q in chain)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Embedding
+    # ------------------------------------------------------------------ #
+    def embed_clique(
+        self,
+        variables: Sequence[Variable],
+        row_offset: int = 0,
+        col_offset: int = 0,
+        max_size: int | None = None,
+    ) -> Embedding:
+        """Embed a complete graph over ``variables``.
+
+        The smallest TRIAD size with enough intact chains is used; broken
+        chains are skipped.  ``max_size`` caps the TRIAD size (in unit
+        cells per side), e.g. to keep the pattern inside a reserved
+        sub-grid of the clustered layout.
+
+        Raises
+        ------
+        EmbeddingNotFoundError
+            If no TRIAD fitting on the topology provides enough intact chains.
+        """
+        variables = list(variables)
+        if not variables:
+            raise EmbeddingError("cannot embed an empty variable set")
+        if len(set(variables)) != len(variables):
+            raise EmbeddingError("variables must be unique")
+        topo = self.topology
+        min_t = math.ceil(len(variables) / topo.shore)
+        limit = min(topo.rows - row_offset, topo.cols - col_offset)
+        if max_size is not None:
+            limit = min(limit, max_size)
+        for t in range(min_t, limit + 1):
+            usable = self.usable_pattern_chains(t, row_offset, col_offset)
+            if len(usable) >= len(variables):
+                chains = {var: tuple(chain) for var, chain in zip(variables, usable)}
+                embedding = Embedding(chains)
+                interactions = [
+                    (variables[i], variables[j])
+                    for i in range(len(variables))
+                    for j in range(i + 1, len(variables))
+                ]
+                embedding.validate(topo, interactions)
+                return embedding
+        raise EmbeddingNotFoundError(
+            f"cannot embed a clique of {len(variables)} variables with a TRIAD at offset "
+            f"({row_offset}, {col_offset}); largest usable pattern size is {limit}"
+        )
+
+    def footprint(self, num_variables: int) -> int:
+        """TRIAD side length (in unit cells) needed for ``num_variables`` chains
+        assuming no broken qubits."""
+        if num_variables <= 0:
+            raise EmbeddingError(f"num_variables must be positive, got {num_variables}")
+        return math.ceil(num_variables / self.topology.shore)

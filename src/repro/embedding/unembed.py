@@ -1,0 +1,96 @@
+"""Chain read-out (unembedding) of physical samples.
+
+After an annealing run, every physical qubit carries a binary value.  All
+qubits of a chain *should* agree (the equality penalties of the physical
+mapping drive them to), but disturbed runs can produce *broken chains*.
+This module converts physical samples back into logical assignments and
+offers the standard resolution strategies for broken chains.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Hashable, Mapping, Tuple
+
+from repro.embedding.base import Embedding
+from repro.exceptions import EmbeddingError
+
+__all__ = ["ChainReadout", "majority_vote", "resolve_chains"]
+
+Variable = Hashable
+
+
+class ChainReadout(str, Enum):
+    """Strategy for resolving broken chains during read-out.
+
+    ``MAJORITY``
+        Take the value held by the majority of the chain's qubits
+        (ties resolve to 1, matching the convention of breaking towards
+        selecting a plan, which the validity penalties then correct).
+    ``FIRST``
+        Take the value of the first qubit in the chain.
+    ``DISCARD``
+        Mark the whole sample as unusable when any chain is broken.
+    """
+
+    MAJORITY = "majority"
+    FIRST = "first"
+    DISCARD = "discard"
+
+
+def majority_vote(values: Tuple[int, ...]) -> int:
+    """Majority value of a tuple of 0/1 readings (ties resolve to 1)."""
+    if not values:
+        raise EmbeddingError("cannot take a majority vote over an empty chain")
+    ones = sum(values)
+    return 1 if 2 * ones >= len(values) else 0
+
+
+def resolve_chains(
+    physical_sample: Mapping[int, int],
+    embedding: Embedding,
+    readout: ChainReadout = ChainReadout.MAJORITY,
+) -> Tuple[Dict[Variable, int], bool]:
+    """Convert one physical sample into a logical assignment.
+
+    Parameters
+    ----------
+    physical_sample:
+        Mapping from physical qubit index to its 0/1 value.
+    embedding:
+        The embedding whose chains define the logical variables.
+    readout:
+        Broken-chain resolution strategy.
+
+    Returns
+    -------
+    (assignment, any_chain_broken)
+        The logical assignment and a flag telling whether at least one
+        chain had inconsistent qubit values.  With
+        :attr:`ChainReadout.DISCARD` the assignment is empty when a chain
+        is broken.
+    """
+    assignment: Dict[Variable, int] = {}
+    any_broken = False
+    for var in embedding.variables:
+        chain = embedding.chain(var)
+        try:
+            values = tuple(int(physical_sample[q]) for q in chain)
+        except KeyError as exc:
+            raise EmbeddingError(
+                f"physical sample is missing qubit {exc} of the chain for {var!r}"
+            ) from exc
+        for value in values:
+            if value not in (0, 1):
+                raise EmbeddingError(
+                    f"physical sample holds non-binary value {value} for variable {var!r}"
+                )
+        broken = len(set(values)) > 1
+        any_broken = any_broken or broken
+        if readout is ChainReadout.DISCARD and broken:
+            return {}, True
+        if readout is ChainReadout.FIRST:
+            assignment[var] = values[0]
+        else:
+            assignment[var] = majority_vote(values)
+    return assignment, any_broken

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised by the library derive from :class:`ReproError` so
+applications can catch library failures with a single ``except`` clause
+while still distinguishing the failure domain (problem modelling, QUBO
+construction, embedding, device simulation, solving).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidProblemError",
+    "InvalidSolutionError",
+    "QUBOError",
+    "TopologyError",
+    "EmbeddingError",
+    "EmbeddingNotFoundError",
+    "DeviceError",
+    "DeviceCapacityError",
+    "SolverError",
+    "TimeBudgetExceededError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class InvalidProblemError(ReproError, ValueError):
+    """An MQO problem instance violates a structural invariant.
+
+    Examples: a query without plans, a plan referenced by a savings entry
+    that does not exist, a negative execution cost, or a savings entry
+    between two plans of the same query.
+    """
+
+
+class InvalidSolutionError(ReproError, ValueError):
+    """A candidate MQO solution is structurally invalid.
+
+    A valid solution selects exactly one plan per query; anything else
+    (missing query, multiple plans for one query, unknown plan) raises
+    this error when strict validation is requested.
+    """
+
+
+class QUBOError(ReproError, ValueError):
+    """A QUBO model is malformed (bad variable labels, non-finite weights)."""
+
+
+class TopologyError(ReproError, ValueError):
+    """A hardware-topology operation failed (unknown qubit, bad coordinates)."""
+
+
+class EmbeddingError(ReproError, ValueError):
+    """A minor-embedding is invalid for the given source/target graphs."""
+
+
+class EmbeddingNotFoundError(EmbeddingError):
+    """No embedding could be constructed within the available qubits."""
+
+
+class DeviceError(ReproError, RuntimeError):
+    """The (simulated) annealing device rejected a request."""
+
+
+class DeviceCapacityError(DeviceError):
+    """The physical problem does not fit onto the device topology."""
+
+
+class SolverError(ReproError, RuntimeError):
+    """A classical solver failed to produce a result."""
+
+
+class TimeBudgetExceededError(SolverError):
+    """A solver exceeded its configured time budget without any solution."""

@@ -1,0 +1,128 @@
+"""Benchmark profiles: paper-scale versus CI-scale experiment settings.
+
+The paper's evaluation runs 20 instances per test class with classical
+time budgets up to 100 seconds; replaying that verbatim takes hours.
+Each benchmark therefore reads the ``REPRO_PROFILE`` environment variable
+(``smoke`` < ``default`` < ``paper``) and scales the number of instances,
+the instance sizes and the checkpoint grid accordingly.  The *structure*
+of every exhibit (its rows/series) is identical across profiles; only the
+scale changes, which EXPERIMENTS.md documents.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.exceptions import ReproError
+
+__all__ = ["ExperimentProfile", "get_profile", "PROFILES"]
+
+#: Environment variable selecting the benchmark profile.
+PROFILE_ENV_VAR = "REPRO_PROFILE"
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """All scale knobs of one benchmark profile.
+
+    Attributes
+    ----------
+    name:
+        Profile identifier.
+    query_scale:
+        Fraction of the device-capacity query count used per test class.
+    num_instances:
+        Instances generated per test class (paper: 20).
+    classical_budget_ms:
+        Wall-clock budget per classical solver run.
+    checkpoints_ms:
+        Time checkpoints at which solution quality is reported
+        (paper: 1, 10, 100, 1e3, 1e4, 1e5 ms).
+    num_reads / num_gauges:
+        Annealing reads and gauge batches per instance (paper: 1000 / 10).
+    sa_sweeps:
+        Sweeps per read of the simulated annealer.
+    chimera_rows / chimera_cols:
+        Device topology size in unit cells (paper machine: 12 x 12).
+    include_slow_solvers:
+        Whether LIN-QUB (the slowest baseline) is included.
+    """
+
+    name: str
+    query_scale: float
+    num_instances: int
+    classical_budget_ms: float
+    checkpoints_ms: Tuple[float, ...]
+    num_reads: int
+    num_gauges: int
+    sa_sweeps: int
+    chimera_rows: int = 12
+    chimera_cols: int = 12
+    include_slow_solvers: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.query_scale <= 1.0:
+            raise ReproError(f"query_scale must be in (0, 1], got {self.query_scale}")
+        if self.num_instances <= 0 or self.num_reads <= 0 or self.num_gauges <= 0:
+            raise ReproError("instance, read and gauge counts must be positive")
+        if self.classical_budget_ms <= 0:
+            raise ReproError("classical_budget_ms must be positive")
+        if not self.checkpoints_ms or any(t <= 0 for t in self.checkpoints_ms):
+            raise ReproError("checkpoints must be positive")
+
+
+PROFILES = {
+    "smoke": ExperimentProfile(
+        name="smoke",
+        query_scale=0.04,
+        num_instances=1,
+        classical_budget_ms=300.0,
+        checkpoints_ms=(1.0, 10.0, 100.0, 300.0),
+        num_reads=50,
+        num_gauges=5,
+        sa_sweeps=40,
+        chimera_rows=6,
+        chimera_cols=6,
+        include_slow_solvers=False,
+    ),
+    "default": ExperimentProfile(
+        name="default",
+        query_scale=0.15,
+        num_instances=2,
+        classical_budget_ms=2000.0,
+        checkpoints_ms=(1.0, 10.0, 100.0, 1000.0, 2000.0),
+        num_reads=300,
+        num_gauges=10,
+        sa_sweeps=200,
+        chimera_rows=12,
+        chimera_cols=12,
+        include_slow_solvers=True,
+    ),
+    "paper": ExperimentProfile(
+        name="paper",
+        query_scale=1.0,
+        num_instances=20,
+        classical_budget_ms=100_000.0,
+        checkpoints_ms=(1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0),
+        num_reads=1000,
+        num_gauges=10,
+        sa_sweeps=300,
+        chimera_rows=12,
+        chimera_cols=12,
+        include_slow_solvers=True,
+    ),
+}
+
+
+def get_profile(name: str | None = None) -> ExperimentProfile:
+    """Return the requested profile (default: ``REPRO_PROFILE`` or ``default``)."""
+    if name is None:
+        name = os.environ.get(PROFILE_ENV_VAR, "default")
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown profile {name!r}; available: {sorted(PROFILES)}"
+        ) from None

@@ -1,0 +1,126 @@
+"""Query clustering based on work-sharing structure.
+
+The paper's physical mapping exploits a clustering of queries "based on
+structural properties in a preprocessing step such that queries in
+different clusters are less likely to share intermediate results"
+(Section 5, citing Le et al.).  This module provides that preprocessing
+step: queries become nodes of a weighted graph whose edge weights are the
+total sharing savings between their plans; communities of that graph are
+the query clusters.
+
+Two uses inside this library:
+
+* the clustered embedding pattern places one TRIAD per cluster,
+* the decomposition solver (:mod:`repro.core.decomposition`) solves one
+  QUBO per cluster, which is the paper's proposed route to problems that
+  exceed the qubit budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.exceptions import InvalidProblemError
+from repro.mqo.problem import MQOProblem
+
+__all__ = [
+    "query_sharing_graph",
+    "cluster_queries",
+    "split_oversized_clusters",
+    "cross_cluster_savings",
+]
+
+
+def query_sharing_graph(problem: MQOProblem) -> nx.Graph:
+    """The weighted query-interaction graph.
+
+    Nodes are query indices; an edge carries the accumulated savings
+    between plans of the two queries.
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(query.index for query in problem.queries)
+    for (p1, p2), saving in problem.interaction_pairs():
+        q1 = problem.query_of_plan(p1)
+        q2 = problem.query_of_plan(p2)
+        if q1 == q2:
+            continue
+        if graph.has_edge(q1, q2):
+            graph[q1][q2]["weight"] += saving
+        else:
+            graph.add_edge(q1, q2, weight=saving)
+    return graph
+
+
+def split_oversized_clusters(
+    clusters: Sequence[Sequence[int]], max_cluster_size: int
+) -> List[List[int]]:
+    """Split clusters larger than ``max_cluster_size`` into contiguous chunks."""
+    if max_cluster_size <= 0:
+        raise InvalidProblemError(f"max_cluster_size must be positive, got {max_cluster_size}")
+    result: List[List[int]] = []
+    for cluster in clusters:
+        members = list(cluster)
+        for start in range(0, len(members), max_cluster_size):
+            result.append(members[start : start + max_cluster_size])
+    return result
+
+
+def cluster_queries(
+    problem: MQOProblem,
+    max_cluster_size: int | None = None,
+) -> List[List[int]]:
+    """Partition the queries into work-sharing clusters.
+
+    Communities of the query-sharing graph are found with greedy
+    modularity maximisation; queries that share nothing with anyone form
+    singleton clusters.  When ``max_cluster_size`` is given, larger
+    communities are split so every cluster respects the limit (needed
+    when each cluster must fit a device sub-region or sub-QUBO).
+
+    The returned clusters are sorted by their smallest query index and
+    together cover every query exactly once.
+    """
+    graph = query_sharing_graph(problem)
+    if graph.number_of_edges() == 0:
+        clusters: List[List[int]] = [[query.index] for query in problem.queries]
+    else:
+        communities = nx.algorithms.community.greedy_modularity_communities(
+            graph, weight="weight"
+        )
+        clusters = [sorted(community) for community in communities]
+    if max_cluster_size is not None:
+        clusters = split_oversized_clusters(clusters, max_cluster_size)
+    clusters.sort(key=lambda cluster: cluster[0])
+
+    covered = [q for cluster in clusters for q in cluster]
+    if sorted(covered) != list(range(problem.num_queries)):
+        raise InvalidProblemError("clustering failed to cover every query exactly once")
+    return clusters
+
+
+def cross_cluster_savings(
+    problem: MQOProblem, clusters: Sequence[Sequence[int]]
+) -> Tuple[float, float]:
+    """Savings volume inside versus across clusters.
+
+    Returns ``(intra, inter)`` — the total savings between plans whose
+    queries share a cluster and the total savings crossing cluster
+    boundaries.  A good clustering keeps ``inter`` small; the
+    decomposition solver can only realise intra-cluster savings exactly.
+    """
+    cluster_of: Dict[int, int] = {}
+    for index, cluster in enumerate(clusters):
+        for query in cluster:
+            cluster_of[query] = index
+    intra = 0.0
+    inter = 0.0
+    for (p1, p2), saving in problem.interaction_pairs():
+        q1 = problem.query_of_plan(p1)
+        q2 = problem.query_of_plan(p2)
+        if cluster_of.get(q1) == cluster_of.get(q2):
+            intra += saving
+        else:
+            inter += saving
+    return intra, inter

@@ -1,0 +1,249 @@
+"""A small relational cost model used to synthesize plausible plan costs.
+
+The paper assumes that "a small set of alternative plans has been found
+for each query prior to MQO and that execution costs of query plans can
+be reliably estimated" (Section 3).  Plan generation and cost estimation
+are therefore *inputs* to MQO, produced by an ordinary query optimizer.
+
+To make the example applications and workload generators realistic, this
+module implements a classic textbook cost model for select-project-join
+plans over a synthetic catalog: per-table cardinalities and selectivities
+drive scan and join cost estimates, and alternative plans for a query
+correspond to different join orders / access paths with different costs.
+The MQO layer only ever sees the resulting scalar costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidProblemError
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = [
+    "TableStats",
+    "CatalogStatistics",
+    "RelationalCostModel",
+    "synthesize_plan_costs",
+]
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Cardinality and physical statistics for one base table."""
+
+    name: str
+    num_rows: int
+    row_bytes: int = 100
+    num_distinct: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_rows <= 0:
+            raise InvalidProblemError(f"table {self.name!r} must have positive cardinality")
+        if self.row_bytes <= 0:
+            raise InvalidProblemError(f"table {self.name!r} must have positive row size")
+
+    @property
+    def pages(self) -> int:
+        """Number of 8 KiB pages the table occupies."""
+        page_bytes = 8192
+        return max(1, (self.num_rows * self.row_bytes + page_bytes - 1) // page_bytes)
+
+
+@dataclass
+class CatalogStatistics:
+    """A catalog of base tables with join selectivities between them."""
+
+    tables: Dict[str, TableStats] = field(default_factory=dict)
+    join_selectivity: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    def add_table(self, stats: TableStats) -> None:
+        """Register a table; duplicate names are rejected."""
+        if stats.name in self.tables:
+            raise InvalidProblemError(f"table {stats.name!r} already registered")
+        self.tables[stats.name] = stats
+
+    def set_join_selectivity(self, left: str, right: str, selectivity: float) -> None:
+        """Set the selectivity of the join predicate between two tables."""
+        if left not in self.tables or right not in self.tables:
+            raise InvalidProblemError(f"unknown table in join pair ({left!r}, {right!r})")
+        if not 0.0 < selectivity <= 1.0:
+            raise InvalidProblemError(
+                f"join selectivity must be in (0, 1], got {selectivity}"
+            )
+        key = (left, right) if left <= right else (right, left)
+        self.join_selectivity[key] = selectivity
+
+    def get_join_selectivity(self, left: str, right: str) -> float:
+        """Selectivity for the join of two tables (default heuristic if unset)."""
+        key = (left, right) if left <= right else (right, left)
+        if key in self.join_selectivity:
+            return self.join_selectivity[key]
+        # Classic System-R default: 1 / max distinct values, approximated by
+        # 1 / max cardinality when distinct counts are unknown.
+        left_stats, right_stats = self.tables[left], self.tables[right]
+        denom = max(
+            left_stats.num_distinct or left_stats.num_rows,
+            right_stats.num_distinct or right_stats.num_rows,
+        )
+        return 1.0 / float(denom)
+
+    @classmethod
+    def synthetic(
+        cls,
+        num_tables: int,
+        seed: SeedLike = None,
+        min_rows: int = 10_000,
+        max_rows: int = 5_000_000,
+    ) -> "CatalogStatistics":
+        """Generate a random catalog with log-uniform table cardinalities."""
+        if num_tables <= 0:
+            raise InvalidProblemError("num_tables must be positive")
+        if min_rows <= 0 or max_rows < min_rows:
+            raise InvalidProblemError("need 0 < min_rows <= max_rows")
+        rng = ensure_rng(seed)
+        catalog = cls()
+        log_lo, log_hi = np.log(min_rows), np.log(max_rows)
+        for i in range(num_tables):
+            rows = int(np.exp(rng.uniform(log_lo, log_hi)))
+            catalog.add_table(
+                TableStats(
+                    name=f"t{i}",
+                    num_rows=rows,
+                    row_bytes=int(rng.integers(40, 400)),
+                    num_distinct=max(1, rows // int(rng.integers(1, 100))),
+                )
+            )
+        return catalog
+
+
+class RelationalCostModel:
+    """Estimate scan and join costs over a :class:`CatalogStatistics`.
+
+    The model charges one unit per page read plus a CPU cost per processed
+    tuple, which is sufficient to create realistic relative plan costs.
+    """
+
+    def __init__(
+        self,
+        catalog: CatalogStatistics,
+        page_cost: float = 1.0,
+        tuple_cpu_cost: float = 0.01,
+        hash_build_factor: float = 1.5,
+    ) -> None:
+        if page_cost <= 0 or tuple_cpu_cost < 0 or hash_build_factor <= 0:
+            raise InvalidProblemError("cost-model constants must be positive")
+        self.catalog = catalog
+        self.page_cost = page_cost
+        self.tuple_cpu_cost = tuple_cpu_cost
+        self.hash_build_factor = hash_build_factor
+
+    def scan_cost(self, table: str) -> float:
+        """Sequential-scan cost of a base table."""
+        stats = self._stats(table)
+        return stats.pages * self.page_cost + stats.num_rows * self.tuple_cpu_cost
+
+    def scan_cardinality(self, table: str, selectivity: float = 1.0) -> float:
+        """Output cardinality of a (filtered) scan."""
+        if not 0.0 < selectivity <= 1.0:
+            raise InvalidProblemError(f"selectivity must be in (0, 1], got {selectivity}")
+        return self._stats(table).num_rows * selectivity
+
+    def join_cardinality(self, left_card: float, right_card: float, selectivity: float) -> float:
+        """Estimated output cardinality of a join."""
+        return max(1.0, left_card * right_card * selectivity)
+
+    def hash_join_cost(self, left_card: float, right_card: float) -> float:
+        """CPU-dominated hash-join cost (build smaller side, probe larger)."""
+        build, probe = sorted([left_card, right_card])
+        return (build * self.hash_build_factor + probe) * self.tuple_cpu_cost
+
+    def plan_cost_for_join_order(self, tables: Sequence[str]) -> float:
+        """Cost of a left-deep plan joining ``tables`` in the given order."""
+        if not tables:
+            raise InvalidProblemError("a plan must involve at least one table")
+        total = self.scan_cost(tables[0])
+        current_card = self.scan_cardinality(tables[0])
+        for right in tables[1:]:
+            total += self.scan_cost(right)
+            right_card = self.scan_cardinality(right)
+            total += self.hash_join_cost(current_card, right_card)
+            selectivity = self.catalog.get_join_selectivity(tables[0], right)
+            current_card = self.join_cardinality(current_card, right_card, selectivity)
+        return total
+
+    def alternative_plan_costs(
+        self,
+        tables: Sequence[str],
+        num_plans: int,
+        seed: SeedLike = None,
+    ) -> List[float]:
+        """Costs of ``num_plans`` alternative join orders for one query.
+
+        Orders are sampled without replacement where possible; costs are
+        therefore correlated but distinct, mimicking the output of a plan
+        enumerator that keeps a handful of promising candidates.
+        """
+        if num_plans <= 0:
+            raise InvalidProblemError("num_plans must be positive")
+        rng = ensure_rng(seed)
+        tables = list(tables)
+        seen_orders: set[Tuple[str, ...]] = set()
+        costs: List[float] = []
+        attempts = 0
+        while len(costs) < num_plans and attempts < 50 * num_plans:
+            attempts += 1
+            order = tuple(rng.permutation(tables))
+            if order in seen_orders and len(seen_orders) < _num_permutations(len(tables)):
+                continue
+            seen_orders.add(order)
+            costs.append(self.plan_cost_for_join_order(order))
+        while len(costs) < num_plans:
+            # Degenerate case (single table): perturb the base cost slightly.
+            costs.append(costs[-1] * float(rng.uniform(1.0, 1.2)))
+        return costs
+
+    def _stats(self, table: str) -> TableStats:
+        try:
+            return self.catalog.tables[table]
+        except KeyError:
+            raise InvalidProblemError(f"unknown table {table!r}") from None
+
+
+def _num_permutations(n: int) -> int:
+    result = 1
+    for i in range(2, n + 1):
+        result *= i
+    return result
+
+
+def synthesize_plan_costs(
+    num_queries: int,
+    plans_per_query: int,
+    seed: SeedLike = None,
+    tables_per_query: Tuple[int, int] = (2, 4),
+    num_tables: int = 20,
+) -> List[List[float]]:
+    """Generate per-query plan cost lists from the relational cost model.
+
+    This is the "realistic" alternative to drawing plan costs uniformly;
+    the workload generator uses it when ``cost_source='relational'``.
+    """
+    if num_queries <= 0 or plans_per_query <= 0:
+        raise InvalidProblemError("num_queries and plans_per_query must be positive")
+    lo, hi = tables_per_query
+    if lo < 1 or hi < lo:
+        raise InvalidProblemError(f"invalid tables_per_query range {tables_per_query}")
+    rng = ensure_rng(seed)
+    catalog = CatalogStatistics.synthetic(num_tables=num_tables, seed=rng)
+    model = RelationalCostModel(catalog)
+    table_names = list(catalog.tables)
+    all_costs: List[List[float]] = []
+    for _ in range(num_queries):
+        k = int(rng.integers(lo, hi + 1))
+        tables = list(rng.choice(table_names, size=min(k, len(table_names)), replace=False))
+        all_costs.append(model.alternative_plan_costs(tables, plans_per_query, seed=rng))
+    return all_costs

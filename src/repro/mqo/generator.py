@@ -1,0 +1,289 @@
+"""Synthetic MQO workload generators.
+
+Three families of instances are provided:
+
+``generate_random_problem``
+    Fully random instances: arbitrary sharing pairs with a configurable
+    density.  Useful for correctness tests and for stressing solvers.
+
+``generate_clustered_problem``
+    Instances organised as ``n`` clusters of ``m`` queries with ``l``
+    plans each; sharing is dense inside a cluster and sparse (or absent)
+    across clusters.  This is the structure assumed by the complexity
+    analysis in Section 6 of the paper.
+
+``generate_paper_testcase`` / ``generate_chimera_native_problem``
+    The evaluation workloads of Section 7: every query forms its own
+    cluster, cost savings are drawn uniformly from ``{1, 2}`` (scaled by
+    a constant), and sharing links exist only between plans of
+    neighbouring queries so the instance "maps well to the quantum
+    annealer" — i.e. it can be embedded with (close to) one qubit per
+    logical variable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.exceptions import InvalidProblemError
+from repro.mqo.cost_model import synthesize_plan_costs
+from repro.mqo.problem import MQOProblem
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = [
+    "MQOGeneratorConfig",
+    "generate_random_problem",
+    "generate_clustered_problem",
+    "generate_chimera_native_problem",
+    "generate_paper_testcase",
+]
+
+
+@dataclass(frozen=True)
+class MQOGeneratorConfig:
+    """Common knobs shared by the workload generators.
+
+    Attributes
+    ----------
+    cost_low / cost_high:
+        Plan execution costs are drawn uniformly from the integer range
+        ``[cost_low, cost_high]`` before scaling.
+    saving_choices:
+        Cost savings are drawn uniformly from this tuple (the paper uses
+        ``{1, 2}``).
+    scale:
+        Constant factor applied to both costs and savings (the paper
+        scales by a constant; the scaled-cost metric divides it out again).
+    cost_source:
+        ``"uniform"`` draws plan costs from the integer range above;
+        ``"relational"`` derives them from the synthetic relational cost
+        model in :mod:`repro.mqo.cost_model`.
+    """
+
+    cost_low: int = 1
+    cost_high: int = 10
+    saving_choices: Tuple[float, ...] = (1.0, 2.0)
+    scale: float = 1.0
+    cost_source: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.cost_low < 0 or self.cost_high < self.cost_low:
+            raise InvalidProblemError(
+                f"need 0 <= cost_low <= cost_high, got [{self.cost_low}, {self.cost_high}]"
+            )
+        if not self.saving_choices or any(s <= 0 for s in self.saving_choices):
+            raise InvalidProblemError("saving_choices must be non-empty and positive")
+        if self.scale <= 0:
+            raise InvalidProblemError(f"scale must be positive, got {self.scale}")
+        if self.cost_source not in ("uniform", "relational"):
+            raise InvalidProblemError(
+                f"cost_source must be 'uniform' or 'relational', got {self.cost_source!r}"
+            )
+
+
+def _draw_plan_costs(
+    num_queries: int,
+    plans_per_query: int,
+    config: MQOGeneratorConfig,
+    rng,
+) -> List[List[float]]:
+    """Plan costs for every query according to the configured cost source."""
+    if config.cost_source == "relational":
+        raw = synthesize_plan_costs(num_queries, plans_per_query, seed=rng)
+        # Normalise relational costs into the configured range so penalty
+        # weights stay comparable across cost sources.
+        flat = [c for row in raw for c in row]
+        lo, hi = min(flat), max(flat)
+        span = (hi - lo) or 1.0
+        return [
+            [
+                config.scale
+                * (config.cost_low + (config.cost_high - config.cost_low) * (c - lo) / span)
+                for c in row
+            ]
+            for row in raw
+        ]
+    return [
+        [
+            config.scale * float(rng.integers(config.cost_low, config.cost_high + 1))
+            for _ in range(plans_per_query)
+        ]
+        for _ in range(num_queries)
+    ]
+
+
+def _draw_saving(config: MQOGeneratorConfig, rng) -> float:
+    choices = config.saving_choices
+    return config.scale * float(choices[int(rng.integers(0, len(choices)))])
+
+
+def generate_random_problem(
+    num_queries: int,
+    plans_per_query: int,
+    sharing_density: float = 0.1,
+    config: MQOGeneratorConfig | None = None,
+    seed: SeedLike = None,
+    name: str = "",
+) -> MQOProblem:
+    """Generate a fully random MQO instance.
+
+    Every cross-query plan pair independently shares work with probability
+    ``sharing_density``.
+    """
+    if num_queries <= 0 or plans_per_query <= 0:
+        raise InvalidProblemError("num_queries and plans_per_query must be positive")
+    if not 0.0 <= sharing_density <= 1.0:
+        raise InvalidProblemError(f"sharing_density must be in [0, 1], got {sharing_density}")
+    config = config or MQOGeneratorConfig()
+    rng = ensure_rng(seed)
+
+    plan_costs = _draw_plan_costs(num_queries, plans_per_query, config, rng)
+    savings: Dict[Tuple[int, int], float] = {}
+    num_plans = num_queries * plans_per_query
+    for p1 in range(num_plans):
+        q1 = p1 // plans_per_query
+        for p2 in range(p1 + 1, num_plans):
+            q2 = p2 // plans_per_query
+            if q1 == q2:
+                continue
+            if rng.random() < sharing_density:
+                savings[(p1, p2)] = _draw_saving(config, rng)
+    return MQOProblem(
+        plan_costs,
+        savings,
+        name=name or f"random-q{num_queries}-l{plans_per_query}",
+    )
+
+
+def generate_clustered_problem(
+    num_clusters: int,
+    queries_per_cluster: int,
+    plans_per_query: int,
+    intra_cluster_density: float = 0.8,
+    inter_cluster_density: float = 0.0,
+    config: MQOGeneratorConfig | None = None,
+    seed: SeedLike = None,
+    name: str = "",
+) -> MQOProblem:
+    """Generate the clustered instances assumed by the Section 6 analysis.
+
+    Queries are partitioned into ``num_clusters`` clusters of
+    ``queries_per_cluster`` queries each.  Cross-query plan pairs inside a
+    cluster share with probability ``intra_cluster_density``; pairs across
+    clusters share with probability ``inter_cluster_density`` (0 by
+    default, i.e. clusters are independent sub-problems).
+    """
+    if num_clusters <= 0 or queries_per_cluster <= 0 or plans_per_query <= 0:
+        raise InvalidProblemError("all problem dimensions must be positive")
+    for density, label in (
+        (intra_cluster_density, "intra_cluster_density"),
+        (inter_cluster_density, "inter_cluster_density"),
+    ):
+        if not 0.0 <= density <= 1.0:
+            raise InvalidProblemError(f"{label} must be in [0, 1], got {density}")
+    config = config or MQOGeneratorConfig()
+    rng = ensure_rng(seed)
+
+    num_queries = num_clusters * queries_per_cluster
+    plan_costs = _draw_plan_costs(num_queries, plans_per_query, config, rng)
+    savings: Dict[Tuple[int, int], float] = {}
+    num_plans = num_queries * plans_per_query
+
+    def cluster_of_plan(p: int) -> int:
+        return (p // plans_per_query) // queries_per_cluster
+
+    for p1 in range(num_plans):
+        q1 = p1 // plans_per_query
+        for p2 in range(p1 + 1, num_plans):
+            q2 = p2 // plans_per_query
+            if q1 == q2:
+                continue
+            density = (
+                intra_cluster_density
+                if cluster_of_plan(p1) == cluster_of_plan(p2)
+                else inter_cluster_density
+            )
+            if density and rng.random() < density:
+                savings[(p1, p2)] = _draw_saving(config, rng)
+
+    return MQOProblem(
+        plan_costs,
+        savings,
+        name=name
+        or f"clustered-n{num_clusters}-m{queries_per_cluster}-l{plans_per_query}",
+    )
+
+
+def generate_chimera_native_problem(
+    num_queries: int,
+    plans_per_query: int,
+    neighbor_window: int = 1,
+    cross_pair_density: float = 0.75,
+    config: MQOGeneratorConfig | None = None,
+    seed: SeedLike = None,
+    name: str = "",
+) -> MQOProblem:
+    """Generate an instance whose sharing structure "maps well" onto Chimera.
+
+    Every query forms its own cluster (as in the paper's evaluation).
+    Sharing links exist only between plans of queries whose indices differ
+    by at most ``neighbor_window``; within such a neighbouring query pair
+    each cross plan pair shares with probability ``cross_pair_density``.
+    The resulting interaction graph has bounded degree, so the clustered
+    embedding needs only a small constant number of qubits per variable.
+    """
+    if num_queries <= 0 or plans_per_query <= 0:
+        raise InvalidProblemError("num_queries and plans_per_query must be positive")
+    if neighbor_window < 0:
+        raise InvalidProblemError(f"neighbor_window must be >= 0, got {neighbor_window}")
+    if not 0.0 <= cross_pair_density <= 1.0:
+        raise InvalidProblemError(
+            f"cross_pair_density must be in [0, 1], got {cross_pair_density}"
+        )
+    config = config or MQOGeneratorConfig()
+    rng = ensure_rng(seed)
+
+    plan_costs = _draw_plan_costs(num_queries, plans_per_query, config, rng)
+    savings: Dict[Tuple[int, int], float] = {}
+    for q1 in range(num_queries):
+        for q2 in range(q1 + 1, min(num_queries, q1 + neighbor_window + 1)):
+            for a in range(plans_per_query):
+                for b in range(plans_per_query):
+                    if rng.random() >= cross_pair_density:
+                        continue
+                    p1 = q1 * plans_per_query + a
+                    p2 = q2 * plans_per_query + b
+                    savings[(p1, p2)] = _draw_saving(config, rng)
+    return MQOProblem(
+        plan_costs,
+        savings,
+        name=name or f"chimera-native-q{num_queries}-l{plans_per_query}",
+    )
+
+
+def generate_paper_testcase(
+    num_queries: int,
+    plans_per_query: int,
+    seed: SeedLike = None,
+    config: MQOGeneratorConfig | None = None,
+    name: str = "",
+) -> MQOProblem:
+    """Generate one evaluation instance in the style of paper Section 7.1.
+
+    "Each query forms one cluster.  Cost savings are chosen with uniform
+    distribution from {1, 2} (scaled by a constant)."  Sharing links are
+    restricted to plans of neighbouring queries so that the instance is
+    embeddable with the clustered pattern on a Chimera topology of the
+    paper's size (one chain of bounded length per plan).
+    """
+    config = config or MQOGeneratorConfig()
+    return generate_chimera_native_problem(
+        num_queries=num_queries,
+        plans_per_query=plans_per_query,
+        neighbor_window=1,
+        cross_pair_density=0.75,
+        config=config,
+        seed=seed,
+        name=name or f"paper-q{num_queries}-l{plans_per_query}",
+    )

@@ -1,0 +1,395 @@
+"""Core data model for multiple query optimization (paper Section 3).
+
+An :class:`MQOProblem` is defined by
+
+* a set ``Q`` of queries, each query ``q`` owning a non-empty set ``P_q``
+  of alternative plans,
+* an execution cost ``c_p >= 0`` for every plan ``p``,
+* pairwise cost savings ``s_{p1,p2} > 0`` for plan pairs belonging to
+  *different* queries that can share intermediate results.
+
+A solution ``Pe`` selects exactly one plan per query; its cost is
+
+    C(Pe) = sum_{p in Pe} c_p  -  sum_{{p1,p2} subset Pe} s_{p1,p2}.
+
+Plans are identified by dense integer indices (0..num_plans-1) assigned
+in query order, which keeps the mapping onto QUBO variables trivial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.exceptions import InvalidProblemError, InvalidSolutionError
+
+__all__ = ["Plan", "Query", "MQOProblem", "MQOSolution"]
+
+PlanPair = Tuple[int, int]
+
+
+def _normalize_pair(p1: int, p2: int) -> PlanPair:
+    """Return the pair ordered ``(small, large)``; reject self-pairs."""
+    if p1 == p2:
+        raise InvalidProblemError(f"a plan cannot share results with itself (plan {p1})")
+    return (p1, p2) if p1 < p2 else (p2, p1)
+
+
+@dataclass(frozen=True)
+class Plan:
+    """One alternative execution plan for a query.
+
+    Attributes
+    ----------
+    index:
+        Global plan index, unique across the whole problem.
+    query_index:
+        Index of the query this plan belongs to.
+    cost:
+        Execution cost ``c_p`` when no sharing is exploited.
+    label:
+        Optional human-readable name (e.g. ``"q3_plan1"``).
+    """
+
+    index: int
+    query_index: int
+    cost: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise InvalidProblemError(f"plan index must be non-negative, got {self.index}")
+        if self.query_index < 0:
+            raise InvalidProblemError(
+                f"query index must be non-negative, got {self.query_index}"
+            )
+        if not (self.cost >= 0.0) or self.cost != self.cost:  # also rejects NaN
+            raise InvalidProblemError(
+                f"plan {self.index} has invalid cost {self.cost!r}; costs must be >= 0"
+            )
+
+
+@dataclass(frozen=True)
+class Query:
+    """One query of the batch together with its alternative plans."""
+
+    index: int
+    plan_indices: Tuple[int, ...]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise InvalidProblemError(f"query index must be non-negative, got {self.index}")
+        if not self.plan_indices:
+            raise InvalidProblemError(f"query {self.index} has no plans")
+        if len(set(self.plan_indices)) != len(self.plan_indices):
+            raise InvalidProblemError(f"query {self.index} lists a plan twice")
+
+    @property
+    def num_plans(self) -> int:
+        """Number of alternative plans for this query."""
+        return len(self.plan_indices)
+
+
+class MQOProblem:
+    """An immutable multiple-query-optimization problem instance.
+
+    Parameters
+    ----------
+    plans_per_query:
+        For each query, the sequence of plan costs.  Plan indices are
+        assigned densely in iteration order.
+    savings:
+        Mapping from plan-index pairs to the cost saving ``s_{p1,p2} > 0``
+        obtained when both plans are executed.  Pairs may be given in any
+        order; they are normalised to ``(min, max)``.
+    query_labels / plan_labels:
+        Optional human-readable names.
+    name:
+        Optional instance name used in reports.
+    """
+
+    def __init__(
+        self,
+        plans_per_query: Sequence[Sequence[float]],
+        savings: Mapping[PlanPair, float] | None = None,
+        query_labels: Sequence[str] | None = None,
+        plan_labels: Sequence[str] | None = None,
+        name: str = "",
+    ) -> None:
+        if not plans_per_query:
+            raise InvalidProblemError("an MQO problem needs at least one query")
+
+        self.name = name
+        self._queries: List[Query] = []
+        self._plans: List[Plan] = []
+
+        for q_idx, costs in enumerate(plans_per_query):
+            costs = list(costs)
+            if not costs:
+                raise InvalidProblemError(f"query {q_idx} has no plans")
+            first_plan = len(self._plans)
+            indices = tuple(range(first_plan, first_plan + len(costs)))
+            q_label = query_labels[q_idx] if query_labels else f"q{q_idx}"
+            self._queries.append(Query(index=q_idx, plan_indices=indices, label=q_label))
+            for offset, cost in enumerate(costs):
+                p_idx = first_plan + offset
+                p_label = plan_labels[p_idx] if plan_labels else f"q{q_idx}_p{offset}"
+                self._plans.append(
+                    Plan(index=p_idx, query_index=q_idx, cost=float(cost), label=p_label)
+                )
+
+        self._plan_to_query: Dict[int, int] = {p.index: p.query_index for p in self._plans}
+        self._savings: Dict[PlanPair, float] = {}
+        for (p1, p2), value in (savings or {}).items():
+            self._add_saving(p1, p2, value)
+
+        # Adjacency view: plan -> {other plan: saving}; used by solvers and
+        # by the logical mapping to iterate sharing partners efficiently.
+        self._savings_by_plan: Dict[int, Dict[int, float]] = {p.index: {} for p in self._plans}
+        for (p1, p2), value in self._savings.items():
+            self._savings_by_plan[p1][p2] = value
+            self._savings_by_plan[p2][p1] = value
+
+    def _add_saving(self, p1: int, p2: int, value: float) -> None:
+        pair = _normalize_pair(int(p1), int(p2))
+        for p in pair:
+            if p not in self._plan_to_query:
+                raise InvalidProblemError(f"savings entry references unknown plan {p}")
+        if self._plan_to_query[pair[0]] == self._plan_to_query[pair[1]]:
+            raise InvalidProblemError(
+                f"plans {pair[0]} and {pair[1]} belong to the same query and cannot share"
+            )
+        value = float(value)
+        if not value > 0.0:
+            raise InvalidProblemError(
+                f"saving for plan pair {pair} must be positive, got {value}"
+            )
+        if pair in self._savings:
+            raise InvalidProblemError(f"duplicate savings entry for plan pair {pair}")
+        self._savings[pair] = value
+
+    # ------------------------------------------------------------------ #
+    # Structure accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def queries(self) -> Tuple[Query, ...]:
+        """All queries, ordered by index."""
+        return tuple(self._queries)
+
+    @property
+    def plans(self) -> Tuple[Plan, ...]:
+        """All plans, ordered by global plan index."""
+        return tuple(self._plans)
+
+    @property
+    def num_queries(self) -> int:
+        """Number of queries ``|Q|``."""
+        return len(self._queries)
+
+    @property
+    def num_plans(self) -> int:
+        """Total number of plans ``|P|``."""
+        return len(self._plans)
+
+    @property
+    def savings(self) -> Dict[PlanPair, float]:
+        """Copy of the savings map keyed by normalised plan pairs."""
+        return dict(self._savings)
+
+    @property
+    def num_savings(self) -> int:
+        """Number of sharing (savings) entries."""
+        return len(self._savings)
+
+    def plan(self, index: int) -> Plan:
+        """Return the plan with global index ``index``."""
+        try:
+            return self._plans[index]
+        except IndexError:
+            raise InvalidProblemError(f"unknown plan index {index}") from None
+
+    def query(self, index: int) -> Query:
+        """Return the query with index ``index``."""
+        try:
+            return self._queries[index]
+        except IndexError:
+            raise InvalidProblemError(f"unknown query index {index}") from None
+
+    def query_of_plan(self, plan_index: int) -> int:
+        """Return the index of the query owning ``plan_index``."""
+        try:
+            return self._plan_to_query[plan_index]
+        except KeyError:
+            raise InvalidProblemError(f"unknown plan index {plan_index}") from None
+
+    def plan_cost(self, plan_index: int) -> float:
+        """Execution cost ``c_p`` of the given plan."""
+        return self.plan(plan_index).cost
+
+    def saving(self, p1: int, p2: int) -> float:
+        """Saving ``s_{p1,p2}`` for a plan pair, or 0.0 if the pair shares nothing."""
+        return self._savings.get(_normalize_pair(p1, p2), 0.0)
+
+    def sharing_partners(self, plan_index: int) -> Dict[int, float]:
+        """All plans sharing work with ``plan_index`` mapped to the saving value."""
+        if plan_index not in self._savings_by_plan:
+            raise InvalidProblemError(f"unknown plan index {plan_index}")
+        return dict(self._savings_by_plan[plan_index])
+
+    def max_plan_cost(self) -> float:
+        """``max_p c_p`` — used to derive the penalty weight ``w_L``."""
+        return max(p.cost for p in self._plans)
+
+    def max_total_savings_per_plan(self) -> float:
+        """``max_{p1} sum_{p2} s_{p1,p2}`` — used to derive the penalty weight ``w_M``."""
+        if not self._savings:
+            return 0.0
+        return max(sum(partners.values()) for partners in self._savings_by_plan.values())
+
+    def interaction_pairs(self) -> Iterator[Tuple[PlanPair, float]]:
+        """Iterate over ``((p1, p2), saving)`` entries (normalised pairs)."""
+        return iter(self._savings.items())
+
+    # ------------------------------------------------------------------ #
+    # Solution handling
+    # ------------------------------------------------------------------ #
+    def solution_from_selection(self, selected: Iterable[int]) -> "MQOSolution":
+        """Build an :class:`MQOSolution` from an iterable of plan indices."""
+        return MQOSolution(self, frozenset(int(p) for p in selected))
+
+    def solution_from_choices(self, choices: Sequence[int]) -> "MQOSolution":
+        """Build a solution from per-query plan *offsets*.
+
+        ``choices[q]`` is the position of the chosen plan within query
+        ``q``'s plan list (0-based).  This is the natural encoding used by
+        the classical heuristics (hill climbing, genetic algorithm).
+        """
+        if len(choices) != self.num_queries:
+            raise InvalidSolutionError(
+                f"expected {self.num_queries} choices, got {len(choices)}"
+            )
+        selected = []
+        for query, choice in zip(self._queries, choices):
+            if not 0 <= choice < query.num_plans:
+                raise InvalidSolutionError(
+                    f"choice {choice} out of range for query {query.index} "
+                    f"with {query.num_plans} plans"
+                )
+            selected.append(query.plan_indices[choice])
+        return MQOSolution(self, frozenset(selected))
+
+    def is_valid_selection(self, selected: FrozenSet[int]) -> bool:
+        """Whether ``selected`` picks exactly one known plan per query."""
+        per_query = [0] * self.num_queries
+        for p in selected:
+            if p not in self._plan_to_query:
+                return False
+            per_query[self._plan_to_query[p]] += 1
+        return all(count == 1 for count in per_query)
+
+    def selection_cost(self, selected: Iterable[int]) -> float:
+        """Cost ``C(Pe)`` of an arbitrary plan selection (validity not required).
+
+        This is the raw objective ``sum c_p - sum s``; invalid selections
+        (zero or multiple plans for a query) are costed exactly as the
+        QUBO objective terms ``E_C + E_S`` would cost them, which is what
+        the correctness proofs in Section 6 reason about.
+        """
+        chosen = set(int(p) for p in selected)
+        total = 0.0
+        for p in chosen:
+            total += self.plan(p).cost
+        for (p1, p2), value in self._savings.items():
+            if p1 in chosen and p2 in chosen:
+                total -= value
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Dunder / reporting helpers
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<MQOProblem{label}: {self.num_queries} queries, {self.num_plans} plans, "
+            f"{self.num_savings} sharing pairs>"
+        )
+
+    def describe(self) -> str:
+        """A short multi-line human-readable description."""
+        plans_per_query = [q.num_plans for q in self._queries]
+        return "\n".join(
+            [
+                f"MQO problem {self.name or '<unnamed>'}",
+                f"  queries:        {self.num_queries}",
+                f"  plans:          {self.num_plans}"
+                f" (per query: min={min(plans_per_query)}, max={max(plans_per_query)})",
+                f"  sharing pairs:  {self.num_savings}",
+                f"  max plan cost:  {self.max_plan_cost():.3f}",
+            ]
+        )
+
+
+@dataclass(frozen=True)
+class MQOSolution:
+    """A plan selection for an :class:`MQOProblem`.
+
+    The selection is stored as a frozen set of global plan indices.  The
+    solution may be *invalid* (not exactly one plan per query); this is
+    deliberate because annealing read-outs can produce invalid selections
+    and the experiment harness needs to detect and cost them.
+    """
+
+    problem: MQOProblem
+    selected_plans: FrozenSet[int]
+    _cost: float = field(init=False, repr=False, default=0.0)
+    _valid: bool = field(init=False, repr=False, default=False)
+
+    def __post_init__(self) -> None:
+        for p in self.selected_plans:
+            # Raises InvalidProblemError for unknown plans.
+            self.problem.plan(p)
+        object.__setattr__(self, "_valid", self.problem.is_valid_selection(self.selected_plans))
+        object.__setattr__(self, "_cost", self.problem.selection_cost(self.selected_plans))
+
+    @property
+    def is_valid(self) -> bool:
+        """Whether exactly one plan is selected per query."""
+        return self._valid
+
+    @property
+    def cost(self) -> float:
+        """Objective value ``C(Pe)`` of the selection."""
+        return self._cost
+
+    def require_valid(self) -> "MQOSolution":
+        """Return ``self`` or raise :class:`InvalidSolutionError` if invalid."""
+        if not self._valid:
+            raise InvalidSolutionError(
+                "solution does not select exactly one plan per query: "
+                f"{sorted(self.selected_plans)}"
+            )
+        return self
+
+    def choices(self) -> List[int]:
+        """Per-query plan offsets (requires a valid solution)."""
+        self.require_valid()
+        by_query = {self.problem.query_of_plan(p): p for p in self.selected_plans}
+        offsets = []
+        for query in self.problem.queries:
+            plan = by_query[query.index]
+            offsets.append(query.plan_indices.index(plan))
+        return offsets
+
+    def plan_indicator(self) -> Dict[int, int]:
+        """Binary indicator ``X_p`` for every plan (the logical QUBO variables)."""
+        return {
+            plan.index: int(plan.index in self.selected_plans) for plan in self.problem.plans
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "valid" if self._valid else "INVALID"
+        return (
+            f"<MQOSolution {status}, cost={self._cost:.3f}, "
+            f"{len(self.selected_plans)} plans selected>"
+        )

@@ -1,0 +1,88 @@
+"""JSON-friendly (de)serialization of MQO problems and solutions.
+
+Instances are persisted as plain dictionaries so experiment suites can
+save generated workloads to disk and reload them for exact reruns.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.exceptions import InvalidProblemError
+from repro.mqo.problem import MQOProblem, MQOSolution
+
+__all__ = [
+    "problem_to_dict",
+    "problem_from_dict",
+    "solution_to_dict",
+    "solution_from_dict",
+    "save_problem",
+    "load_problem",
+]
+
+_FORMAT_VERSION = 1
+
+
+def problem_to_dict(problem: MQOProblem) -> Dict[str, Any]:
+    """Convert an :class:`MQOProblem` into a JSON-serialisable dictionary."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": problem.name,
+        "plans_per_query": [
+            [problem.plan(p).cost for p in query.plan_indices] for query in problem.queries
+        ],
+        "savings": [
+            {"plans": [p1, p2], "value": value}
+            for (p1, p2), value in sorted(problem.savings.items())
+        ],
+    }
+
+
+def problem_from_dict(data: Dict[str, Any]) -> MQOProblem:
+    """Rebuild an :class:`MQOProblem` from :func:`problem_to_dict` output."""
+    version = data.get("format_version", _FORMAT_VERSION)
+    if version != _FORMAT_VERSION:
+        raise InvalidProblemError(f"unsupported MQO problem format version {version}")
+    try:
+        plans_per_query = data["plans_per_query"]
+        savings_entries = data.get("savings", [])
+    except KeyError as exc:
+        raise InvalidProblemError(f"missing field in MQO problem data: {exc}") from exc
+    savings = {}
+    for entry in savings_entries:
+        p1, p2 = entry["plans"]
+        savings[(int(p1), int(p2))] = float(entry["value"])
+    return MQOProblem(plans_per_query, savings, name=data.get("name", ""))
+
+
+def solution_to_dict(solution: MQOSolution) -> Dict[str, Any]:
+    """Convert a solution into a JSON-serialisable dictionary."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "selected_plans": sorted(solution.selected_plans),
+        "cost": solution.cost,
+        "is_valid": solution.is_valid,
+    }
+
+
+def solution_from_dict(problem: MQOProblem, data: Dict[str, Any]) -> MQOSolution:
+    """Rebuild a solution (against ``problem``) from its dictionary form."""
+    try:
+        selected = data["selected_plans"]
+    except KeyError as exc:
+        raise InvalidProblemError("missing field 'selected_plans' in solution data") from exc
+    return problem.solution_from_selection(int(p) for p in selected)
+
+
+def save_problem(problem: MQOProblem, path: str | Path) -> Path:
+    """Write a problem instance to ``path`` as JSON and return the path."""
+    path = Path(path)
+    path.write_text(json.dumps(problem_to_dict(problem), indent=2))
+    return path
+
+
+def load_problem(path: str | Path) -> MQOProblem:
+    """Load a problem instance previously written by :func:`save_problem`."""
+    return problem_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,26 @@
+"""Quadratic unconstrained binary optimization (QUBO) substrate.
+
+A QUBO problem minimises ``sum_{i<=j} w_ij x_i x_j`` over binary
+variables.  This package provides the sparse model container used by the
+logical and physical mappings, QUBO/Ising conversions, an exact
+brute-force solver for small instances, random-instance generators and a
+tabu-style local-search improver.
+"""
+
+from repro.qubo.model import QUBOModel
+from repro.qubo.ising import IsingModel, ising_to_qubo, qubo_to_ising
+from repro.qubo.bruteforce import solve_bruteforce
+from repro.qubo.random_qubo import random_qubo, random_chimera_qubo
+from repro.qubo.local_search import greedy_descent, tabu_search
+
+__all__ = [
+    "QUBOModel",
+    "IsingModel",
+    "qubo_to_ising",
+    "ising_to_qubo",
+    "solve_bruteforce",
+    "random_qubo",
+    "random_chimera_qubo",
+    "greedy_descent",
+    "tabu_search",
+]

@@ -1,0 +1,56 @@
+"""Exact brute-force QUBO solver for small instances.
+
+Used by tests (to verify the logical mapping against ground truth) and
+as the reference optimum for small benchmark instances.  The solver
+enumerates all ``2^n`` assignments with vectorised energy evaluation and
+is intentionally capped at a modest variable count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+import numpy as np
+
+from repro.exceptions import QUBOError
+from repro.qubo.model import QUBOModel
+
+__all__ = ["solve_bruteforce", "enumerate_energies"]
+
+_MAX_BRUTEFORCE_VARIABLES = 24
+
+
+def _all_assignments(num_variables: int) -> np.ndarray:
+    """All 0/1 assignments as a ``(2^n, n)`` array (column 0 = variable 0)."""
+    count = 1 << num_variables
+    indices = np.arange(count, dtype=np.uint32)
+    bits = ((indices[:, None] >> np.arange(num_variables, dtype=np.uint32)) & 1).astype(float)
+    return bits
+
+
+def enumerate_energies(qubo: QUBOModel) -> Tuple[np.ndarray, List[Hashable], np.ndarray]:
+    """Return (samples, variable order, energies) for all assignments."""
+    order = qubo.variables
+    if len(order) > _MAX_BRUTEFORCE_VARIABLES:
+        raise QUBOError(
+            f"brute-force enumeration supports at most {_MAX_BRUTEFORCE_VARIABLES} "
+            f"variables, got {len(order)}"
+        )
+    samples = _all_assignments(len(order))
+    energies = qubo.energies(samples, order)
+    return samples, order, energies
+
+
+def solve_bruteforce(qubo: QUBOModel) -> Tuple[Dict[Hashable, int], float]:
+    """Return the globally optimal assignment and its energy.
+
+    Ties are broken towards the lexicographically smallest bit pattern
+    (all-zeros first) so results are deterministic.
+    """
+    if qubo.num_variables == 0:
+        return {}, qubo.offset
+    samples, order, energies = enumerate_energies(qubo)
+    best_index = int(np.argmin(energies))
+    best = samples[best_index]
+    assignment = {var: int(best[i]) for i, var in enumerate(order)}
+    return assignment, float(energies[best_index])

@@ -1,0 +1,285 @@
+"""Sparse QUBO model container.
+
+The model stores linear weights (diagonal terms ``w_ii``) and quadratic
+weights (off-diagonal terms ``w_ij`` with ``i < j``) over hashable
+variable labels.  The energy of an assignment ``x`` is
+
+    E(x) = sum_i w_ii x_i + sum_{i<j} w_ij x_i x_j .
+
+Variables may be arbitrary hashable labels (plan indices for the logical
+QUBO, qubit indices for the physical QUBO).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import QUBOError
+
+__all__ = ["QUBOModel"]
+
+Variable = Hashable
+Edge = Tuple[Variable, Variable]
+
+
+class QUBOModel:
+    """A sparse QUBO over arbitrary hashable variable labels.
+
+    The container is mutable (weights are accumulated with
+    :meth:`add_linear` / :meth:`add_quadratic`) because the logical and
+    physical mappings build energy formulas incrementally, term by term.
+    """
+
+    def __init__(
+        self,
+        linear: Mapping[Variable, float] | None = None,
+        quadratic: Mapping[Edge, float] | None = None,
+        offset: float = 0.0,
+    ) -> None:
+        self._linear: Dict[Variable, float] = {}
+        self._quadratic: Dict[Edge, float] = {}
+        self._adjacency: Dict[Variable, Dict[Variable, float]] = {}
+        self.offset = float(offset)
+        for var, weight in (linear or {}).items():
+            self.add_linear(var, weight)
+        for (u, v), weight in (quadratic or {}).items():
+            self.add_quadratic(u, v, weight)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _check_weight(weight: float) -> float:
+        weight = float(weight)
+        if not math.isfinite(weight):
+            raise QUBOError(f"QUBO weights must be finite, got {weight!r}")
+        return weight
+
+    def add_variable(self, var: Variable) -> None:
+        """Register ``var`` (with zero linear weight) if not yet present."""
+        if var not in self._linear:
+            self._linear[var] = 0.0
+            self._adjacency.setdefault(var, {})
+
+    def add_linear(self, var: Variable, weight: float) -> None:
+        """Accumulate ``weight`` onto the linear term of ``var``."""
+        weight = self._check_weight(weight)
+        self.add_variable(var)
+        self._linear[var] += weight
+
+    def add_quadratic(self, u: Variable, v: Variable, weight: float) -> None:
+        """Accumulate ``weight`` onto the quadratic term between ``u`` and ``v``.
+
+        Adding a quadratic term between a variable and itself folds into
+        the linear term because ``x^2 = x`` for binary variables.
+        """
+        weight = self._check_weight(weight)
+        if u == v:
+            self.add_linear(u, weight)
+            return
+        self.add_variable(u)
+        self.add_variable(v)
+        key = self._edge_key(u, v)
+        self._quadratic[key] = self._quadratic.get(key, 0.0) + weight
+        self._adjacency[u][v] = self._adjacency[u].get(v, 0.0) + weight
+        self._adjacency[v][u] = self._adjacency[v].get(u, 0.0) + weight
+
+    def add_offset(self, value: float) -> None:
+        """Accumulate a constant offset onto the energy."""
+        self.offset += self._check_weight(value)
+
+    @staticmethod
+    def _edge_key(u: Variable, v: Variable) -> Edge:
+        # A deterministic canonical order for the pair; fall back to repr
+        # ordering when the labels are not mutually comparable.
+        try:
+            return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+        except TypeError:
+            return (u, v) if repr(u) <= repr(v) else (v, u)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def variables(self) -> List[Variable]:
+        """All variables in insertion order."""
+        return list(self._linear)
+
+    @property
+    def num_variables(self) -> int:
+        """Number of variables."""
+        return len(self._linear)
+
+    @property
+    def num_interactions(self) -> int:
+        """Number of non-zero quadratic entries."""
+        return len(self._quadratic)
+
+    @property
+    def linear(self) -> Dict[Variable, float]:
+        """Copy of the linear weights."""
+        return dict(self._linear)
+
+    @property
+    def quadratic(self) -> Dict[Edge, float]:
+        """Copy of the quadratic weights keyed by canonical pairs."""
+        return dict(self._quadratic)
+
+    def get_linear(self, var: Variable) -> float:
+        """Linear weight of ``var`` (0.0 if the variable is unknown)."""
+        return self._linear.get(var, 0.0)
+
+    def get_quadratic(self, u: Variable, v: Variable) -> float:
+        """Quadratic weight between ``u`` and ``v`` (0.0 if absent)."""
+        if u == v:
+            return 0.0
+        return self._quadratic.get(self._edge_key(u, v), 0.0)
+
+    def neighbors(self, var: Variable) -> Dict[Variable, float]:
+        """Quadratic partners of ``var`` with their coupling weights."""
+        return dict(self._adjacency.get(var, {}))
+
+    def degree(self, var: Variable) -> int:
+        """Number of variables coupled to ``var``."""
+        return len(self._adjacency.get(var, {}))
+
+    def max_degree(self) -> int:
+        """Maximum coupling degree over all variables (0 for empty models)."""
+        if not self._adjacency:
+            return 0
+        return max(len(partners) for partners in self._adjacency.values())
+
+    def __contains__(self, var: Variable) -> bool:
+        return var in self._linear
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._linear)
+
+    def __len__(self) -> int:
+        return len(self._linear)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<QUBOModel {self.num_variables} variables, "
+            f"{self.num_interactions} interactions, offset={self.offset:.3f}>"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Energy evaluation
+    # ------------------------------------------------------------------ #
+    def energy(self, assignment: Mapping[Variable, int]) -> float:
+        """Energy of a single assignment (missing variables default to 0)."""
+        total = self.offset
+        for var, weight in self._linear.items():
+            if weight and assignment.get(var, 0):
+                total += weight
+        for (u, v), weight in self._quadratic.items():
+            if weight and assignment.get(u, 0) and assignment.get(v, 0):
+                total += weight
+        return total
+
+    def energies(self, samples: np.ndarray, variable_order: Sequence[Variable]) -> np.ndarray:
+        """Vectorised energies for a 2-D array of samples.
+
+        Parameters
+        ----------
+        samples:
+            Array of shape ``(num_samples, num_variables)`` with 0/1 entries.
+        variable_order:
+            The variable corresponding to each sample column.
+        """
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != 2 or samples.shape[1] != len(variable_order):
+            raise QUBOError(
+                f"samples must have shape (n, {len(variable_order)}), got {samples.shape}"
+            )
+        index = {var: i for i, var in enumerate(variable_order)}
+        missing = [var for var in self._linear if var not in index]
+        if missing:
+            raise QUBOError(f"variable_order is missing QUBO variables: {missing[:5]}")
+        lin = np.zeros(len(variable_order))
+        for var, weight in self._linear.items():
+            lin[index[var]] = weight
+        energies = samples @ lin + self.offset
+        for (u, v), weight in self._quadratic.items():
+            if weight:
+                energies += weight * samples[:, index[u]] * samples[:, index[v]]
+        return energies
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def relabeled(self, mapping: Mapping[Variable, Variable]) -> "QUBOModel":
+        """Return a copy with variables renamed according to ``mapping``.
+
+        Variables absent from ``mapping`` keep their label.  The mapping
+        must be injective on the model's variables.
+        """
+        new_labels = [mapping.get(v, v) for v in self._linear]
+        if len(set(new_labels)) != len(new_labels):
+            raise QUBOError("relabeling collapses distinct variables onto the same label")
+        relabeled = QUBOModel(offset=self.offset)
+        for var, weight in self._linear.items():
+            relabeled.add_linear(mapping.get(var, var), weight)
+        for (u, v), weight in self._quadratic.items():
+            relabeled.add_quadratic(mapping.get(u, u), mapping.get(v, v), weight)
+        return relabeled
+
+    def copy(self) -> "QUBOModel":
+        """Deep copy of the model."""
+        return QUBOModel(self._linear, self._quadratic, self.offset)
+
+    def scaled(self, factor: float) -> "QUBOModel":
+        """Return a copy with all weights (and offset) multiplied by ``factor``."""
+        factor = self._check_weight(factor)
+        scaled = QUBOModel(offset=self.offset * factor)
+        for var, weight in self._linear.items():
+            scaled.add_linear(var, weight * factor)
+        for (u, v), weight in self._quadratic.items():
+            scaled.add_quadratic(u, v, weight * factor)
+        return scaled
+
+    def to_dense(self, variable_order: Sequence[Variable] | None = None) -> np.ndarray:
+        """Upper-triangular dense matrix ``W`` with ``E(x) = x^T W x + offset``."""
+        order = list(variable_order) if variable_order is not None else self.variables
+        index = {var: i for i, var in enumerate(order)}
+        matrix = np.zeros((len(order), len(order)))
+        for var, weight in self._linear.items():
+            matrix[index[var], index[var]] = weight
+        for (u, v), weight in self._quadratic.items():
+            i, j = index[u], index[v]
+            if i > j:
+                i, j = j, i
+            matrix[i, j] += weight
+        return matrix
+
+    def energy_range_bounds(self) -> Tuple[float, float]:
+        """Loose lower/upper bounds on the reachable energy.
+
+        The bounds simply accumulate all negative (resp. positive) weights
+        and are used to sanity-check penalty scaling, not for optimisation.
+        """
+        low = self.offset
+        high = self.offset
+        for weight in self._linear.values():
+            low += min(0.0, weight)
+            high += max(0.0, weight)
+        for weight in self._quadratic.values():
+            low += min(0.0, weight)
+            high += max(0.0, weight)
+        return low, high
+
+    def subinteractions(self, variables: Iterable[Variable]) -> "QUBOModel":
+        """Restriction of the model to the given variable subset."""
+        keep = set(variables)
+        sub = QUBOModel(offset=self.offset)
+        for var in keep:
+            if var in self._linear:
+                sub.add_linear(var, self._linear[var])
+        for (u, v), weight in self._quadratic.items():
+            if u in keep and v in keep:
+                sub.add_quadratic(u, v, weight)
+        return sub

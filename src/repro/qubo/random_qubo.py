@@ -1,0 +1,73 @@
+"""Random QUBO instance generators.
+
+Used for property-based tests of the solvers/embeddings and for the
+ablation benchmarks that need problems unrelated to MQO (e.g. comparing
+chain-strength rules on generic Chimera-structured instances).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.exceptions import QUBOError
+from repro.qubo.model import QUBOModel
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["random_qubo", "random_chimera_qubo"]
+
+
+def random_qubo(
+    num_variables: int,
+    density: float = 0.5,
+    weight_range: Tuple[float, float] = (-1.0, 1.0),
+    seed: SeedLike = None,
+) -> QUBOModel:
+    """A random QUBO on ``num_variables`` variables labelled ``0..n-1``.
+
+    Every pair couples with probability ``density``; linear and quadratic
+    weights are drawn uniformly from ``weight_range``.
+    """
+    if num_variables <= 0:
+        raise QUBOError("num_variables must be positive")
+    if not 0.0 <= density <= 1.0:
+        raise QUBOError(f"density must be in [0, 1], got {density}")
+    lo, hi = weight_range
+    if hi < lo:
+        raise QUBOError(f"invalid weight_range {weight_range}")
+    rng = ensure_rng(seed)
+    qubo = QUBOModel()
+    for i in range(num_variables):
+        qubo.add_linear(i, float(rng.uniform(lo, hi)))
+    for i in range(num_variables):
+        for j in range(i + 1, num_variables):
+            if rng.random() < density:
+                qubo.add_quadratic(i, j, float(rng.uniform(lo, hi)))
+    return qubo
+
+
+def random_chimera_qubo(
+    edges: Iterable[Tuple[int, int]],
+    nodes: Iterable[int],
+    weight_range: Tuple[float, float] = (-1.0, 1.0),
+    edge_probability: float = 1.0,
+    seed: SeedLike = None,
+) -> QUBOModel:
+    """A random QUBO whose couplings are restricted to the given edge set.
+
+    ``nodes``/``edges`` typically come from a :class:`ChimeraGraph`, which
+    makes the instance directly executable on the device simulator with a
+    one-to-one (identity) embedding.
+    """
+    lo, hi = weight_range
+    if hi < lo:
+        raise QUBOError(f"invalid weight_range {weight_range}")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise QUBOError(f"edge_probability must be in [0, 1], got {edge_probability}")
+    rng = ensure_rng(seed)
+    qubo = QUBOModel()
+    for node in nodes:
+        qubo.add_linear(node, float(rng.uniform(lo, hi)))
+    for u, v in edges:
+        if rng.random() < edge_probability:
+            qubo.add_quadratic(u, v, float(rng.uniform(lo, hi)))
+    return qubo

@@ -1,0 +1,13 @@
+"""Small shared utilities: RNG handling, stopwatches, and text tables."""
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.stopwatch import Stopwatch, VirtualClock
+from repro.utils.tables import format_table
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rng",
+    "Stopwatch",
+    "VirtualClock",
+    "format_table",
+]

@@ -1,0 +1,48 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts either a seed or a
+:class:`numpy.random.Generator` so experiments are reproducible end to
+end.  These helpers normalise the accepted inputs in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+__all__ = ["SeedLike", "ensure_rng", "spawn_rng"]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an integer seed, a
+        :class:`numpy.random.SeedSequence`, or an existing generator
+        (returned unchanged so callers can share a stream).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(f"cannot build a random generator from {type(seed).__name__}: {seed!r}")
+
+
+def spawn_rng(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    The children are produced by drawing fresh 64-bit seeds from the
+    parent stream, which keeps experiment scripts deterministic while
+    letting each solver/instance own an independent stream.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,79 @@
+"""Wall-clock and virtual clocks used by the anytime-solver framework.
+
+The experiment harness measures *how solution quality evolves over
+optimization time* (paper Section 7.2).  Classical solvers are measured
+against the host wall clock (:class:`Stopwatch`), while the simulated
+annealing device reports *device time* from the paper's timing model;
+both are expressed in milliseconds so trajectories are comparable.
+
+:class:`VirtualClock` exists so unit tests can drive time deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Stopwatch", "VirtualClock"]
+
+
+class Stopwatch:
+    """A restartable monotonic stopwatch reporting elapsed milliseconds."""
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+
+    def start(self) -> "Stopwatch":
+        """Start (or restart) the stopwatch and return ``self``."""
+        self._start = time.perf_counter()
+        return self
+
+    @property
+    def started(self) -> bool:
+        """Whether :meth:`start` has been called."""
+        return self._start is not None
+
+    def elapsed_ms(self) -> float:
+        """Milliseconds elapsed since :meth:`start`.
+
+        Raises
+        ------
+        RuntimeError
+            If the stopwatch was never started.
+        """
+        if self._start is None:
+            raise RuntimeError("Stopwatch.elapsed_ms() called before start()")
+        return (time.perf_counter() - self._start) * 1000.0
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+class VirtualClock:
+    """A manually advanced clock with the same ``elapsed_ms`` interface.
+
+    Used in tests and in the device simulator, where elapsed time is a
+    *model output* (number of reads times per-read duration) rather than
+    host wall-clock time.
+    """
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        if start_ms < 0:
+            raise ValueError(f"start_ms must be non-negative, got {start_ms}")
+        self._now_ms = float(start_ms)
+
+    def advance(self, delta_ms: float) -> None:
+        """Move the clock forward by ``delta_ms`` milliseconds."""
+        if delta_ms < 0:
+            raise ValueError(f"cannot advance by a negative duration ({delta_ms} ms)")
+        self._now_ms += delta_ms
+
+    def elapsed_ms(self) -> float:
+        """Current clock reading in milliseconds."""
+        return self._now_ms
+
+    def start(self) -> "VirtualClock":
+        """No-op for interface compatibility with :class:`Stopwatch`."""
+        return self

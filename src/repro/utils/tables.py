@@ -1,0 +1,66 @@
+"""Plain-text table rendering for benchmark and CLI output.
+
+The benchmark harness prints the same rows/series the paper reports
+(Table 1, Figures 4-7).  Rendering is kept dependency-free: fixed-width
+columns, a header separator, and right-aligned numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table"]
+
+
+def _render_cell(value: object, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_fmt: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row sequences; each row must have ``len(headers)`` cells.
+    float_fmt:
+        ``format()`` spec applied to ``float`` cells.
+    title:
+        Optional title printed above the table.
+    """
+    header_cells = [str(h) for h in headers]
+    body: list[list[str]] = []
+    for row in rows:
+        cells = [_render_cell(cell, float_fmt) for cell in row]
+        if len(cells) != len(header_cells):
+            raise ValueError(
+                f"row {cells!r} has {len(cells)} cells, expected {len(header_cells)}"
+            )
+        body.append(cells)
+
+    widths = [len(h) for h in header_cells]
+    for cells in body:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(header_cells))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(cells) for cells in body)
+    return "\n".join(lines)

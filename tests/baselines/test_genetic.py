@@ -1,0 +1,102 @@
+"""Tests for the genetic-algorithm baseline (GA(50)/GA(200))."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.baselines.genetic import GeneticAlgorithmSolver
+from repro.exceptions import SolverError
+from repro.mqo.generator import generate_paper_testcase
+
+
+class TestConfiguration:
+    def test_paper_defaults(self):
+        solver = GeneticAlgorithmSolver()
+        assert solver.population_size == 50
+        assert solver.crossover_rate == pytest.approx(0.35)
+        assert solver.mutation_rate == pytest.approx(1.0 / 12.0)
+
+    def test_name_includes_population(self):
+        assert GeneticAlgorithmSolver(population_size=200).name == "GA(200)"
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SolverError):
+            GeneticAlgorithmSolver(population_size=1)
+        with pytest.raises(SolverError):
+            GeneticAlgorithmSolver(crossover_rate=1.5)
+        with pytest.raises(SolverError):
+            GeneticAlgorithmSolver(mutation_rate=-0.1)
+        with pytest.raises(SolverError):
+            GeneticAlgorithmSolver(max_generations=0)
+
+    def test_invalid_budget(self, small_problem):
+        with pytest.raises(SolverError):
+            GeneticAlgorithmSolver().solve(small_problem, time_budget_ms=-1.0)
+
+
+class TestOperators:
+    def test_single_point_crossover_preserves_genes(self, rng):
+        solver = GeneticAlgorithmSolver()
+        parent_a = np.array([0, 0, 0, 0, 0])
+        parent_b = np.array([1, 1, 1, 1, 1])
+        child_a, child_b = solver._crossover(parent_a, parent_b, rng)
+        # Children are complementary prefixes/suffixes of the parents.
+        assert all(a + b == 1 for a, b in zip(child_a, child_b))
+        assert 1 <= int(child_a.sum()) <= 4 or 1 <= int(child_b.sum()) <= 4
+
+    def test_crossover_of_single_gene_parents(self, rng):
+        solver = GeneticAlgorithmSolver()
+        child_a, child_b = solver._crossover(np.array([0]), np.array([1]), rng)
+        assert list(child_a) == [0] and list(child_b) == [1]
+
+    def test_mutation_respects_plan_counts(self, rng):
+        solver = GeneticAlgorithmSolver(mutation_rate=1.0)
+        plan_counts = np.array([2, 3, 4])
+        mutated = solver._mutate(np.array([0, 0, 0]), plan_counts, rng)
+        assert all(0 <= gene < count for gene, count in zip(mutated, plan_counts))
+
+    def test_zero_mutation_rate_is_identity(self, rng):
+        solver = GeneticAlgorithmSolver(mutation_rate=0.0)
+        chromosome = np.array([1, 2, 0])
+        assert np.array_equal(solver._mutate(chromosome, np.array([2, 3, 2]), rng), chromosome)
+
+
+class TestSolving:
+    def test_finds_optimum_of_small_instance(self, small_problem):
+        best = min(
+            small_problem.solution_from_choices(list(choices)).cost
+            for choices in itertools.product(*(range(2) for _ in range(4)))
+        )
+        solver = GeneticAlgorithmSolver(population_size=30)
+        trajectory = solver.solve(small_problem, time_budget_ms=400, seed=0)
+        assert trajectory.best_cost == pytest.approx(best)
+
+    def test_quality_improves_with_generations(self):
+        problem = generate_paper_testcase(20, 3, seed=1)
+        solver = GeneticAlgorithmSolver(population_size=40, max_generations=30)
+        trajectory = solver.solve(problem, time_budget_ms=5_000, seed=2)
+        costs = [cost for _, cost in trajectory.points]
+        assert costs == sorted(costs, reverse=True)
+        assert trajectory.best_solution.is_valid
+
+    def test_max_generations_limits_work(self, small_problem):
+        solver = GeneticAlgorithmSolver(population_size=10, max_generations=2)
+        trajectory = solver.solve(small_problem, time_budget_ms=60_000, seed=3)
+        assert trajectory.best_solution is not None
+        assert trajectory.total_time_ms < 10_000
+
+    def test_deterministic_given_seed(self, medium_problem):
+        solver = GeneticAlgorithmSolver(population_size=20, max_generations=5)
+        a = solver.solve(medium_problem, time_budget_ms=10_000, seed=7)
+        b = solver.solve(medium_problem, time_budget_ms=10_000, seed=7)
+        assert a.best_cost == pytest.approx(b.best_cost)
+
+    def test_larger_population_not_worse_on_average(self):
+        """GA(200) should match or beat GA(50) given the same generous budget."""
+        problem = generate_paper_testcase(15, 3, seed=4)
+        small = GeneticAlgorithmSolver(population_size=20, max_generations=15)
+        large = GeneticAlgorithmSolver(population_size=100, max_generations=15)
+        cost_small = small.solve(problem, time_budget_ms=20_000, seed=5).best_cost
+        cost_large = large.solve(problem, time_budget_ms=20_000, seed=5).best_cost
+        assert cost_large <= cost_small + 1e-9

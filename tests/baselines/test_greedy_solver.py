@@ -1,0 +1,48 @@
+"""Tests for the constructive greedy baseline."""
+
+import pytest
+
+from repro.baselines.greedy import GreedyConstructiveSolver
+from repro.exceptions import SolverError
+from repro.mqo.generator import generate_paper_testcase
+from repro.mqo.problem import MQOProblem
+
+
+class TestGreedyConstructiveSolver:
+    def test_produces_valid_solution(self, small_problem):
+        solution = GreedyConstructiveSolver().construct(small_problem)
+        assert solution.is_valid
+
+    def test_exploits_obvious_sharing(self):
+        # Query 1 plan 1 enables a saving of 5 with query 0 plan 0; greedy
+        # should pick both and realise the saving.
+        problem = MQOProblem(
+            plans_per_query=[[5.0, 5.0], [5.0, 5.0]],
+            savings={(0, 2): 5.0},
+        )
+        solution = GreedyConstructiveSolver().construct(problem)
+        assert solution.cost == pytest.approx(5.0)
+
+    def test_never_worse_than_most_expensive_selection(self):
+        problem = generate_paper_testcase(15, 3, seed=2)
+        solution = GreedyConstructiveSolver().construct(problem)
+        worst = sum(
+            max(problem.plan_cost(p) for p in query.plan_indices)
+            for query in problem.queries
+        )
+        assert solution.cost <= worst
+
+    def test_solve_records_single_point(self, small_problem):
+        trajectory = GreedyConstructiveSolver().solve(small_problem, time_budget_ms=100)
+        assert trajectory.solver_name == "GREEDY"
+        assert len(trajectory.points) == 1
+        assert trajectory.best_solution.is_valid
+
+    def test_invalid_budget_rejected(self, small_problem):
+        with pytest.raises(SolverError):
+            GreedyConstructiveSolver().solve(small_problem, time_budget_ms=0.0)
+
+    def test_deterministic(self, medium_problem):
+        a = GreedyConstructiveSolver().construct(medium_problem)
+        b = GreedyConstructiveSolver().construct(medium_problem)
+        assert a.selected_plans == b.selected_plans

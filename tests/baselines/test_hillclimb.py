@@ -1,0 +1,77 @@
+"""Tests for the iterated hill-climbing baseline (CLIMB)."""
+
+import itertools
+
+import pytest
+
+from repro.baselines.hillclimb import IteratedHillClimbing
+from repro.exceptions import SolverError
+from repro.mqo.generator import generate_paper_testcase
+
+
+def exhaustive_optimum(problem):
+    return min(
+        problem.solution_from_choices(list(choices)).cost
+        for choices in itertools.product(*(range(q.num_plans) for q in problem.queries))
+    )
+
+
+class TestIteratedHillClimbing:
+    def test_name_matches_paper_legend(self):
+        assert IteratedHillClimbing().name == "CLIMB"
+
+    def test_invalid_budget_rejected(self, small_problem):
+        with pytest.raises(SolverError):
+            IteratedHillClimbing().solve(small_problem, time_budget_ms=0.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SolverError):
+            IteratedHillClimbing(max_restarts=0)
+        with pytest.raises(SolverError):
+            IteratedHillClimbing(budget_check_interval=0)
+
+    def test_finds_optimum_of_small_instances(self, small_problem):
+        trajectory = IteratedHillClimbing().solve(small_problem, time_budget_ms=300, seed=0)
+        assert trajectory.best_cost == pytest.approx(exhaustive_optimum(small_problem))
+        assert trajectory.best_solution.is_valid
+
+    def test_finds_optimum_of_paper_example(self, paper_example_problem):
+        trajectory = IteratedHillClimbing().solve(
+            paper_example_problem, time_budget_ms=200, seed=1
+        )
+        assert trajectory.best_cost == pytest.approx(2.0)
+
+    def test_solution_quality_is_monotone_over_time(self):
+        problem = generate_paper_testcase(20, 3, seed=5)
+        trajectory = IteratedHillClimbing().solve(problem, time_budget_ms=300, seed=2)
+        costs = [cost for _, cost in trajectory.points]
+        assert costs == sorted(costs, reverse=True)
+        assert trajectory.best_solution.is_valid
+
+    def test_respects_time_budget(self):
+        problem = generate_paper_testcase(30, 3, seed=6)
+        trajectory = IteratedHillClimbing().solve(problem, time_budget_ms=100, seed=3)
+        # Generous slack: a single climb step may overshoot slightly.
+        assert trajectory.total_time_ms < 1000
+
+    def test_max_restarts_limits_work(self, small_problem):
+        solver = IteratedHillClimbing(max_restarts=1)
+        trajectory = solver.solve(small_problem, time_budget_ms=10_000, seed=4)
+        assert trajectory.best_solution is not None
+        assert trajectory.total_time_ms < 5_000
+
+    def test_local_optimum_property(self):
+        """The final solution cannot be improved by changing a single query's plan."""
+        problem = generate_paper_testcase(12, 2, seed=9)
+        # A bounded number of restarts with a generous budget guarantees the
+        # incumbent comes from a completed climb (i.e. is a local optimum).
+        trajectory = IteratedHillClimbing(max_restarts=3).solve(
+            problem, time_budget_ms=10_000, seed=5
+        )
+        best = trajectory.best_solution
+        choices = best.choices()
+        for query in problem.queries:
+            for alternative in range(query.num_plans):
+                modified = list(choices)
+                modified[query.index] = alternative
+                assert problem.solution_from_choices(modified).cost >= best.cost - 1e-9

@@ -1,0 +1,130 @@
+"""Tests for the LIN-MQO and LIN-QUB integer programming baselines."""
+
+import itertools
+
+import pytest
+
+from repro.baselines.ilp_mqo import IntegerProgrammingMQOSolver, build_mqo_program
+from repro.baselines.ilp_qubo import IntegerProgrammingQUBOSolver, build_qubo_program
+from repro.core.logical import LogicalMapping
+from repro.exceptions import SolverError
+from repro.mqo.generator import generate_paper_testcase
+from repro.qubo.bruteforce import solve_bruteforce
+from repro.qubo.model import QUBOModel
+
+
+def exhaustive_optimum(problem):
+    return min(
+        problem.solution_from_choices(list(choices)).cost
+        for choices in itertools.product(*(range(q.num_plans) for q in problem.queries))
+    )
+
+
+class TestBuildMqoProgram:
+    def test_variable_counts(self, small_problem):
+        program, _ = build_mqo_program(small_problem)
+        expected = small_problem.num_plans + small_problem.num_savings
+        assert program.num_variables == expected
+
+    def test_constraint_counts(self, small_problem):
+        program, _ = build_mqo_program(small_problem)
+        # One equality per query, two inequalities per savings pair.
+        assert program.num_constraints == (
+            small_problem.num_queries + 2 * small_problem.num_savings
+        )
+
+
+class TestLinMqo:
+    def test_name_matches_paper_legend(self):
+        assert IntegerProgrammingMQOSolver().name == "LIN-MQO"
+
+    def test_invalid_budget(self, small_problem):
+        with pytest.raises(SolverError):
+            IntegerProgrammingMQOSolver().solve(small_problem, time_budget_ms=0)
+
+    def test_solves_paper_example(self, paper_example_problem):
+        trajectory = IntegerProgrammingMQOSolver().solve(
+            paper_example_problem, time_budget_ms=10_000
+        )
+        assert trajectory.proved_optimal
+        assert trajectory.best_cost == pytest.approx(2.0)
+        assert trajectory.best_solution.selected_plans == frozenset({1, 2})
+
+    def test_matches_exhaustive_optimum(self, small_problem):
+        trajectory = IntegerProgrammingMQOSolver().solve(small_problem, time_budget_ms=10_000)
+        assert trajectory.proved_optimal
+        assert trajectory.best_cost == pytest.approx(exhaustive_optimum(small_problem))
+
+    def test_matches_optimum_on_generated_instance(self):
+        problem = generate_paper_testcase(10, 2, seed=3)
+        trajectory = IntegerProgrammingMQOSolver().solve(problem, time_budget_ms=30_000)
+        assert trajectory.proved_optimal
+        assert trajectory.best_cost == pytest.approx(exhaustive_optimum(problem))
+
+    def test_warm_start_provides_immediate_incumbent(self, medium_problem):
+        trajectory = IntegerProgrammingMQOSolver(warm_start=True).solve(
+            medium_problem, time_budget_ms=10_000
+        )
+        assert trajectory.points
+        assert trajectory.best_solution.is_valid
+
+    def test_anytime_points_are_monotone(self, medium_problem):
+        trajectory = IntegerProgrammingMQOSolver().solve(medium_problem, time_budget_ms=10_000)
+        costs = [cost for _, cost in trajectory.points]
+        assert costs == sorted(costs, reverse=True)
+
+
+class TestBuildQuboProgram:
+    def test_linearization_counts(self):
+        qubo = QUBOModel(linear={0: 1.0, 1: -1.0}, quadratic={(0, 1): 2.0})
+        program = build_qubo_program(qubo)
+        assert program.num_variables == 3  # two x plus one y
+        assert program.num_constraints == 1  # positive weight: one >= constraint
+
+    def test_negative_weight_uses_two_constraints(self):
+        qubo = QUBOModel(quadratic={(0, 1): -2.0})
+        program = build_qubo_program(qubo)
+        assert program.num_constraints == 2
+
+    def test_linearization_preserves_optimum(self):
+        """The linearised program has the same optimal value as the QUBO."""
+        from repro.baselines.milp.branch_and_bound import BranchAndBoundSolver
+
+        qubo = QUBOModel(
+            linear={0: 1.0, 1: -2.0, 2: 0.5},
+            quadratic={(0, 1): 1.5, (1, 2): -2.5, (0, 2): 1.0},
+        )
+        _assignment, optimum = solve_bruteforce(qubo)
+        program = build_qubo_program(qubo)
+        result = BranchAndBoundSolver().solve(program)
+        assert result.proved_optimal
+        assert result.objective == pytest.approx(optimum)
+
+
+class TestLinQub:
+    def test_name_matches_paper_legend(self):
+        assert IntegerProgrammingQUBOSolver().name == "LIN-QUB"
+
+    def test_solves_paper_example(self, paper_example_problem):
+        trajectory = IntegerProgrammingQUBOSolver().solve(
+            paper_example_problem, time_budget_ms=10_000
+        )
+        assert trajectory.best_cost == pytest.approx(2.0)
+
+    def test_matches_lin_mqo_on_small_instance(self, small_problem):
+        lin_mqo = IntegerProgrammingMQOSolver().solve(small_problem, time_budget_ms=10_000)
+        lin_qub = IntegerProgrammingQUBOSolver().solve(small_problem, time_budget_ms=10_000)
+        assert lin_qub.best_cost == pytest.approx(lin_mqo.best_cost)
+
+    def test_energy_consistency_with_logical_mapping(self, small_problem):
+        """The LIN-QUB objective equals the QUBO energy of its solution."""
+        mapping = LogicalMapping(small_problem)
+        trajectory = IntegerProgrammingQUBOSolver().solve(small_problem, time_budget_ms=10_000)
+        solution = trajectory.best_solution
+        energy = mapping.energy_of_solution(solution)
+        # Energy = cost + constant shift for valid solutions (Theorem 1).
+        assert energy == pytest.approx(solution.cost + mapping.constant_energy_shift())
+
+    def test_invalid_budget(self, small_problem):
+        with pytest.raises(SolverError):
+            IntegerProgrammingQUBOSolver().solve(small_problem, time_budget_ms=0)

@@ -1,0 +1,99 @@
+"""Tests for the binary linear program container."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.milp.model import BinaryLinearProgram
+from repro.exceptions import SolverError
+
+
+class TestVariables:
+    def test_add_and_index(self):
+        program = BinaryLinearProgram()
+        assert program.add_variable("x", 1.5) == 0
+        assert program.add_variable("y") == 1
+        assert program.index_of("y") == 1
+        assert program.num_variables == 2
+        assert program.variable_names == ["x", "y"]
+
+    def test_duplicate_variable_rejected(self):
+        program = BinaryLinearProgram()
+        program.add_variable("x")
+        with pytest.raises(SolverError):
+            program.add_variable("x")
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(SolverError):
+            BinaryLinearProgram().index_of("missing")
+
+    def test_objective_accumulation(self):
+        program = BinaryLinearProgram()
+        program.add_variable("x", 1.0)
+        program.add_objective("x", 2.5)
+        assert np.allclose(program.objective_vector(), [3.5])
+
+
+class TestConstraints:
+    def test_equality_matrix(self):
+        program = BinaryLinearProgram()
+        program.add_variable("x")
+        program.add_variable("y")
+        program.add_equality({"x": 1.0, "y": 1.0}, 1.0)
+        a_eq, b_eq = program.equality_matrix()
+        assert a_eq.shape == (1, 2)
+        assert np.allclose(a_eq.toarray(), [[1.0, 1.0]])
+        assert np.allclose(b_eq, [1.0])
+
+    def test_less_equal_and_greater_equal(self):
+        program = BinaryLinearProgram()
+        program.add_variable("x")
+        program.add_less_equal({"x": 2.0}, 1.0)
+        program.add_greater_equal({"x": 1.0}, 0.5)
+        a_ub, b_ub = program.inequality_matrix()
+        assert a_ub.shape == (2, 1)
+        assert np.allclose(a_ub.toarray(), [[2.0], [-1.0]])
+        assert np.allclose(b_ub, [1.0, -0.5])
+
+    def test_empty_matrices_are_none(self):
+        program = BinaryLinearProgram()
+        program.add_variable("x")
+        assert program.equality_matrix() == (None, None)
+        assert program.inequality_matrix() == (None, None)
+
+    def test_num_constraints(self):
+        program = BinaryLinearProgram()
+        program.add_variable("x")
+        program.add_equality({"x": 1.0}, 1.0)
+        program.add_less_equal({"x": 1.0}, 1.0)
+        assert program.num_constraints == 2
+
+
+class TestEvaluation:
+    def _simple_program(self):
+        program = BinaryLinearProgram()
+        program.add_variable("x", 1.0)
+        program.add_variable("y", -2.0)
+        program.add_equality({"x": 1.0, "y": 1.0}, 1.0)
+        program.add_less_equal({"y": 1.0}, 1.0)
+        return program
+
+    def test_objective_value(self):
+        program = self._simple_program()
+        assert program.objective_value(np.array([1.0, 0.0])) == pytest.approx(1.0)
+        assert program.objective_value(np.array([0.0, 1.0])) == pytest.approx(-2.0)
+
+    def test_objective_value_shape_check(self):
+        with pytest.raises(SolverError):
+            self._simple_program().objective_value(np.array([1.0]))
+
+    def test_feasibility(self):
+        program = self._simple_program()
+        assert program.is_feasible(np.array([1.0, 0.0]))
+        assert program.is_feasible(np.array([0.0, 1.0]))
+        assert not program.is_feasible(np.array([1.0, 1.0]))
+        assert not program.is_feasible(np.array([0.0, 0.0]))
+
+    def test_assignment_by_name(self):
+        program = self._simple_program()
+        named = program.assignment_by_name(np.array([1.0, 0.0]))
+        assert named == {"x": 1.0, "y": 0.0}

@@ -1,0 +1,77 @@
+"""Tests for the incremental plan-selection state."""
+
+import itertools
+
+import pytest
+
+from repro.baselines.selection_state import SelectionState
+from repro.exceptions import InvalidSolutionError
+from repro.mqo.generator import generate_paper_testcase
+
+
+class TestSelectionState:
+    def test_initial_cost_matches_solution(self, small_problem):
+        state = SelectionState(small_problem, [0, 1, 0, 1])
+        assert state.cost == pytest.approx(
+            small_problem.solution_from_choices([0, 1, 0, 1]).cost
+        )
+
+    def test_invalid_choices_rejected(self, small_problem):
+        with pytest.raises(InvalidSolutionError):
+            SelectionState(small_problem, [0, 1])
+        with pytest.raises(InvalidSolutionError):
+            SelectionState(small_problem, [0, 1, 0, 5])
+
+    def test_swap_delta_matches_full_recompute(self, small_problem):
+        state = SelectionState(small_problem, [0, 0, 0, 0])
+        for query_index in range(small_problem.num_queries):
+            for choice in range(small_problem.query(query_index).num_plans):
+                new_choices = state.choices
+                new_choices[query_index] = choice
+                expected = (
+                    small_problem.solution_from_choices(new_choices).cost - state.cost
+                )
+                assert state.swap_delta(query_index, choice) == pytest.approx(expected)
+
+    def test_apply_swap_updates_cost_incrementally(self, small_problem):
+        state = SelectionState(small_problem, [0, 0, 0, 0])
+        state.apply_swap(1, 1)
+        state.apply_swap(2, 1)
+        expected = small_problem.solution_from_choices([0, 1, 1, 0]).cost
+        assert state.cost == pytest.approx(expected)
+        assert state.choices == [0, 1, 1, 0]
+
+    def test_apply_noop_swap(self, small_problem):
+        state = SelectionState(small_problem, [0, 0, 0, 0])
+        assert state.apply_swap(0, 0) == 0.0
+        assert state.choices == [0, 0, 0, 0]
+
+    def test_swap_out_of_range_rejected(self, small_problem):
+        state = SelectionState(small_problem, [0, 0, 0, 0])
+        with pytest.raises(InvalidSolutionError):
+            state.swap_delta(0, 5)
+
+    def test_to_solution_roundtrip(self, small_problem):
+        state = SelectionState(small_problem, [1, 0, 1, 0])
+        solution = state.to_solution()
+        assert solution.is_valid
+        assert solution.choices() == [1, 0, 1, 0]
+
+    def test_copy_is_independent(self, small_problem):
+        state = SelectionState(small_problem, [0, 0, 0, 0])
+        clone = state.copy()
+        clone.apply_swap(0, 1)
+        assert state.choices == [0, 0, 0, 0]
+
+    def test_incremental_consistency_on_generated_instance(self):
+        problem = generate_paper_testcase(10, 3, seed=3)
+        state = SelectionState(problem, [0] * 10)
+        # Apply a pseudo-random walk of swaps and check full recomputation.
+        for step, (query, choice) in enumerate(
+            itertools.product(range(10), range(3))
+        ):
+            state.apply_swap(query, choice)
+            if step % 7 == 0:
+                assert state.cost == pytest.approx(
+                    problem.solution_from_choices(state.choices).cost
+                )

@@ -1,0 +1,66 @@
+"""Cross-solver agreement: every baseline converges on small instances.
+
+These tests treat the exhaustive MQO optimum as ground truth and check
+that the exact solver proves it and that the heuristics reach it on
+instances small enough that they must.
+"""
+
+import itertools
+
+import pytest
+
+from repro.baselines.genetic import GeneticAlgorithmSolver
+from repro.baselines.greedy import GreedyConstructiveSolver
+from repro.baselines.hillclimb import IteratedHillClimbing
+from repro.baselines.ilp_mqo import IntegerProgrammingMQOSolver
+from repro.mqo.generator import generate_paper_testcase, generate_random_problem
+
+
+def exhaustive_optimum(problem):
+    return min(
+        problem.solution_from_choices(list(choices)).cost
+        for choices in itertools.product(*(range(q.num_plans) for q in problem.queries))
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+class TestAgreementOnGeneratedInstances:
+    def _problem(self, seed):
+        return generate_paper_testcase(7, 2, seed=seed)
+
+    def test_ilp_proves_exhaustive_optimum(self, seed):
+        problem = self._problem(seed)
+        trajectory = IntegerProgrammingMQOSolver().solve(problem, time_budget_ms=20_000)
+        assert trajectory.proved_optimal
+        assert trajectory.best_cost == pytest.approx(exhaustive_optimum(problem))
+
+    def test_hillclimb_reaches_optimum(self, seed):
+        problem = self._problem(seed)
+        trajectory = IteratedHillClimbing().solve(problem, time_budget_ms=400, seed=seed)
+        assert trajectory.best_cost == pytest.approx(exhaustive_optimum(problem))
+
+    def test_genetic_reaches_optimum(self, seed):
+        problem = self._problem(seed)
+        trajectory = GeneticAlgorithmSolver(population_size=40).solve(
+            problem, time_budget_ms=800, seed=seed
+        )
+        assert trajectory.best_cost == pytest.approx(exhaustive_optimum(problem))
+
+    def test_greedy_never_beats_optimum(self, seed):
+        problem = self._problem(seed)
+        solution = GreedyConstructiveSolver().construct(problem)
+        assert solution.cost >= exhaustive_optimum(problem) - 1e-9
+
+
+class TestAgreementOnDenseRandomInstance:
+    def test_all_solvers_agree(self):
+        problem = generate_random_problem(6, 2, sharing_density=0.5, seed=11)
+        optimum = exhaustive_optimum(problem)
+        ilp = IntegerProgrammingMQOSolver().solve(problem, time_budget_ms=20_000)
+        climb = IteratedHillClimbing().solve(problem, time_budget_ms=300, seed=1)
+        ga = GeneticAlgorithmSolver(population_size=30).solve(
+            problem, time_budget_ms=500, seed=1
+        )
+        assert ilp.best_cost == pytest.approx(optimum)
+        assert climb.best_cost == pytest.approx(optimum)
+        assert ga.best_cost == pytest.approx(optimum)

@@ -1,0 +1,63 @@
+"""Tests for the broken-qubit defect models."""
+
+import pytest
+
+from repro.chimera.defects import DefectModel, sample_broken_qubits
+from repro.chimera.topology import ChimeraGraph
+from repro.exceptions import TopologyError
+
+
+class TestSampleBrokenQubits:
+    def test_count_and_range(self):
+        broken = sample_broken_qubits(100, 10, seed=0)
+        assert len(broken) == 10
+        assert all(0 <= q < 100 for q in broken)
+
+    def test_deterministic(self):
+        assert sample_broken_qubits(50, 5, seed=1) == sample_broken_qubits(50, 5, seed=1)
+
+    def test_zero_broken(self):
+        assert sample_broken_qubits(10, 0) == frozenset()
+
+    def test_negative_rejected(self):
+        with pytest.raises(TopologyError):
+            sample_broken_qubits(10, -1)
+
+    def test_too_many_rejected(self):
+        with pytest.raises(TopologyError):
+            sample_broken_qubits(10, 11)
+
+
+class TestDefectModel:
+    def test_paper_yield(self):
+        model = DefectModel()
+        # The paper machine: 55 of 1152 qubit sites broken.
+        assert model.num_broken(1152) == 55
+
+    def test_apply_breaks_requested_fraction(self):
+        model = DefectModel(broken_fraction=0.1)
+        topo = DefectModel(broken_fraction=0.1).apply(ChimeraGraph(4, 4), seed=0)
+        assert len(topo.broken_qubits) == model.num_broken(128)
+
+    def test_apply_is_deterministic(self):
+        model = DefectModel(broken_fraction=0.05)
+        a = model.apply(ChimeraGraph(4, 4), seed=3)
+        b = model.apply(ChimeraGraph(4, 4), seed=3)
+        assert a.broken_qubits == b.broken_qubits
+
+    def test_apply_preserves_existing_defects(self):
+        model = DefectModel(broken_fraction=0.1)
+        base = ChimeraGraph(4, 4, broken_qubits=[0, 1, 2])
+        result = model.apply(base, seed=1)
+        assert {0, 1, 2} <= set(result.broken_qubits)
+
+    def test_apply_noop_when_target_already_met(self):
+        base = ChimeraGraph(2, 2, broken_qubits=list(range(10)))
+        result = DefectModel(broken_fraction=0.1).apply(base, seed=0)
+        assert result is base
+
+    def test_invalid_fraction(self):
+        with pytest.raises(TopologyError):
+            DefectModel(broken_fraction=1.0)
+        with pytest.raises(TopologyError):
+            DefectModel(broken_fraction=-0.1)

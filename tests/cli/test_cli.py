@@ -1,0 +1,82 @@
+"""Tests for the repro-mqo command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.mqo.generator import generate_paper_testcase
+from repro.mqo.serialization import save_problem
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.queries == 20
+        assert args.plans == 2
+        assert not args.baselines
+
+    def test_capacity_defaults(self):
+        args = build_parser().parse_args(["capacity"])
+        assert args.qubits == [1152, 2304, 4608]
+        assert args.pattern == "clustered"
+
+
+class TestInfoCommand:
+    def test_prints_device_json(self, capsys):
+        assert main(["info"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["device"]["total_qubits"] == 1152
+        assert payload["device"]["functional_qubits"] == 1097
+
+
+class TestCapacityCommand:
+    def test_prints_frontier(self, capsys):
+        assert main(["capacity", "--qubits", "1152"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 7" in output
+        assert "1152 qubits" in output
+
+    def test_native_pattern(self, capsys):
+        assert main(["capacity", "--qubits", "1097", "--pattern", "native"]) == 0
+        assert "native" in capsys.readouterr().out
+
+
+class TestSolveCommand:
+    def test_solve_generated_instance(self, capsys):
+        exit_code = main(["solve", "--queries", "6", "--plans", "2", "--reads", "30", "--seed", "1"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "QA" in output
+        assert "best cost" in output
+
+    def test_solve_with_baselines(self, capsys):
+        exit_code = main(
+            [
+                "solve",
+                "--queries",
+                "5",
+                "--plans",
+                "2",
+                "--reads",
+                "20",
+                "--baselines",
+                "--budget-ms",
+                "200",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "LIN-MQO" in output
+        assert "CLIMB" in output
+
+    def test_solve_problem_file(self, tmp_path, capsys):
+        problem = generate_paper_testcase(5, 2, seed=3)
+        path = save_problem(problem, tmp_path / "problem.json")
+        exit_code = main(["solve", "--problem-file", str(path), "--reads", "20"])
+        assert exit_code == 0
+        assert problem.name in capsys.readouterr().out

@@ -1,0 +1,134 @@
+"""Tests for the qubit-complexity analysis (paper Section 6, Figure 7)."""
+
+import math
+
+import pytest
+
+from repro.chimera.topology import ChimeraGraph
+from repro.core.complexity import (
+    CapacityPoint,
+    capacity_frontier,
+    clustered_pattern_qubits,
+    logical_qubit_lower_bound,
+    max_queries_for_qubits,
+    native_pattern_qubits,
+    preprocessing_operation_count,
+)
+from repro.core.logical import LogicalMapping
+from repro.embedding.clustered import ClusteredEmbedder
+from repro.exceptions import InvalidProblemError
+from repro.mqo.generator import generate_clustered_problem
+
+
+class TestLowerBound:
+    def test_theorem2_growth_rate(self):
+        """Omega(n * (m*l)^2): scaling m*l by 4 scales the bound by ~16."""
+        small = logical_qubit_lower_bound(2, 2, 3)
+        large = logical_qubit_lower_bound(2, 8, 3)
+        assert large >= 10 * small
+
+    def test_linear_in_clusters(self):
+        assert logical_qubit_lower_bound(4, 2, 2) == 4 * logical_qubit_lower_bound(1, 2, 2)
+
+    def test_at_least_one_qubit_per_plan(self):
+        assert logical_qubit_lower_bound(1, 1, 3) >= 3
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(InvalidProblemError):
+            logical_qubit_lower_bound(0, 1, 1)
+
+
+class TestPatternCounts:
+    def test_clustered_matches_triad_formula(self):
+        # One cluster of m*l plans needs m*l chains of length ceil(m*l/4)+1.
+        assert clustered_pattern_qubits(1, 2, 4) == 8 * 3
+        assert clustered_pattern_qubits(3, 1, 5) == 3 * 5 * 3
+
+    def test_clustered_upper_bounds_lower_bound(self):
+        for n, m, l in [(1, 1, 2), (2, 3, 4), (5, 2, 5)]:
+            assert clustered_pattern_qubits(n, m, l) >= logical_qubit_lower_bound(n, m, l)
+
+    def test_clustered_matches_actual_embedding(self):
+        """The closed-form count matches the qubits used by ClusteredEmbedder."""
+        topology = ChimeraGraph(6, 6)
+        clusters = [[f"c{c}_{i}" for i in range(6)] for c in range(3)]
+        embedding = ClusteredEmbedder(topology).embed(clusters)
+        assert embedding.num_qubits == clustered_pattern_qubits(3, 1, 6)
+
+    def test_native_counts(self):
+        assert native_pattern_qubits(10, 1) == 10
+        assert native_pattern_qubits(10, 2) == 20
+        assert native_pattern_qubits(10, 3) == 40
+        assert native_pattern_qubits(10, 5) == 80
+
+    def test_native_rejects_oversized_cliques(self):
+        with pytest.raises(InvalidProblemError):
+            native_pattern_qubits(10, 6)
+
+    def test_invalid_shore(self):
+        with pytest.raises(InvalidProblemError):
+            clustered_pattern_qubits(1, 1, 2, shore=0)
+
+
+class TestCapacity:
+    def test_paper_scale_clustered_capacities(self):
+        # With the per-query TRIAD pattern, 1152 qubits host 288 two-plan queries.
+        assert max_queries_for_qubits(1152, 2, pattern="clustered") == 288
+        assert max_queries_for_qubits(1152, 5, pattern="clustered") == 76
+
+    def test_native_capacity_matches_paper_order_of_magnitude(self):
+        # The paper treats 537 two-plan queries on 1097 functional qubits.
+        assert max_queries_for_qubits(1097, 2, pattern="native") == 548
+        assert max_queries_for_qubits(1097, 5, pattern="native") == 137
+
+    def test_doubling_qubits_roughly_doubles_capacity(self):
+        for plans in (2, 3, 5):
+            base = max_queries_for_qubits(1152, plans)
+            doubled = max_queries_for_qubits(2304, plans)
+            # Integer division can add one extra query beyond the exact double.
+            assert 2 * base <= doubled <= 2 * base + 1
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            max_queries_for_qubits(100, 2, pattern="magic")
+
+    def test_native_pattern_oversized_returns_zero(self):
+        assert max_queries_for_qubits(1000, 9, pattern="native") == 0
+
+    def test_capacity_frontier_structure(self):
+        frontier = capacity_frontier(1152, plans_range=(2, 5, 10))
+        assert [point.plans_per_query for point in frontier] == [2, 5, 10]
+        assert all(isinstance(point, CapacityPoint) for point in frontier)
+
+    def test_capacity_frontier_monotone_decreasing(self):
+        frontier = capacity_frontier(4608, plans_range=range(2, 21))
+        capacities = [point.max_queries for point in frontier]
+        assert capacities == sorted(capacities, reverse=True)
+
+    def test_capacity_frontier_grows_with_budget(self):
+        small = {p.plans_per_query: p.max_queries for p in capacity_frontier(1152)}
+        large = {p.plans_per_query: p.max_queries for p in capacity_frontier(4608)}
+        assert all(large[k] >= small[k] for k in small)
+
+
+class TestPreprocessingComplexity:
+    def test_operation_count_formula(self):
+        assert preprocessing_operation_count(2, 3, 4) == 2 * (12**2)
+
+    def test_qubo_size_tracks_theorem4_bound(self):
+        """The number of QUBO terms grows like O(n*(m*l)^2) for dense clusters."""
+        sizes = []
+        for queries_per_cluster in (2, 4):
+            problem = generate_clustered_problem(
+                2, queries_per_cluster, 2, intra_cluster_density=1.0, seed=0
+            )
+            mapping = LogicalMapping(problem)
+            terms = mapping.qubo.num_variables + mapping.qubo.num_interactions
+            sizes.append(terms)
+        # Doubling m (queries per cluster) should roughly quadruple the
+        # number of quadratic terms; allow generous slack.
+        assert sizes[1] >= 3 * sizes[0]
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(InvalidProblemError):
+            preprocessing_operation_count(1, 0, 1)

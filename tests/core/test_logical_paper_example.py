@@ -1,0 +1,53 @@
+"""Reproduction of the worked Example 1 from paper Section 4.
+
+Four plans with costs 2, 4, 3, 1 (plans 1/2 for query 1, plans 3/4 for
+query 2); plans 2 and 3 share an intermediate result worth 5 cost units.
+The paper states that the QUBO minimum selects exactly those two plans.
+"""
+
+import pytest
+
+from repro.core.logical import LogicalMapping
+from repro.qubo.bruteforce import solve_bruteforce
+
+
+class TestPaperExample1:
+    def test_energy_terms(self, paper_example_problem):
+        mapping = LogicalMapping(paper_example_problem)
+        qubo = mapping.qubo
+        # E_C coefficients: 2, 4, 3, 1 (minus w_L each).
+        costs = [2.0, 4.0, 3.0, 1.0]
+        for plan_index, cost in enumerate(costs):
+            assert qubo.get_linear(plan_index) == pytest.approx(
+                cost - mapping.weight_at_least_one
+            )
+        # E_S: -5 between plans 1 and 2 (paper's p2, p3).
+        assert qubo.get_quadratic(1, 2) == pytest.approx(-5.0)
+        # E_M: w_M between plans of the same query.
+        assert qubo.get_quadratic(0, 1) == pytest.approx(mapping.weight_at_most_one)
+        assert qubo.get_quadratic(2, 3) == pytest.approx(mapping.weight_at_most_one)
+
+    def test_paper_weight_values(self, paper_example_problem):
+        """The paper uses w_L = 4 + eps and w_M = w_L + 5 (+ eps in our mapping)."""
+        mapping = LogicalMapping(paper_example_problem)
+        assert mapping.weight_at_least_one == pytest.approx(4.25)
+        assert mapping.weight_at_most_one == pytest.approx(4.25 + 5.0 + 0.25)
+
+    def test_global_minimum_selects_plans_2_and_3(self, paper_example_problem):
+        """X1=0, X2=1, X3=1, X4=0 minimises the energy formula (paper)."""
+        mapping = LogicalMapping(paper_example_problem)
+        assignment, _energy = solve_bruteforce(mapping.qubo)
+        assert assignment == {0: 0, 1: 1, 2: 1, 3: 0}
+
+    def test_minimum_is_the_optimal_mqo_solution(self, paper_example_problem):
+        mapping = LogicalMapping(paper_example_problem)
+        assignment, _energy = solve_bruteforce(mapping.qubo)
+        solution = mapping.solution_from_assignment(assignment)
+        assert solution.is_valid
+        assert solution.cost == pytest.approx(2.0)  # 4 + 3 - 5
+
+    def test_minimum_beats_all_other_valid_selections(self, paper_example_problem):
+        optimal_cost = 2.0
+        for choices in ([0, 0], [0, 1], [1, 0], [1, 1]):
+            cost = paper_example_problem.solution_from_choices(choices).cost
+            assert cost >= optimal_cost - 1e-9

@@ -1,0 +1,92 @@
+"""Property-based correctness tests of the logical mapping (paper Section 6).
+
+Theorem 1 states that the energy formula is minimised by a *valid* MQO
+solution of *minimal execution cost*.  These tests verify the theorem (and
+its two lemmata) on randomly generated small instances by brute-forcing
+the QUBO and comparing against exhaustive enumeration of the MQO search
+space.
+"""
+
+import itertools
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.logical import LogicalMapping, LogicalMappingConfig
+from repro.mqo.problem import MQOProblem
+from repro.qubo.bruteforce import solve_bruteforce
+
+
+@st.composite
+def small_mqo_problems(draw):
+    """Random MQO problems small enough for exhaustive verification."""
+    num_queries = draw(st.integers(min_value=1, max_value=3))
+    plans_per_query = [
+        [
+            float(draw(st.integers(min_value=0, max_value=10)))
+            for _ in range(draw(st.integers(min_value=1, max_value=3)))
+        ]
+        for _ in range(num_queries)
+    ]
+    problem = MQOProblem(plans_per_query)
+    plan_query = {p.index: p.query_index for p in problem.plans}
+    savings = {}
+    for p1 in plan_query:
+        for p2 in plan_query:
+            if p1 < p2 and plan_query[p1] != plan_query[p2] and draw(st.booleans()):
+                savings[(p1, p2)] = float(draw(st.integers(min_value=1, max_value=8)))
+    return MQOProblem(plans_per_query, savings)
+
+
+def brute_force_mqo_optimum(problem: MQOProblem) -> float:
+    """Optimal cost by enumerating every valid plan combination."""
+    best = float("inf")
+    ranges = [range(query.num_plans) for query in problem.queries]
+    for choices in itertools.product(*ranges):
+        best = min(best, problem.solution_from_choices(list(choices)).cost)
+    return best
+
+
+class TestTheorem1:
+    @given(small_mqo_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_qubo_minimum_is_valid(self, problem):
+        """Lemmata 1 and 2: the minimising assignment selects exactly one plan per query."""
+        mapping = LogicalMapping(problem)
+        assignment, _energy = solve_bruteforce(mapping.qubo)
+        assert mapping.solution_from_assignment(assignment).is_valid
+
+    @given(small_mqo_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_qubo_minimum_is_cost_optimal(self, problem):
+        """Theorem 1: the minimising assignment has minimal execution cost."""
+        mapping = LogicalMapping(problem)
+        assignment, _energy = solve_bruteforce(mapping.qubo)
+        solution = mapping.solution_from_assignment(assignment)
+        assert abs(solution.cost - brute_force_mqo_optimum(problem)) < 1e-9
+
+    @given(small_mqo_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_energy_offset_between_valid_solutions_equals_cost_difference(self, problem):
+        """E_L and E_M are constant across valid solutions, so energy differences
+        equal cost differences (the proof idea of Theorem 1)."""
+        mapping = LogicalMapping(problem)
+        ranges = [range(query.num_plans) for query in problem.queries]
+        combos = list(itertools.product(*ranges))[:8]
+        solutions = [problem.solution_from_choices(list(c)) for c in combos]
+        energies = [mapping.energy_of_solution(s) for s in solutions]
+        for sol, energy in zip(solutions, energies):
+            assert abs(
+                (energy - energies[0]) - (sol.cost - solutions[0].cost)
+            ) < 1e-9
+
+    @given(small_mqo_problems())
+    @settings(max_examples=25, deadline=None)
+    def test_correctness_is_preserved_under_weight_scaling(self, problem):
+        """Larger-than-minimal penalty weights never break correctness."""
+        config = LogicalMappingConfig(weight_scale=5.0)
+        mapping = LogicalMapping(problem, config)
+        assignment, _energy = solve_bruteforce(mapping.qubo)
+        solution = mapping.solution_from_assignment(assignment)
+        assert solution.is_valid
+        assert abs(solution.cost - brute_force_mqo_optimum(problem)) < 1e-9

@@ -1,0 +1,122 @@
+"""Tests for the end-to-end QuantumMQO pipeline (Algorithm 1)."""
+
+import pytest
+
+from repro.annealer.device import DWaveSamplerSimulator
+from repro.annealer.noise import NoiseModel
+from repro.core.pipeline import QuantumMQO
+from repro.embedding.base import Embedding
+from repro.embedding.native import NativeClusteredEmbedder
+from repro.exceptions import EmbeddingError
+from repro.mqo.generator import generate_paper_testcase
+from repro.mqo.problem import MQOProblem
+
+
+@pytest.fixture()
+def pipeline(ideal_device):
+    return QuantumMQO(device=ideal_device, seed=1)
+
+
+class TestSolveSmallProblems:
+    def test_paper_example_solved_optimally(self, pipeline, paper_example_problem):
+        result = pipeline.solve(paper_example_problem, num_reads=40, num_gauges=4)
+        assert result.best_solution.is_valid
+        assert result.best_solution.cost == pytest.approx(2.0)
+        assert result.best_solution.selected_plans == frozenset({1, 2})
+
+    def test_small_problem_matches_exhaustive_optimum(self, pipeline, small_problem):
+        import itertools
+
+        best = min(
+            small_problem.solution_from_choices(list(choices)).cost
+            for choices in itertools.product(*(range(q.num_plans) for q in small_problem.queries))
+        )
+        result = pipeline.solve(small_problem, num_reads=60, num_gauges=6)
+        assert result.best_solution.cost == pytest.approx(best)
+
+    def test_result_contents(self, pipeline, paper_example_problem):
+        result = pipeline.solve(paper_example_problem, num_reads=20, num_gauges=2)
+        assert result.problem is paper_example_problem
+        assert result.sample_set.num_reads == 20
+        assert len(result.trajectory) == 20
+        assert result.preprocessing_time_ms > 0.0
+        assert result.qubits_per_variable >= 1.0
+
+    def test_trajectory_is_monotone_and_timed(self, pipeline, medium_problem):
+        result = pipeline.solve(medium_problem, num_reads=30, num_gauges=3)
+        times = [t for t, _ in result.trajectory]
+        costs = [c for _, c in result.trajectory]
+        assert times == sorted(times)
+        assert all(costs[i + 1] <= costs[i] + 1e-9 for i in range(len(costs) - 1))
+        # Device time accounting: read k completes at k * 376 us.
+        assert times[0] == pytest.approx(pipeline.device.time_per_read_ms)
+
+    def test_cost_after_reads_and_time(self, pipeline, medium_problem):
+        result = pipeline.solve(medium_problem, num_reads=30, num_gauges=3)
+        assert result.cost_after_reads(30) <= result.cost_after_reads(1) + 1e-9
+        final_time = result.trajectory[-1][0]
+        assert result.cost_at_time(final_time) == pytest.approx(result.best_solution.cost)
+        assert result.cost_at_time(0.0) == float("inf")
+        assert result.cost_after_reads(0) == float("inf")
+
+    def test_device_time_matches_spec(self, pipeline, paper_example_problem):
+        result = pipeline.solve(paper_example_problem, num_reads=25, num_gauges=5)
+        expected = 25 * pipeline.device.time_per_read_ms
+        assert result.device_time_ms == pytest.approx(expected)
+
+
+class TestEmbeddingStrategies:
+    def test_explicit_embedding_is_used(self, ideal_device, paper_example_problem):
+        clusters = [[0, 1], [2, 3]]
+        embedding = NativeClusteredEmbedder(ideal_device.topology).embed(clusters)
+        pipeline = QuantumMQO(device=ideal_device, embedder=embedding, seed=2)
+        result = pipeline.solve(paper_example_problem, num_reads=20, num_gauges=2)
+        assert result.physical_mapping.embedding is embedding
+
+    @pytest.mark.parametrize("strategy", ["native", "greedy", "triad", "auto"])
+    def test_named_strategies(self, ideal_device, paper_example_problem, strategy):
+        pipeline = QuantumMQO(device=ideal_device, embedder=strategy, seed=3)
+        result = pipeline.solve(paper_example_problem, num_reads=20, num_gauges=2)
+        assert result.best_solution.is_valid
+
+    def test_clustered_strategy(self, ideal_device):
+        problem = MQOProblem([[1.0, 2.0], [2.0, 1.0]])  # no savings: clusters independent
+        pipeline = QuantumMQO(device=ideal_device, embedder="clustered", seed=3)
+        result = pipeline.solve(problem, num_reads=20, num_gauges=2)
+        assert result.best_solution.is_valid
+
+    def test_unknown_strategy_rejected(self, ideal_device, paper_example_problem):
+        pipeline = QuantumMQO(device=ideal_device, embedder="bogus")
+        with pytest.raises(EmbeddingError):
+            pipeline.solve(paper_example_problem, num_reads=5)
+
+    def test_auto_falls_back_for_six_plan_queries(self, ideal_device):
+        # Six plans per query exceed the per-cell pattern; auto must fall back.
+        problem = MQOProblem(
+            [[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [6.0, 5.0, 4.0, 3.0, 2.0, 1.0]],
+            savings={(0, 6): 2.0},
+        )
+        pipeline = QuantumMQO(device=ideal_device, embedder="auto", seed=4)
+        result = pipeline.solve(problem, num_reads=30, num_gauges=3)
+        assert result.best_solution.is_valid
+
+
+class TestNoiseAndRepair:
+    def test_noisy_device_still_produces_valid_best(self, small_chimera, small_spec):
+        noisy_device = DWaveSamplerSimulator(
+            spec=small_spec,
+            topology=small_chimera,
+            noise=NoiseModel(0.05, 0.02),
+            num_sweeps=30,
+            seed=11,
+        )
+        problem = generate_paper_testcase(12, 2, seed=5)
+        pipeline = QuantumMQO(device=noisy_device, seed=6)
+        result = pipeline.solve(problem, num_reads=40, num_gauges=4)
+        assert result.best_solution.is_valid
+        assert result.num_invalid_reads >= 0
+
+    def test_repair_disabled_keeps_raw_best(self, ideal_device, medium_problem):
+        pipeline = QuantumMQO(device=ideal_device, repair_invalid=False, seed=7)
+        result = pipeline.solve(medium_problem, num_reads=20, num_gauges=2)
+        assert result.best_solution.is_valid  # fallback repair still guarantees validity

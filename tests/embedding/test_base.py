@@ -1,0 +1,152 @@
+"""Tests for the Embedding container."""
+
+import pytest
+
+from repro.chimera.topology import ChimeraCoordinate, ChimeraGraph
+from repro.embedding.base import Embedding
+from repro.exceptions import EmbeddingError
+
+
+def _index(topology, row, col, column, k):
+    return topology.coordinate_to_index(ChimeraCoordinate(row, col, column, k))
+
+
+class TestConstruction:
+    def test_basic_accessors(self, tiny_chimera):
+        embedding = Embedding({"a": [0], "b": [4, 0 + 1]})
+        assert embedding.num_variables == 2
+        assert embedding.num_qubits == 3
+        assert embedding.chain("a") == (0,)
+        assert embedding.chain_length("b") == 2
+        assert "a" in embedding and "z" not in embedding
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(EmbeddingError):
+            Embedding({"a": []})
+
+    def test_overlapping_chains_rejected(self):
+        with pytest.raises(EmbeddingError):
+            Embedding({"a": [0, 1], "b": [1, 2]})
+
+    def test_duplicate_qubits_within_chain_deduplicated(self):
+        embedding = Embedding({"a": [0, 0, 1]})
+        assert embedding.chain("a") == (0, 1)
+
+    def test_variable_of_qubit(self):
+        embedding = Embedding({"a": [3], "b": [7]})
+        assert embedding.variable_of_qubit(3) == "a"
+        with pytest.raises(EmbeddingError):
+            embedding.variable_of_qubit(99)
+
+    def test_unknown_variable_raises(self):
+        embedding = Embedding({"a": [0]})
+        with pytest.raises(EmbeddingError):
+            embedding.chain("missing")
+
+    def test_statistics(self):
+        embedding = Embedding({"a": [0], "b": [1, 2, 3]})
+        stats = embedding.statistics()
+        assert stats["num_variables"] == 2
+        assert stats["num_qubits"] == 4
+        assert stats["max_chain_length"] == 3
+        assert stats["qubits_per_variable"] == 2.0
+
+    def test_average_chain_length(self):
+        embedding = Embedding({"a": [0], "b": [1, 2]})
+        assert embedding.average_chain_length() == pytest.approx(1.5)
+
+    def test_subembedding(self):
+        embedding = Embedding({"a": [0], "b": [1]})
+        sub = embedding.subembedding(["a"])
+        assert sub.variables == ["a"]
+
+
+class TestTopologyQueries:
+    def test_chain_connectivity(self, tiny_chimera):
+        left = _index(tiny_chimera, 0, 0, 0, 0)
+        right = _index(tiny_chimera, 0, 0, 1, 0)
+        other_left = _index(tiny_chimera, 0, 0, 0, 1)
+        connected = Embedding({"a": [left, right]})
+        assert connected.chain_is_connected("a", tiny_chimera)
+        disconnected = Embedding({"a": [left, other_left]})
+        assert not disconnected.chain_is_connected("a", tiny_chimera)
+
+    def test_coupler_between(self, tiny_chimera):
+        left = _index(tiny_chimera, 0, 0, 0, 0)
+        right = _index(tiny_chimera, 0, 0, 1, 2)
+        embedding = Embedding({"a": [left], "b": [right]})
+        coupler = embedding.coupler_between("a", "b", tiny_chimera)
+        assert coupler is not None
+        assert set(coupler) == {left, right}
+
+    def test_coupler_between_absent(self, tiny_chimera):
+        left_0 = _index(tiny_chimera, 0, 0, 0, 0)
+        left_1 = _index(tiny_chimera, 0, 0, 0, 1)
+        embedding = Embedding({"a": [left_0], "b": [left_1]})
+        assert embedding.coupler_between("a", "b", tiny_chimera) is None
+
+    def test_couplers_between_lists_all(self, tiny_chimera):
+        # Two chains occupying both columns of the same position in two
+        # cells of the same row share two couplers (one per column pair).
+        a_left = _index(tiny_chimera, 0, 0, 0, 0)
+        a_right = _index(tiny_chimera, 0, 0, 1, 0)
+        b_left = _index(tiny_chimera, 0, 1, 0, 0)
+        b_right = _index(tiny_chimera, 0, 1, 1, 0)
+        embedding = Embedding({"a": [a_left, a_right], "b": [b_left, b_right]})
+        couplers = embedding.couplers_between("a", "b", tiny_chimera)
+        assert len(couplers) == 1  # only the horizontal right-column coupler exists
+        assert (a_right, b_right) in couplers or (b_right, a_right) in couplers
+
+    def test_chain_edges_spanning_tree(self, tiny_chimera):
+        left = _index(tiny_chimera, 0, 0, 0, 0)
+        right = _index(tiny_chimera, 0, 0, 1, 0)
+        below = _index(tiny_chimera, 1, 0, 0, 0)
+        embedding = Embedding({"a": [left, right, below]})
+        edges = embedding.chain_edges("a", tiny_chimera)
+        assert len(edges) == 2  # spanning tree of a 3-qubit chain
+
+    def test_chain_edges_of_singleton(self, tiny_chimera):
+        embedding = Embedding({"a": [0]})
+        assert embedding.chain_edges("a", tiny_chimera) == []
+
+    def test_chain_edges_disconnected_raises(self, tiny_chimera):
+        left_0 = _index(tiny_chimera, 0, 0, 0, 0)
+        left_1 = _index(tiny_chimera, 0, 0, 0, 1)
+        embedding = Embedding({"a": [left_0, left_1]})
+        with pytest.raises(EmbeddingError):
+            embedding.chain_edges("a", tiny_chimera)
+
+
+class TestValidation:
+    def test_valid_embedding_passes(self, tiny_chimera):
+        left = _index(tiny_chimera, 0, 0, 0, 0)
+        right = _index(tiny_chimera, 0, 0, 1, 0)
+        embedding = Embedding({"a": [left], "b": [right]})
+        embedding.validate(tiny_chimera, [("a", "b")])
+
+    def test_broken_qubit_in_chain_rejected(self):
+        topology = ChimeraGraph(1, 1, broken_qubits=[0])
+        embedding = Embedding({"a": [0]})
+        with pytest.raises(EmbeddingError):
+            embedding.validate(topology)
+
+    def test_disconnected_chain_rejected(self, tiny_chimera):
+        embedding = Embedding({"a": [0, 1]})  # two left-column qubits, no coupler
+        with pytest.raises(EmbeddingError):
+            embedding.validate(tiny_chimera)
+
+    def test_missing_interaction_coupler_rejected(self, tiny_chimera):
+        left_0 = _index(tiny_chimera, 0, 0, 0, 0)
+        left_1 = _index(tiny_chimera, 0, 0, 0, 1)
+        embedding = Embedding({"a": [left_0], "b": [left_1]})
+        with pytest.raises(EmbeddingError):
+            embedding.validate(tiny_chimera, [("a", "b")])
+
+    def test_interaction_with_unknown_variable_rejected(self, tiny_chimera):
+        embedding = Embedding({"a": [0]})
+        with pytest.raises(EmbeddingError):
+            embedding.validate(tiny_chimera, [("a", "zzz")])
+
+    def test_self_interaction_ignored(self, tiny_chimera):
+        embedding = Embedding({"a": [0]})
+        embedding.validate(tiny_chimera, [("a", "a")])

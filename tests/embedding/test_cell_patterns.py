@@ -1,0 +1,83 @@
+"""Tests for the intra-cell clique patterns."""
+
+import pytest
+
+from repro.chimera.topology import ChimeraCoordinate, ChimeraGraph
+from repro.embedding.cell_patterns import (
+    intra_cell_clique_chains,
+    max_clique_size_per_cell,
+    positions_needed,
+)
+from repro.exceptions import EmbeddingError
+
+
+def _cell_positions(topology, row=0, col=0):
+    return [
+        (
+            topology.coordinate_to_index(ChimeraCoordinate(row, col, 0, k)),
+            topology.coordinate_to_index(ChimeraCoordinate(row, col, 1, k)),
+        )
+        for k in range(topology.shore)
+    ]
+
+
+class TestCapacityHelpers:
+    def test_max_clique_size(self):
+        assert max_clique_size_per_cell(4) == 5
+        assert max_clique_size_per_cell(2) == 3
+
+    def test_max_clique_invalid_shore(self):
+        with pytest.raises(EmbeddingError):
+            max_clique_size_per_cell(0)
+
+    def test_positions_needed(self):
+        assert positions_needed(1) == 1
+        assert positions_needed(2) == 1
+        assert positions_needed(3) == 2
+        assert positions_needed(5) == 4
+
+    def test_positions_needed_invalid(self):
+        with pytest.raises(EmbeddingError):
+            positions_needed(0)
+
+
+class TestChainConstruction:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 5])
+    def test_chain_count_and_qubit_budget(self, size):
+        positions = [(2 * k, 2 * k + 1) for k in range(4)]
+        chains = intra_cell_clique_chains(positions, size)
+        assert len(chains) == size
+        expected_qubits = 1 if size == 1 else 2 * size - 2
+        assert sum(len(c) for c in chains) == expected_qubits
+
+    def test_chains_are_disjoint(self):
+        positions = [(2 * k, 2 * k + 1) for k in range(4)]
+        chains = intra_cell_clique_chains(positions, 5)
+        used = [q for chain in chains for q in chain]
+        assert len(used) == len(set(used))
+
+    def test_insufficient_positions_rejected(self):
+        with pytest.raises(EmbeddingError):
+            intra_cell_clique_chains([(0, 1)], 3)
+
+    @pytest.mark.parametrize("size", [2, 3, 4, 5])
+    def test_all_pairs_coupled_on_real_cell(self, size, tiny_chimera):
+        """Every pair of chains must share a physical coupler (clique embedding)."""
+        positions = _cell_positions(tiny_chimera)
+        chains = intra_cell_clique_chains(positions, size)
+        for i in range(size):
+            for j in range(i + 1, size):
+                coupled = any(
+                    tiny_chimera.has_coupler(qu, qv)
+                    for qu in chains[i]
+                    for qv in chains[j]
+                )
+                assert coupled, f"chains {i} and {j} share no coupler"
+
+    @pytest.mark.parametrize("size", [3, 4, 5])
+    def test_multi_qubit_chains_are_connected(self, size, tiny_chimera):
+        positions = _cell_positions(tiny_chimera)
+        chains = intra_cell_clique_chains(positions, size)
+        for chain in chains:
+            if len(chain) == 2:
+                assert tiny_chimera.has_coupler(chain[0], chain[1])

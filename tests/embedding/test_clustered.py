@@ -1,0 +1,97 @@
+"""Tests for the clustered multi-TRIAD embedding (paper Figure 3)."""
+
+import pytest
+
+from repro.chimera.topology import ChimeraGraph
+from repro.embedding.clustered import ClusteredEmbedder, clustered_qubit_count
+from repro.exceptions import EmbeddingError, EmbeddingNotFoundError
+
+
+class TestQubitCountFormula:
+    def test_linear_growth_in_clusters(self):
+        per_cluster = clustered_qubit_count(1, 8)
+        assert clustered_qubit_count(3, 8) == 3 * per_cluster
+
+    def test_matches_theorem3_shape(self):
+        # Theta(n * (m*l)^2): quadrupling the variables per cluster should
+        # grow the qubit count by clearly more than 4x.
+        small = clustered_qubit_count(1, 4)
+        large = clustered_qubit_count(1, 16)
+        assert large > 4 * small
+
+    def test_figure2_sizes(self):
+        # A cluster of 8 variables occupies a TRIAD of 8 chains of length 3.
+        assert clustered_qubit_count(1, 8) == 24
+        assert clustered_qubit_count(4, 8) == 96
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(EmbeddingError):
+            clustered_qubit_count(0, 1)
+
+
+class TestClusteredEmbedding:
+    def test_two_clusters_fully_connected_internally(self, small_chimera):
+        clusters = [["a0", "a1", "a2"], ["b0", "b1", "b2"]]
+        embedding = ClusteredEmbedder(small_chimera).embed(clusters)
+        for cluster in clusters:
+            for i in range(len(cluster)):
+                for j in range(i + 1, len(cluster)):
+                    assert (
+                        embedding.coupler_between(cluster[i], cluster[j], small_chimera)
+                        is not None
+                    )
+
+    def test_chains_disjoint_across_clusters(self, small_chimera):
+        clusters = [[0, 1], [2, 3], [4, 5]]
+        embedding = ClusteredEmbedder(small_chimera).embed(clusters)
+        assert embedding.num_variables == 6
+        assert embedding.num_qubits == len(embedding.used_qubits())
+
+    def test_figure3_configuration_four_clusters_of_eight(self):
+        # Figure 3: four clusters with eight plans each on a 12x12 grid.
+        topology = ChimeraGraph(12, 12)
+        clusters = [[f"c{c}_p{p}" for p in range(8)] for c in range(4)]
+        embedding = ClusteredEmbedder(topology).embed(clusters)
+        assert embedding.num_variables == 32
+        # Each 8-variable TRIAD needs 8 * 3 = 24 qubits.
+        assert embedding.num_qubits == 4 * 24
+
+    def test_unrealizable_cross_cluster_interaction_rejected(self):
+        # Clusters placed far apart cannot realise an arbitrary interaction.
+        topology = ChimeraGraph(6, 6)
+        clusters = [[0, 1, 2, 3, 4], [5, 6, 7, 8, 9]]
+        embedder = ClusteredEmbedder(topology)
+        embedding = embedder.embed(clusters)
+        pairs = embedder.realizable_cross_cluster_pairs(embedding, clusters)
+        all_cross = {(u, v) for u in clusters[0] for v in clusters[1]}
+        unrealizable = [
+            pair for pair in all_cross if pair not in pairs and tuple(reversed(pair)) not in pairs
+        ]
+        if unrealizable:
+            with pytest.raises(EmbeddingError):
+                embedder.embed(clusters, interactions=[unrealizable[0]])
+
+    def test_realizable_cross_cluster_interaction_accepted(self, small_chimera):
+        clusters = [[0, 1, 2, 3], [4, 5, 6, 7]]
+        embedder = ClusteredEmbedder(small_chimera)
+        embedding = embedder.embed(clusters)
+        pairs = embedder.realizable_cross_cluster_pairs(embedding, clusters)
+        if pairs:
+            embedder.embed(clusters, interactions=[pairs[0]])
+
+    def test_capacity_exhaustion_raises(self, tiny_chimera):
+        clusters = [[i] for i in range(100)]
+        with pytest.raises(EmbeddingNotFoundError):
+            ClusteredEmbedder(tiny_chimera).embed(clusters)
+
+    def test_oversized_cluster_raises(self, tiny_chimera):
+        with pytest.raises(EmbeddingNotFoundError):
+            ClusteredEmbedder(tiny_chimera).embed([list(range(20))])
+
+    def test_duplicate_variables_rejected(self, small_chimera):
+        with pytest.raises(EmbeddingError):
+            ClusteredEmbedder(small_chimera).embed([[0, 1], [1, 2]])
+
+    def test_empty_cluster_rejected(self, small_chimera):
+        with pytest.raises(EmbeddingError):
+            ClusteredEmbedder(small_chimera).embed([[0], []])

@@ -1,0 +1,117 @@
+"""Tests for the TRIAD embedding pattern (paper Figure 2)."""
+
+import pytest
+
+from repro.chimera.topology import ChimeraGraph
+from repro.embedding.triad import TriadEmbedder, triad_capacity, triad_qubit_count
+from repro.exceptions import EmbeddingError, EmbeddingNotFoundError
+
+
+class TestQubitCountFormulas:
+    def test_counts_match_pattern_sizes_of_figure2(self):
+        # Figure 2 shows TRIADs with 5, 8 and 12 chains.
+        assert triad_qubit_count(5, shore=4) == 5 * 3  # t=2 -> chains of length 3
+        assert triad_qubit_count(8, shore=4) == 8 * 3
+        assert triad_qubit_count(12, shore=4) == 12 * 4  # t=3 -> chains of length 4
+
+    def test_quadratic_growth(self):
+        # Doubling the variables roughly doubles the chain length as well.
+        small = triad_qubit_count(8)
+        large = triad_qubit_count(16)
+        assert large > 2 * small
+
+    def test_invalid_arguments(self):
+        with pytest.raises(EmbeddingError):
+            triad_qubit_count(0)
+        with pytest.raises(EmbeddingError):
+            triad_qubit_count(5, shore=0)
+
+    def test_capacity(self):
+        assert triad_capacity(12, 12, 4) == 48
+        assert triad_capacity(2, 3, 4) == 8
+        with pytest.raises(EmbeddingError):
+            triad_capacity(0, 1)
+
+
+class TestPatternChains:
+    def test_chain_count_and_length(self, small_chimera):
+        embedder = TriadEmbedder(small_chimera)
+        chains = embedder.pattern_chains(3)
+        assert len(chains) == 12
+        assert all(len(chain) == 4 for chain in chains)
+
+    def test_chains_are_disjoint(self, small_chimera):
+        chains = TriadEmbedder(small_chimera).pattern_chains(4)
+        used = [q for chain in chains for q in chain]
+        assert len(used) == len(set(used))
+
+    def test_pattern_does_not_fit_raises(self, tiny_chimera):
+        with pytest.raises(EmbeddingNotFoundError):
+            TriadEmbedder(tiny_chimera).pattern_chains(3)
+
+    def test_invalid_size(self, tiny_chimera):
+        with pytest.raises(EmbeddingError):
+            TriadEmbedder(tiny_chimera).pattern_chains(0)
+
+    def test_offset_pattern_stays_in_bounds(self, small_chimera):
+        chains = TriadEmbedder(small_chimera).pattern_chains(2, row_offset=2, col_offset=2)
+        for chain in chains:
+            for q in chain:
+                coord = small_chimera.index_to_coordinate(q)
+                assert coord.row >= 2 and coord.col >= 2
+
+    def test_usable_chains_filter_broken(self):
+        base = ChimeraGraph(2, 2)
+        all_chains = TriadEmbedder(base).pattern_chains(2)
+        # Break one qubit of the first chain.
+        broken = base.with_defects([all_chains[0][0]])
+        usable = TriadEmbedder(broken).usable_pattern_chains(2)
+        assert len(usable) == len(all_chains) - 1
+
+
+class TestEmbedClique:
+    def test_clique_embedding_valid(self, small_chimera):
+        variables = [f"v{i}" for i in range(8)]
+        embedding = TriadEmbedder(small_chimera).embed_clique(variables)
+        interactions = [
+            (variables[i], variables[j])
+            for i in range(len(variables))
+            for j in range(i + 1, len(variables))
+        ]
+        embedding.validate(small_chimera, interactions)
+        assert embedding.num_variables == 8
+
+    def test_qubit_usage_matches_formula(self, small_chimera):
+        variables = list(range(8))
+        embedding = TriadEmbedder(small_chimera).embed_clique(variables)
+        assert embedding.num_qubits == triad_qubit_count(8)
+
+    def test_embedding_with_broken_qubits_grows_pattern(self):
+        base = ChimeraGraph(3, 3)
+        helper = TriadEmbedder(base)
+        # Break one qubit of the minimal (t=2) pattern so one chain dies.
+        victim = helper.pattern_chains(2)[0][0]
+        broken = base.with_defects([victim])
+        embedding = TriadEmbedder(broken).embed_clique(list(range(8)))
+        embedding.validate(broken)
+        assert embedding.num_variables == 8
+
+    def test_too_many_variables_raises(self, tiny_chimera):
+        with pytest.raises(EmbeddingNotFoundError):
+            TriadEmbedder(tiny_chimera).embed_clique(list(range(20)))
+
+    def test_duplicate_variables_rejected(self, small_chimera):
+        with pytest.raises(EmbeddingError):
+            TriadEmbedder(small_chimera).embed_clique([1, 1, 2])
+
+    def test_empty_variables_rejected(self, small_chimera):
+        with pytest.raises(EmbeddingError):
+            TriadEmbedder(small_chimera).embed_clique([])
+
+    def test_footprint(self, small_chimera):
+        embedder = TriadEmbedder(small_chimera)
+        assert embedder.footprint(4) == 1
+        assert embedder.footprint(5) == 2
+        assert embedder.footprint(16) == 4
+        with pytest.raises(EmbeddingError):
+            embedder.footprint(0)

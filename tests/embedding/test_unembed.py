@@ -1,0 +1,71 @@
+"""Tests for chain read-out (unembedding)."""
+
+import pytest
+
+from repro.embedding.base import Embedding
+from repro.embedding.unembed import ChainReadout, majority_vote, resolve_chains
+from repro.exceptions import EmbeddingError
+
+
+class TestMajorityVote:
+    def test_unanimous(self):
+        assert majority_vote((1, 1, 1)) == 1
+        assert majority_vote((0, 0)) == 0
+
+    def test_majority(self):
+        assert majority_vote((1, 1, 0)) == 1
+        assert majority_vote((0, 0, 1)) == 0
+
+    def test_tie_resolves_to_one(self):
+        assert majority_vote((0, 1)) == 1
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(EmbeddingError):
+            majority_vote(())
+
+
+class TestResolveChains:
+    @pytest.fixture()
+    def embedding(self):
+        return Embedding({"a": [0, 1], "b": [2], "c": [3, 4, 5]})
+
+    def test_consistent_sample(self, embedding):
+        sample = {0: 1, 1: 1, 2: 0, 3: 1, 4: 1, 5: 1}
+        assignment, broken = resolve_chains(sample, embedding)
+        assert assignment == {"a": 1, "b": 0, "c": 1}
+        assert not broken
+
+    def test_broken_chain_majority(self, embedding):
+        sample = {0: 1, 1: 0, 2: 0, 3: 0, 4: 0, 5: 1}
+        assignment, broken = resolve_chains(sample, embedding, ChainReadout.MAJORITY)
+        assert broken
+        assert assignment["c"] == 0
+        assert assignment["a"] == 1  # tie resolves to 1
+
+    def test_broken_chain_first(self, embedding):
+        sample = {0: 0, 1: 1, 2: 1, 3: 1, 4: 0, 5: 0}
+        assignment, broken = resolve_chains(sample, embedding, ChainReadout.FIRST)
+        assert broken
+        assert assignment["a"] == 0
+        assert assignment["c"] == 1
+
+    def test_broken_chain_discard(self, embedding):
+        sample = {0: 0, 1: 1, 2: 1, 3: 1, 4: 1, 5: 1}
+        assignment, broken = resolve_chains(sample, embedding, ChainReadout.DISCARD)
+        assert broken
+        assert assignment == {}
+
+    def test_discard_with_consistent_sample(self, embedding):
+        sample = {0: 1, 1: 1, 2: 1, 3: 0, 4: 0, 5: 0}
+        assignment, broken = resolve_chains(sample, embedding, ChainReadout.DISCARD)
+        assert not broken
+        assert assignment == {"a": 1, "b": 1, "c": 0}
+
+    def test_missing_qubit_raises(self, embedding):
+        with pytest.raises(EmbeddingError):
+            resolve_chains({0: 1}, embedding)
+
+    def test_non_binary_value_raises(self, embedding):
+        sample = {0: 2, 1: 1, 2: 0, 3: 0, 4: 0, 5: 0}
+        with pytest.raises(EmbeddingError):
+            resolve_chains(sample, embedding)

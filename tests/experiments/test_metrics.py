@@ -1,0 +1,97 @@
+"""Tests for the evaluation metrics (scaled cost, speedup)."""
+
+import pytest
+
+from repro.baselines.anytime import SolverTrajectory
+from repro.exceptions import ReproError
+from repro.experiments.metrics import (
+    geometric_mean,
+    reference_cost,
+    scaled_cost,
+    speedup_over_classical,
+)
+
+
+class TestReferenceCost:
+    def test_most_expensive_plans_without_savings(self, paper_example_problem):
+        # max(2, 4) + max(3, 1) = 7
+        assert reference_cost(paper_example_problem) == pytest.approx(7.0)
+
+    def test_reference_upper_bounds_every_valid_solution(self, small_problem):
+        reference = reference_cost(small_problem)
+        import itertools
+
+        for choices in itertools.product(*(range(2) for _ in range(4))):
+            assert small_problem.solution_from_choices(list(choices)).cost <= reference
+
+
+class TestScaledCost:
+    def test_optimum_maps_to_zero(self):
+        assert scaled_cost(10.0, optimum=10.0, reference=20.0) == 0.0
+
+    def test_reference_maps_to_one(self):
+        assert scaled_cost(20.0, optimum=10.0, reference=20.0) == pytest.approx(1.0)
+
+    def test_midpoint(self):
+        assert scaled_cost(15.0, optimum=10.0, reference=20.0) == pytest.approx(0.5)
+
+    def test_below_optimum_clamps_to_zero(self):
+        assert scaled_cost(9.0, optimum=10.0, reference=20.0) == 0.0
+
+    def test_infinite_cost_passthrough(self):
+        assert scaled_cost(float("inf"), 10.0, 20.0) == float("inf")
+
+    def test_degenerate_span(self):
+        assert scaled_cost(10.0, optimum=10.0, reference=10.0) == 0.0
+        assert scaled_cost(11.0, optimum=10.0, reference=10.0) == 1.0
+
+
+class TestSpeedup:
+    def _trajectory(self, points):
+        return SolverTrajectory(solver_name="X", points=points)
+
+    def test_paper_definition(self):
+        """Speedup = time for the best classical solver to match QA's first read."""
+        classical = [
+            self._trajectory([(50.0, 8.0), (400.0, 5.0)]),
+            self._trajectory([(120.0, 5.0)]),
+        ]
+        speedup = speedup_over_classical(
+            quantum_first_read_cost=5.0,
+            quantum_first_read_time_ms=0.376,
+            classical_trajectories=classical,
+            classical_budget_ms=1000.0,
+        )
+        # The second solver matches cost 5.0 at 120 ms, earlier than 400 ms.
+        assert speedup == pytest.approx(120.0 / 0.376)
+
+    def test_unmatched_quality_uses_budget(self):
+        classical = [self._trajectory([(10.0, 50.0)])]
+        speedup = speedup_over_classical(1.0, 0.376, classical, classical_budget_ms=2000.0)
+        assert speedup == pytest.approx(2000.0 / 0.376)
+
+    def test_classical_faster_gives_speedup_below_one(self):
+        classical = [self._trajectory([(0.1, 1.0)])]
+        speedup = speedup_over_classical(5.0, 0.376, classical, classical_budget_ms=100.0)
+        assert speedup < 1.0
+
+    def test_invalid_arguments(self):
+        classical = [self._trajectory([(1.0, 1.0)])]
+        with pytest.raises(ReproError):
+            speedup_over_classical(1.0, 0.0, classical, 100.0)
+        with pytest.raises(ReproError):
+            speedup_over_classical(1.0, 1.0, [], 100.0)
+        with pytest.raises(ReproError):
+            speedup_over_classical(1.0, 1.0, classical, 0.0)
+
+
+class TestGeometricMean:
+    def test_simple_values(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_invalid_values(self):
+        with pytest.raises(ReproError):
+            geometric_mean([])
+        with pytest.raises(ReproError):
+            geometric_mean([1.0, 0.0])

@@ -1,0 +1,64 @@
+"""Tests for the benchmark profiles."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.experiments.profiles import PROFILE_ENV_VAR, PROFILES, ExperimentProfile, get_profile
+
+
+class TestProfiles:
+    def test_three_profiles_exist(self):
+        assert set(PROFILES) == {"smoke", "default", "paper"}
+
+    def test_paper_profile_matches_paper_settings(self):
+        paper = PROFILES["paper"]
+        assert paper.num_instances == 20
+        assert paper.num_reads == 1000
+        assert paper.num_gauges == 10
+        assert paper.classical_budget_ms == 100_000.0
+        assert paper.checkpoints_ms[-1] == 100_000.0
+        assert paper.chimera_rows == paper.chimera_cols == 12
+
+    def test_profiles_are_ordered_by_scale(self):
+        assert PROFILES["smoke"].num_instances <= PROFILES["default"].num_instances
+        assert PROFILES["default"].num_instances <= PROFILES["paper"].num_instances
+        assert PROFILES["smoke"].classical_budget_ms < PROFILES["paper"].classical_budget_ms
+
+    def test_get_profile_by_name(self):
+        assert get_profile("smoke").name == "smoke"
+
+    def test_get_profile_from_environment(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV_VAR, "paper")
+        assert get_profile().name == "paper"
+
+    def test_get_profile_default(self, monkeypatch):
+        monkeypatch.delenv(PROFILE_ENV_VAR, raising=False)
+        assert get_profile().name == "default"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ReproError):
+            get_profile("warp-speed")
+
+    def test_invalid_profile_values_rejected(self):
+        with pytest.raises(ReproError):
+            ExperimentProfile(
+                name="bad",
+                query_scale=0.0,
+                num_instances=1,
+                classical_budget_ms=10.0,
+                checkpoints_ms=(1.0,),
+                num_reads=10,
+                num_gauges=1,
+                sa_sweeps=10,
+            )
+        with pytest.raises(ReproError):
+            ExperimentProfile(
+                name="bad",
+                query_scale=0.5,
+                num_instances=1,
+                classical_budget_ms=10.0,
+                checkpoints_ms=(),
+                num_reads=10,
+                num_gauges=1,
+                sa_sweeps=10,
+            )

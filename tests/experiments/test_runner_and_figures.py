@@ -1,0 +1,181 @@
+"""Integration-level tests for the experiment runner and exhibit builders.
+
+These run a miniature version of the full evaluation (tiny topology, few
+reads, short classical budgets) and check the structure and internal
+consistency of the produced exhibits.
+"""
+
+import pytest
+
+from repro.baselines.hillclimb import IteratedHillClimbing
+from repro.baselines.ilp_mqo import IntegerProgrammingMQOSolver
+from repro.chimera.topology import ChimeraGraph
+from repro.experiments.figures import (
+    figure4_table,
+    figure6_rows,
+    figure6_table,
+    figure7_rows,
+    figure7_table,
+    quality_vs_time_rows,
+)
+from repro.experiments.profiles import ExperimentProfile
+from repro.experiments.runner import QA_SOLVER_NAME, ExperimentRunner
+from repro.experiments.scenarios import TestCaseClass
+from repro.experiments.tables import table1_rows, table1_table
+
+
+@pytest.fixture(scope="module")
+def mini_profile():
+    return ExperimentProfile(
+        name="mini",
+        query_scale=0.25,
+        num_instances=2,
+        classical_budget_ms=250.0,
+        checkpoints_ms=(1.0, 10.0, 100.0, 250.0),
+        num_reads=40,
+        num_gauges=4,
+        sa_sweeps=60,
+        chimera_rows=4,
+        chimera_cols=4,
+        include_slow_solvers=False,
+    )
+
+
+@pytest.fixture(scope="module")
+def mini_runner(mini_profile):
+    return ExperimentRunner(
+        profile=mini_profile,
+        topology=ChimeraGraph(4, 4),
+        solvers=[IntegerProgrammingMQOSolver(), IteratedHillClimbing()],
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def mini_results(mini_runner):
+    return mini_runner.run_all_classes(plans_range=(2, 5))
+
+
+class TestExperimentRunner:
+    def test_test_classes_follow_profile(self, mini_runner):
+        classes = mini_runner.test_classes(plans_range=(2, 5))
+        assert [c.plans_per_query for c in classes] == [2, 5]
+        assert all(c.num_queries >= 2 for c in classes)
+
+    def test_solver_names(self, mini_runner):
+        names = mini_runner.solver_names()
+        assert names[0] == QA_SOLVER_NAME
+        assert "LIN-MQO" in names and "CLIMB" in names
+
+    def test_instance_results_structure(self, mini_results, mini_runner):
+        for test_class, results in mini_results.items():
+            assert len(results) == mini_runner.profile.num_instances
+            for result in results:
+                assert set(result.trajectories) == set(mini_runner.solver_names())
+                assert result.best_known_cost <= result.reference_cost + 1e-9
+                assert result.quantum_result.best_solution.is_valid
+
+    def test_best_known_cost_is_minimum_over_solvers(self, mini_results):
+        for results in mini_results.values():
+            for result in results:
+                best = min(t.best_cost for t in result.trajectories.values())
+                assert result.best_known_cost == pytest.approx(best)
+
+    def test_quantum_trajectory_uses_device_time(self, mini_results, mini_runner):
+        for results in mini_results.values():
+            for result in results:
+                qa = result.quantum_trajectory()
+                assert qa.points, "QA produced no solution"
+                first_time = qa.points[0][0]
+                assert first_time >= mini_runner.device.time_per_read_ms - 1e-9
+                assert qa.total_time_ms <= (
+                    mini_runner.profile.num_reads * mini_runner.device.time_per_read_ms + 1e-6
+                )
+
+
+class TestQualityVsTimeExhibits:
+    def test_rows_structure(self, mini_results, mini_runner, mini_profile):
+        results = next(iter(mini_results.values()))
+        rows = quality_vs_time_rows(
+            results, mini_profile.checkpoints_ms, mini_runner.solver_names()
+        )
+        assert len(rows) == len(mini_profile.checkpoints_ms)
+        assert all(len(row) == 1 + len(mini_runner.solver_names()) for row in rows)
+
+    def test_scaled_costs_in_unit_range(self, mini_results, mini_runner, mini_profile):
+        results = next(iter(mini_results.values()))
+        rows = quality_vs_time_rows(
+            results, mini_profile.checkpoints_ms, mini_runner.solver_names()
+        )
+        for row in rows:
+            for value in row[1:]:
+                assert 0.0 <= value <= 1.0
+
+    def test_quality_never_degrades_over_time(self, mini_results, mini_runner, mini_profile):
+        results = next(iter(mini_results.values()))
+        rows = quality_vs_time_rows(
+            results, mini_profile.checkpoints_ms, mini_runner.solver_names()
+        )
+        for column in range(1, len(mini_runner.solver_names()) + 1):
+            series = [row[column] for row in rows]
+            assert series == sorted(series, reverse=True)
+
+    def test_figure4_table_rendering(self, mini_results, mini_runner, mini_profile):
+        (test_class, results) = next(iter(mini_results.items()))
+        text = figure4_table(
+            results, mini_profile.checkpoints_ms, mini_runner.solver_names(), test_class
+        )
+        assert "Figure 4" in text
+        assert QA_SOLVER_NAME in text
+        assert "LIN-MQO" in text
+
+
+class TestTable1:
+    def test_rows_ordered_by_query_count(self, mini_results):
+        rows = table1_rows(mini_results)
+        counts = [row[0] for row in rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_min_median_max_ordering(self, mini_results):
+        for _queries, minimum, median, maximum in table1_rows(mini_results):
+            assert minimum <= median <= maximum
+
+    def test_rendering(self, mini_results):
+        text = table1_table(mini_results)
+        assert "Table 1" in text
+        assert "# Queries" in text
+
+
+class TestFigure6:
+    def test_rows_per_class(self, mini_results, mini_profile):
+        rows = figure6_rows(mini_results, mini_profile.classical_budget_ms)
+        assert len(rows) == len(mini_results)
+        for _label, qubits_per_variable, speedup in rows:
+            assert qubits_per_variable >= 1.0
+            assert speedup > 0.0
+
+    def test_rows_sorted_by_qubits_per_variable(self, mini_results, mini_profile):
+        rows = figure6_rows(mini_results, mini_profile.classical_budget_ms)
+        ratios = [row[1] for row in rows]
+        assert ratios == sorted(ratios)
+
+    def test_rendering(self, mini_results, mini_profile):
+        text = figure6_table(mini_results, mini_profile.classical_budget_ms)
+        assert "Figure 6" in text
+
+
+class TestFigure7:
+    def test_rows_cover_plans_range(self):
+        rows = figure7_rows(qubit_budgets=(1152, 2304), plans_range=(2, 3, 4))
+        assert [row[0] for row in rows] == [2, 3, 4]
+        assert all(len(row) == 3 for row in rows)
+
+    def test_capacity_grows_with_budget(self):
+        rows = figure7_rows(qubit_budgets=(1152, 2304, 4608), plans_range=range(2, 10))
+        for row in rows:
+            assert row[1] <= row[2] <= row[3]
+
+    def test_rendering_both_patterns(self):
+        assert "1152 qubits" in figure7_table()
+        native = figure7_table(pattern="native", plans_range=(2, 3, 4, 5))
+        assert "native" in native

@@ -1,0 +1,122 @@
+"""Tests for the synthetic relational cost model."""
+
+import pytest
+
+from repro.exceptions import InvalidProblemError
+from repro.mqo.cost_model import (
+    CatalogStatistics,
+    RelationalCostModel,
+    TableStats,
+    synthesize_plan_costs,
+)
+
+
+class TestTableStats:
+    def test_pages_rounds_up(self):
+        stats = TableStats(name="t", num_rows=100, row_bytes=100)
+        assert stats.pages >= 2  # 10 000 bytes over 8 KiB pages
+
+    def test_rejects_nonpositive_rows(self):
+        with pytest.raises(InvalidProblemError):
+            TableStats(name="t", num_rows=0)
+
+    def test_rejects_nonpositive_row_bytes(self):
+        with pytest.raises(InvalidProblemError):
+            TableStats(name="t", num_rows=10, row_bytes=0)
+
+
+class TestCatalogStatistics:
+    def test_add_and_lookup(self):
+        catalog = CatalogStatistics()
+        catalog.add_table(TableStats("a", 1000))
+        catalog.add_table(TableStats("b", 2000))
+        catalog.set_join_selectivity("a", "b", 0.01)
+        assert catalog.get_join_selectivity("b", "a") == 0.01
+
+    def test_duplicate_table_rejected(self):
+        catalog = CatalogStatistics()
+        catalog.add_table(TableStats("a", 1000))
+        with pytest.raises(InvalidProblemError):
+            catalog.add_table(TableStats("a", 5))
+
+    def test_default_selectivity_heuristic(self):
+        catalog = CatalogStatistics()
+        catalog.add_table(TableStats("a", 1000, num_distinct=100))
+        catalog.add_table(TableStats("b", 50, num_distinct=50))
+        assert catalog.get_join_selectivity("a", "b") == pytest.approx(1.0 / 100)
+
+    def test_invalid_selectivity(self):
+        catalog = CatalogStatistics()
+        catalog.add_table(TableStats("a", 10))
+        catalog.add_table(TableStats("b", 10))
+        with pytest.raises(InvalidProblemError):
+            catalog.set_join_selectivity("a", "b", 0.0)
+
+    def test_unknown_table_in_selectivity(self):
+        catalog = CatalogStatistics()
+        catalog.add_table(TableStats("a", 10))
+        with pytest.raises(InvalidProblemError):
+            catalog.set_join_selectivity("a", "zzz", 0.5)
+
+    def test_synthetic_catalog(self):
+        catalog = CatalogStatistics.synthetic(num_tables=5, seed=0)
+        assert len(catalog.tables) == 5
+        assert all(stats.num_rows >= 10_000 for stats in catalog.tables.values())
+
+    def test_synthetic_catalog_invalid_arguments(self):
+        with pytest.raises(InvalidProblemError):
+            CatalogStatistics.synthetic(0)
+        with pytest.raises(InvalidProblemError):
+            CatalogStatistics.synthetic(3, min_rows=100, max_rows=10)
+
+
+class TestRelationalCostModel:
+    @pytest.fixture()
+    def model(self):
+        catalog = CatalogStatistics()
+        catalog.add_table(TableStats("small", 10_000, row_bytes=100))
+        catalog.add_table(TableStats("large", 1_000_000, row_bytes=100))
+        catalog.set_join_selectivity("small", "large", 1e-4)
+        return RelationalCostModel(catalog)
+
+    def test_scan_cost_grows_with_size(self, model):
+        assert model.scan_cost("large") > model.scan_cost("small")
+
+    def test_unknown_table_raises(self, model):
+        with pytest.raises(InvalidProblemError):
+            model.scan_cost("missing")
+
+    def test_join_order_affects_cost(self, model):
+        cost_a = model.plan_cost_for_join_order(["small", "large"])
+        cost_b = model.plan_cost_for_join_order(["large", "small"])
+        assert cost_a > 0 and cost_b > 0
+
+    def test_plan_cost_requires_tables(self, model):
+        with pytest.raises(InvalidProblemError):
+            model.plan_cost_for_join_order([])
+
+    def test_alternative_plan_costs_count(self, model):
+        costs = model.alternative_plan_costs(["small", "large"], num_plans=3, seed=1)
+        assert len(costs) == 3
+        assert all(c > 0 for c in costs)
+
+    def test_invalid_constants_rejected(self, model):
+        with pytest.raises(InvalidProblemError):
+            RelationalCostModel(model.catalog, page_cost=0.0)
+
+
+class TestSynthesizePlanCosts:
+    def test_shape(self):
+        costs = synthesize_plan_costs(5, 3, seed=0)
+        assert len(costs) == 5
+        assert all(len(row) == 3 for row in costs)
+
+    def test_positive(self):
+        costs = synthesize_plan_costs(4, 2, seed=1)
+        assert all(c > 0 for row in costs for c in row)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(InvalidProblemError):
+            synthesize_plan_costs(0, 2)
+        with pytest.raises(InvalidProblemError):
+            synthesize_plan_costs(2, 2, tables_per_query=(3, 1))

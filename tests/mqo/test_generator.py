@@ -1,0 +1,135 @@
+"""Tests for the MQO workload generators."""
+
+import pytest
+
+from repro.exceptions import InvalidProblemError
+from repro.mqo.generator import (
+    MQOGeneratorConfig,
+    generate_chimera_native_problem,
+    generate_clustered_problem,
+    generate_paper_testcase,
+    generate_random_problem,
+)
+
+
+class TestGeneratorConfig:
+    def test_defaults_match_paper(self):
+        config = MQOGeneratorConfig()
+        assert config.saving_choices == (1.0, 2.0)
+        assert config.scale == 1.0
+
+    def test_invalid_cost_range(self):
+        with pytest.raises(InvalidProblemError):
+            MQOGeneratorConfig(cost_low=5, cost_high=2)
+
+    def test_invalid_saving_choices(self):
+        with pytest.raises(InvalidProblemError):
+            MQOGeneratorConfig(saving_choices=())
+        with pytest.raises(InvalidProblemError):
+            MQOGeneratorConfig(saving_choices=(0.0,))
+
+    def test_invalid_scale(self):
+        with pytest.raises(InvalidProblemError):
+            MQOGeneratorConfig(scale=0.0)
+
+    def test_invalid_cost_source(self):
+        with pytest.raises(InvalidProblemError):
+            MQOGeneratorConfig(cost_source="magic")
+
+
+class TestRandomProblem:
+    def test_dimensions(self):
+        problem = generate_random_problem(6, 3, seed=0)
+        assert problem.num_queries == 6
+        assert problem.num_plans == 18
+
+    def test_determinism(self):
+        a = generate_random_problem(5, 2, seed=11)
+        b = generate_random_problem(5, 2, seed=11)
+        assert a.savings == b.savings
+        assert [p.cost for p in a.plans] == [p.cost for p in b.plans]
+
+    def test_density_zero_means_no_savings(self):
+        problem = generate_random_problem(5, 2, sharing_density=0.0, seed=1)
+        assert problem.num_savings == 0
+
+    def test_density_one_means_all_cross_pairs(self):
+        problem = generate_random_problem(3, 2, sharing_density=1.0, seed=1)
+        # 6 plans, cross-query pairs = C(6,2) - 3 intra pairs = 12.
+        assert problem.num_savings == 12
+
+    def test_savings_values_from_choices(self):
+        config = MQOGeneratorConfig(saving_choices=(3.0,), scale=2.0)
+        problem = generate_random_problem(4, 2, sharing_density=1.0, config=config, seed=3)
+        assert all(value == 6.0 for value in problem.savings.values())
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(InvalidProblemError):
+            generate_random_problem(0, 2)
+        with pytest.raises(InvalidProblemError):
+            generate_random_problem(2, 0)
+        with pytest.raises(InvalidProblemError):
+            generate_random_problem(2, 2, sharing_density=1.5)
+
+    def test_relational_cost_source(self):
+        config = MQOGeneratorConfig(cost_source="relational")
+        problem = generate_random_problem(4, 2, config=config, seed=5)
+        costs = [p.cost for p in problem.plans]
+        assert all(config.cost_low <= c <= config.cost_high for c in costs)
+
+
+class TestClusteredProblem:
+    def test_dimensions(self):
+        problem = generate_clustered_problem(3, 2, 2, seed=0)
+        assert problem.num_queries == 6
+        assert problem.num_plans == 12
+
+    def test_no_inter_cluster_savings_by_default(self):
+        problem = generate_clustered_problem(
+            2, 2, 2, intra_cluster_density=1.0, inter_cluster_density=0.0, seed=0
+        )
+        plans_per_cluster = 4
+        for (p1, p2) in problem.savings:
+            assert p1 // plans_per_cluster == p2 // plans_per_cluster
+
+    def test_inter_cluster_savings_when_requested(self):
+        problem = generate_clustered_problem(
+            2, 2, 2, intra_cluster_density=0.0, inter_cluster_density=1.0, seed=0
+        )
+        plans_per_cluster = 4
+        assert problem.num_savings > 0
+        for (p1, p2) in problem.savings:
+            assert p1 // plans_per_cluster != p2 // plans_per_cluster
+
+    def test_invalid_density(self):
+        with pytest.raises(InvalidProblemError):
+            generate_clustered_problem(2, 2, 2, intra_cluster_density=-0.1)
+
+
+class TestChimeraNativeProblem:
+    def test_savings_respect_neighbor_window(self):
+        problem = generate_chimera_native_problem(
+            10, 2, neighbor_window=1, cross_pair_density=1.0, seed=0
+        )
+        for (p1, p2) in problem.savings:
+            q1, q2 = p1 // 2, p2 // 2
+            assert abs(q1 - q2) <= 1
+
+    def test_window_zero_means_no_savings(self):
+        problem = generate_chimera_native_problem(
+            6, 2, neighbor_window=0, cross_pair_density=1.0, seed=0
+        )
+        assert problem.num_savings == 0
+
+    def test_paper_testcase_wrapper(self):
+        problem = generate_paper_testcase(12, 3, seed=4)
+        assert problem.num_queries == 12
+        assert problem.num_plans == 36
+        assert problem.num_savings > 0
+        # Savings values follow the paper's {1, 2} distribution.
+        assert set(problem.savings.values()) <= {1.0, 2.0}
+
+    def test_paper_testcase_deterministic(self):
+        a = generate_paper_testcase(6, 2, seed=9)
+        b = generate_paper_testcase(6, 2, seed=9)
+        assert a.savings == b.savings

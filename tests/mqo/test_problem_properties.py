@@ -1,0 +1,102 @@
+"""Property-based tests for the MQO problem model (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.mqo.problem import MQOProblem
+
+
+@st.composite
+def mqo_problems(draw, max_queries=5, max_plans=4):
+    """Strategy generating small random MQO problems."""
+    num_queries = draw(st.integers(min_value=1, max_value=max_queries))
+    plans_per_query = [
+        [
+            draw(st.floats(min_value=0.0, max_value=50.0, allow_nan=False))
+            for _ in range(draw(st.integers(min_value=1, max_value=max_plans)))
+        ]
+        for _ in range(num_queries)
+    ]
+    problem = MQOProblem(plans_per_query)
+    plan_query = {p.index: p.query_index for p in problem.plans}
+    candidate_pairs = [
+        (p1, p2)
+        for p1 in plan_query
+        for p2 in plan_query
+        if p1 < p2 and plan_query[p1] != plan_query[p2]
+    ]
+    savings = {}
+    for pair in candidate_pairs:
+        if draw(st.booleans()):
+            savings[pair] = draw(st.floats(min_value=0.1, max_value=10.0, allow_nan=False))
+    return MQOProblem(plans_per_query, savings)
+
+
+@st.composite
+def problems_with_selection(draw):
+    """A problem together with a valid one-plan-per-query selection."""
+    problem = draw(mqo_problems())
+    choices = [
+        draw(st.integers(min_value=0, max_value=query.num_plans - 1))
+        for query in problem.queries
+    ]
+    return problem, choices
+
+
+class TestProblemInvariants:
+    @given(mqo_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_plan_indices_are_dense(self, problem):
+        assert [p.index for p in problem.plans] == list(range(problem.num_plans))
+
+    @given(mqo_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_savings_symmetric_lookup(self, problem):
+        for (p1, p2), value in problem.savings.items():
+            assert problem.saving(p1, p2) == value
+            assert problem.saving(p2, p1) == value
+
+    @given(mqo_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_max_total_savings_bounds_each_plan(self, problem):
+        bound = problem.max_total_savings_per_plan()
+        for plan in problem.plans:
+            assert sum(problem.sharing_partners(plan.index).values()) <= bound + 1e-9
+
+
+class TestSolutionInvariants:
+    @given(problems_with_selection())
+    @settings(max_examples=40, deadline=None)
+    def test_valid_selection_is_valid(self, problem_and_choices):
+        problem, choices = problem_and_choices
+        solution = problem.solution_from_choices(choices)
+        assert solution.is_valid
+        assert len(solution.selected_plans) == problem.num_queries
+
+    @given(problems_with_selection())
+    @settings(max_examples=40, deadline=None)
+    def test_cost_decomposition(self, problem_and_choices):
+        """C(Pe) = sum of costs minus sum of realised savings."""
+        problem, choices = problem_and_choices
+        solution = problem.solution_from_choices(choices)
+        selected = solution.selected_plans
+        expected = sum(problem.plan_cost(p) for p in selected)
+        for (p1, p2), saving in problem.savings.items():
+            if p1 in selected and p2 in selected:
+                expected -= saving
+        assert solution.cost == expected
+
+    @given(problems_with_selection())
+    @settings(max_examples=40, deadline=None)
+    def test_choices_roundtrip(self, problem_and_choices):
+        problem, choices = problem_and_choices
+        solution = problem.solution_from_choices(choices)
+        assert solution.choices() == choices
+
+    @given(problems_with_selection())
+    @settings(max_examples=40, deadline=None)
+    def test_cost_never_exceeds_sum_of_costs(self, problem_and_choices):
+        problem, choices = problem_and_choices
+        solution = problem.solution_from_choices(choices)
+        upper = sum(problem.plan_cost(p) for p in solution.selected_plans)
+        assert solution.cost <= upper + 1e-9

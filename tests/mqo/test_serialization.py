@@ -1,0 +1,68 @@
+"""Tests for MQO problem / solution (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.exceptions import InvalidProblemError
+from repro.mqo.generator import generate_paper_testcase
+from repro.mqo.serialization import (
+    load_problem,
+    problem_from_dict,
+    problem_to_dict,
+    save_problem,
+    solution_from_dict,
+    solution_to_dict,
+)
+
+
+class TestProblemRoundtrip:
+    def test_roundtrip_preserves_structure(self, small_problem):
+        data = problem_to_dict(small_problem)
+        restored = problem_from_dict(data)
+        assert restored.num_queries == small_problem.num_queries
+        assert restored.num_plans == small_problem.num_plans
+        assert restored.savings == small_problem.savings
+        assert [p.cost for p in restored.plans] == [p.cost for p in small_problem.plans]
+
+    def test_roundtrip_of_generated_instance(self):
+        problem = generate_paper_testcase(10, 3, seed=2)
+        restored = problem_from_dict(problem_to_dict(problem))
+        assert restored.savings == problem.savings
+
+    def test_dict_is_json_serialisable(self, small_problem):
+        json.dumps(problem_to_dict(small_problem))
+
+    def test_missing_field_raises(self):
+        with pytest.raises(InvalidProblemError):
+            problem_from_dict({"format_version": 1})
+
+    def test_unsupported_version_raises(self, small_problem):
+        data = problem_to_dict(small_problem)
+        data["format_version"] = 999
+        with pytest.raises(InvalidProblemError):
+            problem_from_dict(data)
+
+    def test_file_roundtrip(self, small_problem, tmp_path):
+        path = save_problem(small_problem, tmp_path / "instance.json")
+        restored = load_problem(path)
+        assert restored.savings == small_problem.savings
+
+
+class TestSolutionRoundtrip:
+    def test_roundtrip(self, paper_example_problem):
+        solution = paper_example_problem.solution_from_selection({1, 2})
+        data = solution_to_dict(solution)
+        restored = solution_from_dict(paper_example_problem, data)
+        assert restored.selected_plans == solution.selected_plans
+        assert restored.cost == pytest.approx(solution.cost)
+
+    def test_dict_contains_cost_and_validity(self, paper_example_problem):
+        solution = paper_example_problem.solution_from_selection({1, 2})
+        data = solution_to_dict(solution)
+        assert data["is_valid"] is True
+        assert data["cost"] == pytest.approx(2.0)
+
+    def test_missing_field_raises(self, paper_example_problem):
+        with pytest.raises(InvalidProblemError):
+            solution_from_dict(paper_example_problem, {})

@@ -1,0 +1,69 @@
+"""Tests for the brute-force QUBO solver."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QUBOError
+from repro.qubo.bruteforce import enumerate_energies, solve_bruteforce
+from repro.qubo.model import QUBOModel
+from repro.qubo.random_qubo import random_qubo
+
+
+class TestSolveBruteforce:
+    def test_empty_model(self):
+        assignment, energy = solve_bruteforce(QUBOModel(offset=2.0))
+        assert assignment == {}
+        assert energy == 2.0
+
+    def test_single_variable_negative_weight(self):
+        qubo = QUBOModel(linear={"x": -1.0})
+        assignment, energy = solve_bruteforce(qubo)
+        assert assignment == {"x": 1}
+        assert energy == -1.0
+
+    def test_single_variable_positive_weight(self):
+        qubo = QUBOModel(linear={"x": 1.0})
+        assignment, energy = solve_bruteforce(qubo)
+        assert assignment == {"x": 0}
+        assert energy == 0.0
+
+    def test_quadratic_coupling(self):
+        # Minimum of x0 + x1 - 3 x0 x1 is both on (energy -1).
+        qubo = QUBOModel(linear={0: 1.0, 1: 1.0}, quadratic={(0, 1): -3.0})
+        assignment, energy = solve_bruteforce(qubo)
+        assert assignment == {0: 1, 1: 1}
+        assert energy == -1.0
+
+    def test_matches_exhaustive_numpy_search(self):
+        qubo = random_qubo(8, density=0.5, seed=3)
+        _assignment, energy = solve_bruteforce(qubo)
+        samples, order, energies = enumerate_energies(qubo)
+        assert energy == pytest.approx(float(np.min(energies)))
+
+    def test_optimum_energy_is_minimal_over_random_samples(self, rng):
+        qubo = random_qubo(10, density=0.4, seed=7)
+        _assignment, energy = solve_bruteforce(qubo)
+        order = qubo.variables
+        samples = rng.integers(0, 2, size=(200, len(order)))
+        assert energy <= float(np.min(qubo.energies(samples, order))) + 1e-9
+
+    def test_variable_limit_enforced(self):
+        qubo = QUBOModel(linear={i: 1.0 for i in range(30)})
+        with pytest.raises(QUBOError):
+            solve_bruteforce(qubo)
+
+
+class TestEnumerateEnergies:
+    def test_counts(self):
+        qubo = random_qubo(4, seed=0)
+        samples, order, energies = enumerate_energies(qubo)
+        assert samples.shape == (16, 4)
+        assert len(order) == 4
+        assert energies.shape == (16,)
+
+    def test_energies_match_scalar_evaluation(self):
+        qubo = random_qubo(5, seed=1)
+        samples, order, energies = enumerate_energies(qubo)
+        for i in (0, 7, 31):
+            assignment = {var: int(samples[i, j]) for j, var in enumerate(order)}
+            assert energies[i] == pytest.approx(qubo.energy(assignment))

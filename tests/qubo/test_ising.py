@@ -1,0 +1,82 @@
+"""Tests for QUBO <-> Ising conversions."""
+
+import itertools
+
+import pytest
+
+from repro.exceptions import QUBOError
+from repro.qubo.ising import (
+    IsingModel,
+    binary_to_spins,
+    ising_to_qubo,
+    qubo_to_ising,
+    spins_to_binary,
+)
+from repro.qubo.model import QUBOModel
+from repro.qubo.random_qubo import random_qubo
+
+
+def _all_assignments(variables):
+    for bits in itertools.product((0, 1), repeat=len(variables)):
+        yield dict(zip(variables, bits))
+
+
+class TestConversionEquivalence:
+    def test_qubo_to_ising_preserves_energies(self):
+        qubo = QUBOModel(
+            linear={0: 1.5, 1: -2.0, 2: 0.0},
+            quadratic={(0, 1): 3.0, (1, 2): -1.0},
+            offset=0.5,
+        )
+        ising = qubo_to_ising(qubo)
+        for assignment in _all_assignments(qubo.variables):
+            spins = binary_to_spins(assignment)
+            assert ising.energy(spins) == pytest.approx(qubo.energy(assignment))
+
+    def test_ising_to_qubo_preserves_energies(self):
+        ising = IsingModel(h={0: 0.5, 1: -1.0}, j={(0, 1): 2.0}, offset=1.0)
+        qubo = ising_to_qubo(ising)
+        for assignment in _all_assignments([0, 1]):
+            spins = binary_to_spins(assignment)
+            assert qubo.energy(assignment) == pytest.approx(ising.energy(spins))
+
+    def test_roundtrip_random_qubos(self):
+        for seed in range(3):
+            qubo = random_qubo(5, density=0.6, seed=seed)
+            back = ising_to_qubo(qubo_to_ising(qubo))
+            for assignment in _all_assignments(qubo.variables):
+                assert back.energy(assignment) == pytest.approx(qubo.energy(assignment))
+
+
+class TestIsingModel:
+    def test_variables_include_coupling_endpoints(self):
+        ising = IsingModel(h={0: 1.0}, j={(1, 2): 0.5})
+        assert set(ising.variables) == {0, 1, 2}
+
+    def test_energy_rejects_non_spin_values(self):
+        ising = IsingModel(h={0: 1.0})
+        with pytest.raises(QUBOError):
+            ising.energy({0: 0})
+
+    def test_max_abs_weight(self):
+        ising = IsingModel(h={0: -3.0}, j={(0, 1): 2.0})
+        assert ising.max_abs_weight() == 3.0
+        assert IsingModel().max_abs_weight() == 0.0
+
+
+class TestSpinBinaryHelpers:
+    def test_spins_to_binary(self):
+        assert spins_to_binary({0: -1, 1: 1}) == {0: 0, 1: 1}
+
+    def test_binary_to_spins(self):
+        assert binary_to_spins({0: 0, 1: 1}) == {0: -1, 1: 1}
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(QUBOError):
+            spins_to_binary({0: 2})
+        with pytest.raises(QUBOError):
+            binary_to_spins({0: -1})
+
+    def test_roundtrip(self):
+        values = {0: 1, 1: 0, 2: 1}
+        assert spins_to_binary(binary_to_spins(values)) == values

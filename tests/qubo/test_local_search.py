@@ -1,0 +1,72 @@
+"""Tests for QUBO local-search utilities."""
+
+import pytest
+
+from repro.exceptions import QUBOError
+from repro.qubo.bruteforce import solve_bruteforce
+from repro.qubo.local_search import flip_gain, greedy_descent, tabu_search
+from repro.qubo.model import QUBOModel
+from repro.qubo.random_qubo import random_qubo
+
+
+class TestFlipGain:
+    def test_gain_matches_energy_difference(self):
+        qubo = QUBOModel(linear={0: 1.0, 1: -2.0}, quadratic={(0, 1): 3.0})
+        state = {0: 1, 1: 0}
+        for var in (0, 1):
+            flipped = dict(state)
+            flipped[var] = 1 - flipped[var]
+            expected = qubo.energy(flipped) - qubo.energy(state)
+            assert flip_gain(qubo, state, var) == pytest.approx(expected)
+
+    def test_unknown_variable_raises(self):
+        qubo = QUBOModel(linear={0: 1.0})
+        with pytest.raises(QUBOError):
+            flip_gain(qubo, {0: 0}, 99)
+
+
+class TestGreedyDescent:
+    def test_descent_never_increases_energy(self):
+        qubo = random_qubo(12, density=0.4, seed=5)
+        start = {var: 0 for var in qubo.variables}
+        state, energy = greedy_descent(qubo, start, seed=1)
+        assert energy <= qubo.energy(start) + 1e-9
+        assert energy == pytest.approx(qubo.energy(state))
+
+    def test_descent_reaches_local_optimum(self):
+        qubo = random_qubo(10, density=0.5, seed=2)
+        state, _energy = greedy_descent(qubo, seed=3)
+        # No single flip improves a local optimum.
+        assert all(flip_gain(qubo, state, var) >= -1e-9 for var in qubo.variables)
+
+    def test_descent_on_trivial_model(self):
+        qubo = QUBOModel(linear={0: -1.0})
+        state, energy = greedy_descent(qubo)
+        assert state == {0: 1}
+        assert energy == -1.0
+
+
+class TestTabuSearch:
+    def test_finds_optimum_of_small_problems(self):
+        for seed in range(3):
+            qubo = random_qubo(8, density=0.6, seed=seed)
+            _opt_assignment, opt_energy = solve_bruteforce(qubo)
+            _state, energy = tabu_search(qubo, max_iterations=400, seed=seed)
+            assert energy == pytest.approx(opt_energy, abs=1e-9)
+
+    def test_empty_model(self):
+        state, energy = tabu_search(QUBOModel(offset=1.0))
+        assert state == {}
+        assert energy == 1.0
+
+    def test_invalid_parameters(self):
+        qubo = random_qubo(4, seed=0)
+        with pytest.raises(QUBOError):
+            tabu_search(qubo, max_iterations=0)
+        with pytest.raises(QUBOError):
+            tabu_search(qubo, tabu_tenure=-1)
+
+    def test_returned_energy_matches_state(self):
+        qubo = random_qubo(6, seed=4)
+        state, energy = tabu_search(qubo, max_iterations=100, seed=1)
+        assert energy == pytest.approx(qubo.energy(state))

@@ -1,0 +1,70 @@
+"""Property-based tests for the QUBO substrate (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.qubo.bruteforce import solve_bruteforce
+from repro.qubo.ising import binary_to_spins, qubo_to_ising
+from repro.qubo.model import QUBOModel
+
+finite_weights = st.floats(min_value=-20.0, max_value=20.0, allow_nan=False)
+
+
+@st.composite
+def qubos(draw, max_variables=6):
+    """Strategy generating small random QUBO models over integer labels."""
+    num_variables = draw(st.integers(min_value=1, max_value=max_variables))
+    qubo = QUBOModel(offset=draw(finite_weights))
+    for var in range(num_variables):
+        qubo.add_linear(var, draw(finite_weights))
+    for i in range(num_variables):
+        for j in range(i + 1, num_variables):
+            if draw(st.booleans()):
+                qubo.add_quadratic(i, j, draw(finite_weights))
+    return qubo
+
+
+@st.composite
+def qubos_with_assignment(draw):
+    qubo = draw(qubos())
+    assignment = {var: draw(st.integers(min_value=0, max_value=1)) for var in qubo.variables}
+    return qubo, assignment
+
+
+class TestQUBOProperties:
+    @given(qubos_with_assignment())
+    @settings(max_examples=50, deadline=None)
+    def test_ising_conversion_preserves_energy(self, qubo_and_assignment):
+        qubo, assignment = qubo_and_assignment
+        ising = qubo_to_ising(qubo)
+        assert abs(ising.energy(binary_to_spins(assignment)) - qubo.energy(assignment)) < 1e-7
+
+    @given(qubos_with_assignment())
+    @settings(max_examples=50, deadline=None)
+    def test_scaling_scales_energy(self, qubo_and_assignment):
+        qubo, assignment = qubo_and_assignment
+        scaled = qubo.scaled(3.0)
+        assert abs(scaled.energy(assignment) - 3.0 * qubo.energy(assignment)) < 1e-7
+
+    @given(qubos_with_assignment())
+    @settings(max_examples=50, deadline=None)
+    def test_bruteforce_optimum_lower_bounds_any_assignment(self, qubo_and_assignment):
+        qubo, assignment = qubo_and_assignment
+        _best, best_energy = solve_bruteforce(qubo)
+        assert best_energy <= qubo.energy(assignment) + 1e-9
+
+    @given(qubos())
+    @settings(max_examples=50, deadline=None)
+    def test_energy_bounds_contain_optimum(self, qubo):
+        low, high = qubo.energy_range_bounds()
+        _best, best_energy = solve_bruteforce(qubo)
+        assert low - 1e-7 <= best_energy <= high + 1e-7
+
+    @given(qubos_with_assignment())
+    @settings(max_examples=50, deadline=None)
+    def test_relabeling_preserves_energy(self, qubo_and_assignment):
+        qubo, assignment = qubo_and_assignment
+        mapping = {var: f"v{var}" for var in qubo.variables}
+        relabeled = qubo.relabeled(mapping)
+        renamed_assignment = {mapping[var]: value for var, value in assignment.items()}
+        assert abs(relabeled.energy(renamed_assignment) - qubo.energy(assignment)) < 1e-9

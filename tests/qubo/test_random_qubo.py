@@ -1,0 +1,63 @@
+"""Tests for the random QUBO generators."""
+
+import pytest
+
+from repro.chimera.topology import ChimeraGraph
+from repro.exceptions import QUBOError
+from repro.qubo.random_qubo import random_chimera_qubo, random_qubo
+
+
+class TestRandomQubo:
+    def test_dimensions(self):
+        qubo = random_qubo(10, density=0.5, seed=0)
+        assert qubo.num_variables == 10
+
+    def test_determinism(self):
+        a = random_qubo(6, seed=3)
+        b = random_qubo(6, seed=3)
+        assert a.linear == b.linear
+        assert a.quadratic == b.quadratic
+
+    def test_density_bounds(self):
+        empty = random_qubo(6, density=0.0, seed=0)
+        full = random_qubo(6, density=1.0, seed=0)
+        assert empty.num_interactions == 0
+        assert full.num_interactions == 15
+
+    def test_weight_range_respected(self):
+        qubo = random_qubo(8, density=1.0, weight_range=(0.5, 1.0), seed=1)
+        assert all(0.5 <= w <= 1.0 for w in qubo.linear.values())
+        assert all(0.5 <= w <= 1.0 for w in qubo.quadratic.values())
+
+    def test_invalid_arguments(self):
+        with pytest.raises(QUBOError):
+            random_qubo(0)
+        with pytest.raises(QUBOError):
+            random_qubo(3, density=2.0)
+        with pytest.raises(QUBOError):
+            random_qubo(3, weight_range=(1.0, -1.0))
+
+
+class TestRandomChimeraQubo:
+    def test_interactions_respect_topology(self):
+        topo = ChimeraGraph(2, 2)
+        qubo = random_chimera_qubo(topo.edges(), topo.qubits, seed=0)
+        for (u, v) in qubo.quadratic:
+            assert topo.has_coupler(u, v)
+
+    def test_all_nodes_present(self):
+        topo = ChimeraGraph(1, 1)
+        qubo = random_chimera_qubo(topo.edges(), topo.qubits, seed=1)
+        assert set(qubo.variables) == set(topo.qubits)
+
+    def test_edge_probability_zero(self):
+        topo = ChimeraGraph(1, 1)
+        qubo = random_chimera_qubo(topo.edges(), topo.qubits, edge_probability=0.0, seed=1)
+        assert qubo.num_interactions == 0
+
+    def test_invalid_arguments(self):
+        topo = ChimeraGraph(1, 1)
+        with pytest.raises(QUBOError):
+            random_chimera_qubo(topo.edges(), topo.qubits, weight_range=(2, 1))
+        with pytest.raises(QUBOError):
+            random_chimera_qubo(topo.edges(), topo.qubits, edge_probability=1.5)

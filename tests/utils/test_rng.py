@@ -1,0 +1,58 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rng
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, size=5)
+        b = ensure_rng(42).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 10**9)
+        b = ensure_rng(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        gen = ensure_rng(np.random.SeedSequence(7))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawnRng:
+    def test_spawn_count(self, rng):
+        children = spawn_rng(rng, 4)
+        assert len(children) == 4
+        assert all(isinstance(c, np.random.Generator) for c in children)
+
+    def test_spawn_children_are_independent_streams(self):
+        children = spawn_rng(ensure_rng(3), 2)
+        a = children[0].integers(0, 10**9, size=10)
+        b = children[1].integers(0, 10**9, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_is_deterministic_given_parent_seed(self):
+        first = [c.integers(0, 10**9) for c in spawn_rng(ensure_rng(5), 3)]
+        second = [c.integers(0, 10**9) for c in spawn_rng(ensure_rng(5), 3)]
+        assert first == second
+
+    def test_spawn_zero_children(self, rng):
+        assert spawn_rng(rng, 0) == []
+
+    def test_spawn_negative_raises(self, rng):
+        with pytest.raises(ValueError):
+            spawn_rng(rng, -1)

@@ -1,0 +1,62 @@
+"""Tests for repro.utils.stopwatch."""
+
+import time
+
+import pytest
+
+from repro.utils.stopwatch import Stopwatch, VirtualClock
+
+
+class TestStopwatch:
+    def test_elapsed_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().elapsed_ms()
+
+    def test_started_flag(self):
+        watch = Stopwatch()
+        assert not watch.started
+        watch.start()
+        assert watch.started
+
+    def test_elapsed_increases(self):
+        watch = Stopwatch().start()
+        first = watch.elapsed_ms()
+        time.sleep(0.005)
+        second = watch.elapsed_ms()
+        assert second > first >= 0.0
+
+    def test_restart_resets(self):
+        watch = Stopwatch().start()
+        time.sleep(0.005)
+        before = watch.elapsed_ms()
+        watch.start()
+        assert watch.elapsed_ms() < before
+
+    def test_context_manager_starts(self):
+        with Stopwatch() as watch:
+            assert watch.elapsed_ms() >= 0.0
+
+
+class TestVirtualClock:
+    def test_initial_value(self):
+        assert VirtualClock().elapsed_ms() == 0.0
+        assert VirtualClock(start_ms=5.0).elapsed_ms() == 5.0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(2.5)
+        assert clock.elapsed_ms() == pytest.approx(4.0)
+
+    def test_negative_start_raises(self):
+        with pytest.raises(ValueError):
+            VirtualClock(start_ms=-1.0)
+
+    def test_negative_advance_raises(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-0.1)
+
+    def test_start_is_noop(self):
+        clock = VirtualClock(start_ms=3.0)
+        assert clock.start() is clock
+        assert clock.elapsed_ms() == 3.0
