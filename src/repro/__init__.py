@@ -31,14 +31,17 @@ Quick start::
 from repro.exceptions import (
     DeviceCapacityError,
     DeviceError,
+    DuplicateSolverError,
     EmbeddingError,
     EmbeddingNotFoundError,
     InvalidProblemError,
     InvalidSolutionError,
     QUBOError,
     ReproError,
+    ServiceError,
     SolverError,
     TopologyError,
+    UnknownSolverError,
 )
 from repro.mqo import (
     MQOGeneratorConfig,
@@ -83,10 +86,35 @@ from repro.baselines import (
     IteratedHillClimbing,
     SolverTrajectory,
 )
+from repro.service import (
+    BatchExecutor,
+    PortfolioResult,
+    PortfolioScheduler,
+    QuantumAnnealingSolver,
+    ResultCache,
+    ServiceFrontend,
+    SolveRequest,
+    SolveResult,
+    SolverCapabilities,
+    SolverRegistry,
+    default_registry,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    # service
+    "ServiceFrontend",
+    "SolverRegistry",
+    "SolverCapabilities",
+    "default_registry",
+    "PortfolioScheduler",
+    "PortfolioResult",
+    "BatchExecutor",
+    "ResultCache",
+    "SolveRequest",
+    "SolveResult",
+    "QuantumAnnealingSolver",
     # exceptions
     "ReproError",
     "InvalidProblemError",
@@ -98,6 +126,9 @@ __all__ = [
     "DeviceError",
     "DeviceCapacityError",
     "SolverError",
+    "ServiceError",
+    "UnknownSolverError",
+    "DuplicateSolverError",
     # mqo
     "Plan",
     "Query",

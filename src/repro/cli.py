@@ -1,9 +1,12 @@
 """Command-line interface: ``repro-mqo``.
 
-Three subcommands cover the common workflows:
+Four subcommands cover the common workflows:
 
 * ``solve``    — generate (or load) an instance and solve it on the
-  simulated annealer plus selected classical baselines,
+  simulated annealer plus selected classical baselines (``--json`` for
+  machine-readable output),
+* ``batch``    — stream a JSONL workload of instance specs through the
+  solver service (portfolio racing, worker processes, result cache),
 * ``capacity`` — print the Figure 7 capacity frontier for a qubit budget,
 * ``info``     — print the device model and profile configuration.
 """
@@ -13,6 +16,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Sequence
 
 from repro.baselines.genetic import GeneticAlgorithmSolver
@@ -20,10 +24,20 @@ from repro.baselines.hillclimb import IteratedHillClimbing
 from repro.baselines.ilp_mqo import IntegerProgrammingMQOSolver
 from repro.chimera.hardware import DWAVE_2X
 from repro.core.pipeline import QuantumMQO
+from repro.exceptions import ReproError
 from repro.experiments.figures import figure7_table
 from repro.experiments.profiles import get_profile
 from repro.mqo.generator import generate_paper_testcase
 from repro.mqo.serialization import load_problem
+from repro.service.batch import BatchExecutor
+from repro.service.cache import ResultCache
+from repro.service.jobs import (
+    PORTFOLIO_SOLVER,
+    SolveRequest,
+    SolveResult,
+    request_from_spec,
+)
+from repro.utils.stopwatch import Stopwatch
 from repro.utils.tables import format_table
 
 __all__ = ["main", "build_parser"]
@@ -53,6 +67,56 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--budget-ms", type=float, default=1000.0, help="classical time budget in milliseconds"
     )
+    solve.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON document instead of tables",
+    )
+
+    batch = subparsers.add_parser(
+        "batch",
+        help="solve a JSONL workload through the solver service",
+        description=(
+            "Read one instance spec per line (a full request with a 'problem' "
+            "dict, a bare problem dict, or a generator spec like "
+            '{"queries": 8, "plans": 2, "seed": 3}) and stream one JSON '
+            "result per line as jobs finish."
+        ),
+    )
+    batch.add_argument(
+        "input", type=str, help="JSONL workload file, or '-' to read stdin"
+    )
+    batch.add_argument(
+        "--solver",
+        type=str,
+        default=PORTFOLIO_SOLVER,
+        help="registered solver name, or 'portfolio' to race (default)",
+    )
+    batch.add_argument(
+        "--solvers",
+        type=str,
+        nargs="+",
+        default=None,
+        help="restrict the portfolio to these registered solvers",
+    )
+    batch.add_argument(
+        "--budget-ms", type=float, default=1000.0, help="per-job time budget in milliseconds"
+    )
+    batch.add_argument(
+        "--workers", type=int, default=0, help="worker processes (0 = solve inline)"
+    )
+    batch.add_argument(
+        "--seed", type=int, default=0, help="base seed for deterministic per-job seeds"
+    )
+    batch.add_argument(
+        "--cache-file",
+        type=str,
+        default=None,
+        help="JSON result cache; warm entries are served without re-solving",
+    )
+    batch.add_argument(
+        "--output", type=str, default=None, help="write result JSONL here instead of stdout"
+    )
 
     capacity = subparsers.add_parser(
         "capacity", help="print the Figure 7 capacity frontier for qubit budgets"
@@ -80,7 +144,8 @@ def _run_solve(args: argparse.Namespace) -> int:
         problem = load_problem(args.problem_file)
     else:
         problem = generate_paper_testcase(args.queries, args.plans, seed=args.seed)
-    print(problem.describe())
+    if not args.json:
+        print(problem.describe())
 
     pipeline = QuantumMQO(seed=args.seed)
     result = pipeline.solve(problem, num_reads=args.reads)
@@ -92,6 +157,21 @@ def _run_solve(args: argparse.Namespace) -> int:
             result.qubits_per_variable,
         )
     ]
+    solver_payloads = []
+    if args.json:
+        solver_payloads.append(
+            SolveResult(
+                job_id=problem.name,
+                solver="QA",
+                winner="QA",
+                best_cost=result.best_solution.cost,
+                selected_plans=sorted(result.best_solution.selected_plans),
+                is_valid=result.best_solution.is_valid,
+                trajectory=list(result.trajectory),
+                total_time_ms=result.device_time_ms,
+                seed=args.seed,
+            )
+        )
 
     if args.baselines:
         for solver in (
@@ -101,6 +181,30 @@ def _run_solve(args: argparse.Namespace) -> int:
         ):
             trajectory = solver.solve(problem, time_budget_ms=args.budget_ms, seed=args.seed)
             rows.append((solver.name, trajectory.best_cost, trajectory.total_time_ms, float("nan")))
+            if args.json:
+                request = SolveRequest(
+                    problem=problem,
+                    solver=solver.name,
+                    time_budget_ms=args.budget_ms,
+                    seed=args.seed,
+                    job_id=problem.name,
+                )
+                solver_payloads.append(SolveResult.from_trajectory(request, trajectory))
+
+    if args.json:
+        document = {
+            "problem": {
+                "name": problem.name,
+                "num_queries": problem.num_queries,
+                "num_plans": problem.num_plans,
+                "num_savings": problem.num_savings,
+                "canonical_hash": problem.canonical_hash(),
+            },
+            "qubits_per_variable": result.qubits_per_variable,
+            "results": [payload.to_dict() for payload in solver_payloads],
+        }
+        print(json.dumps(document, indent=2))
+        return 0
 
     print()
     print(
@@ -111,6 +215,67 @@ def _run_solve(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def _read_workload(source: str) -> List[dict]:
+    """Parse the JSONL workload from a file path or stdin (``-``)."""
+    if source == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            text = Path(source).read_text()
+        except OSError as exc:
+            raise ReproError(f"cannot read workload file {source}: {exc}") from exc
+    specs = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            specs.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"workload line {line_number} is not valid JSON: {exc}") from exc
+    return specs
+
+
+def _run_batch(args: argparse.Namespace) -> int:
+    specs = _read_workload(args.input)
+    requests = []
+    for index, spec in enumerate(specs):
+        request = request_from_spec(
+            spec,
+            default_solver=args.solver,
+            default_budget_ms=args.budget_ms,
+            job_id=f"job-{index}",
+        )
+        if request.solvers is None and args.solvers is not None:
+            request.solvers = tuple(args.solvers)
+        requests.append(request)
+    if not requests:
+        print("workload is empty; nothing to solve", file=sys.stderr)
+        return 1
+
+    cache = ResultCache(path=args.cache_file) if args.cache_file else None
+    executor = BatchExecutor(workers=args.workers, cache=cache)
+    sink = open(args.output, "w") if args.output else sys.stdout
+
+    stopwatch = Stopwatch().start()
+    hits = failures = 0
+    try:
+        for _, result in executor.run_iter(requests, base_seed=args.seed):
+            hits += int(result.from_cache)
+            failures += int(not result.ok)
+            sink.write(json.dumps(result.to_dict()) + "\n")
+            sink.flush()
+    finally:
+        if sink is not sys.stdout:
+            sink.close()
+    print(
+        f"solved {len(requests)} jobs in {stopwatch.elapsed_ms() / 1000.0:.2f}s "
+        f"({hits} cache hits, {failures} failures, workers={args.workers})",
+        file=sys.stderr,
+    )
+    return 1 if failures else 0
 
 
 def _run_capacity(args: argparse.Namespace) -> int:
@@ -141,12 +306,18 @@ def _run_info() -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``repro-mqo`` command."""
     args = build_parser().parse_args(list(argv) if argv is not None else None)
-    if args.command == "solve":
-        return _run_solve(args)
-    if args.command == "capacity":
-        return _run_capacity(args)
-    if args.command == "info":
-        return _run_info()
+    try:
+        if args.command == "solve":
+            return _run_solve(args)
+        if args.command == "batch":
+            return _run_batch(args)
+        if args.command == "capacity":
+            return _run_capacity(args)
+        if args.command == "info":
+            return _run_info()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

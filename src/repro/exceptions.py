@@ -20,6 +20,9 @@ __all__ = [
     "DeviceCapacityError",
     "SolverError",
     "TimeBudgetExceededError",
+    "ServiceError",
+    "UnknownSolverError",
+    "DuplicateSolverError",
 ]
 
 
@@ -75,3 +78,18 @@ class SolverError(ReproError, RuntimeError):
 
 class TimeBudgetExceededError(SolverError):
     """A solver exceeded its configured time budget without any solution."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The solver service (registry, portfolio, batch executor) failed."""
+
+
+class UnknownSolverError(ServiceError, KeyError):
+    """A solver name was requested that is not present in the registry."""
+
+    def __str__(self) -> str:  # KeyError quotes its args; keep the message readable
+        return RuntimeError.__str__(self)
+
+
+class DuplicateSolverError(ServiceError):
+    """A solver name was registered twice without ``replace=True``."""

@@ -32,6 +32,7 @@ from repro.experiments.metrics import reference_cost
 from repro.experiments.profiles import ExperimentProfile, get_profile
 from repro.experiments.scenarios import TestCaseClass, paper_test_classes
 from repro.experiments.workloads import EmbeddedTestCase, generate_embedded_testcase
+from repro.service.frontend import ServiceFrontend
 from repro.utils.rng import SeedLike, ensure_rng, spawn_rng
 
 __all__ = ["QuantumAnnealingFrontend", "InstanceResult", "ExperimentRunner"]
@@ -112,7 +113,16 @@ class InstanceResult:
 
 
 class ExperimentRunner:
-    """Generate instances and run the full solver line-up on them."""
+    """Generate instances and run the full solver line-up on them.
+
+    When a :class:`~repro.service.frontend.ServiceFrontend` is supplied,
+    the classical solver sweep is routed through its portfolio scheduler
+    instead of the sequential in-process loop: all baselines race
+    concurrently under the profile's budget and the runner records the
+    per-member trajectories the race returns.  The solver line-up is then
+    resolved *by name* against the frontend's registry, so custom solver
+    instances must be registered there first.
+    """
 
     def __init__(
         self,
@@ -120,6 +130,7 @@ class ExperimentRunner:
         topology: ChimeraGraph | None = None,
         device: DWaveSamplerSimulator | None = None,
         solvers: Sequence[AnytimeSolver] | None = None,
+        frontend: ServiceFrontend | None = None,
         seed: SeedLike = None,
     ) -> None:
         self.profile = profile or get_profile()
@@ -134,6 +145,7 @@ class ExperimentRunner:
         self.solvers: List[AnytimeSolver] = (
             list(solvers) if solvers is not None else self._default_solvers()
         )
+        self.frontend = frontend
         self.quantum = QuantumAnnealingFrontend(self.device)
 
     # ------------------------------------------------------------------ #
@@ -190,12 +202,25 @@ class ExperimentRunner:
         )
         trajectories[QA_SOLVER_NAME] = qa_trajectory
 
-        for solver in self.solvers:
-            trajectories[solver.name] = solver.solve(
+        if self.frontend is not None:
+            race = self.frontend.race(
                 testcase.problem,
                 time_budget_ms=self.profile.classical_budget_ms,
-                seed=self._rng,
+                seed=int(self._rng.integers(0, 2**63 - 1)),
+                solvers=[solver.name for solver in self.solvers],
             )
+            if race.errors:
+                raise ReproError(
+                    f"portfolio members failed on {testcase.problem.name}: {race.errors}"
+                )
+            trajectories.update(race.trajectories)
+        else:
+            for solver in self.solvers:
+                trajectories[solver.name] = solver.solve(
+                    testcase.problem,
+                    time_budget_ms=self.profile.classical_budget_ms,
+                    seed=self._rng,
+                )
 
         best_known = min(t.best_cost for t in trajectories.values())
         proved = any(

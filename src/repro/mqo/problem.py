@@ -151,6 +151,8 @@ class MQOProblem:
             self._savings_by_plan[p1][p2] = value
             self._savings_by_plan[p2][p1] = value
 
+        self._canonical_hash: str | None = None
+
     def _add_saving(self, p1: int, p2: int, value: float) -> None:
         pair = _normalize_pair(int(p1), int(p2))
         for p in pair:
@@ -236,6 +238,21 @@ class MQOProblem:
         if plan_index not in self._savings_by_plan:
             raise InvalidProblemError(f"unknown plan index {plan_index}")
         return dict(self._savings_by_plan[plan_index])
+
+    def canonical_hash(self) -> str:
+        """Stable SHA-256 hex digest of the problem *structure*.
+
+        The digest ignores the instance name and all labels and is
+        invariant to the order in which plans are enumerated within each
+        query, so it can key caches and deduplicate workloads.  Computed
+        lazily and memoised (the problem is immutable).
+        """
+        if self._canonical_hash is None:
+            # Imported here: serialization imports this module at top level.
+            from repro.mqo.serialization import canonical_problem_hash
+
+            self._canonical_hash = canonical_problem_hash(self)
+        return self._canonical_hash
 
     def max_plan_cost(self) -> float:
         """``max_p c_p`` — used to derive the penalty weight ``w_L``."""

@@ -6,9 +6,10 @@ save generated workloads to disk and reload them for exact reruns.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
-from typing import Any, Dict
+from typing import Any, Dict, List, Tuple
 
 from repro.exceptions import InvalidProblemError
 from repro.mqo.problem import MQOProblem, MQOSolution
@@ -20,6 +21,8 @@ __all__ = [
     "solution_from_dict",
     "save_problem",
     "load_problem",
+    "canonical_problem_dict",
+    "canonical_problem_hash",
 ]
 
 _FORMAT_VERSION = 1
@@ -55,6 +58,177 @@ def problem_from_dict(data: Dict[str, Any]) -> MQOProblem:
         p1, p2 = entry["plans"]
         savings[(int(p1), int(p2))] = float(entry["value"])
     return MQOProblem(plans_per_query, savings, name=data.get("name", ""))
+
+
+#: Backstop on the individualization search tree; only pathologically
+#: symmetric instances ever branch more than a handful of times.
+_MAX_CANONICAL_LEAVES = 2048
+
+
+def _refine_colors(problem: MQOProblem, colors: Dict[int, int]) -> Dict[int, int]:
+    """Colour refinement (Weisfeiler-Leman style) to the fixpoint.
+
+    Each plan's colour is joined with the sorted multiset of its
+    ``(partner colour, saving)`` pairs and the joint signatures are
+    re-ranked, until the partition stops refining.  Ranks are a pure
+    function of problem structure, never of the plan enumeration.
+    """
+    num_colors = len(set(colors.values()))
+    while True:
+        signatures = {
+            plan.index: (
+                colors[plan.index],
+                tuple(
+                    sorted(
+                        (colors[partner], round(saving, 12))
+                        for partner, saving in problem.sharing_partners(plan.index).items()
+                    )
+                ),
+            )
+            for plan in problem.plans
+        }
+        ranks = {
+            signature: rank for rank, signature in enumerate(sorted(set(signatures.values())))
+        }
+        colors = {plan_index: ranks[signature] for plan_index, signature in signatures.items()}
+        if len(ranks) == num_colors:
+            return colors
+        num_colors = len(ranks)
+
+
+def _first_tie_class(problem: MQOProblem, colors: Dict[int, int]) -> List[int]:
+    """The lowest-colour group of same-query plans sharing a colour.
+
+    Picking the class by colour value keeps the choice invariant to the
+    plan enumeration (colours are structural ranks).
+    """
+    classes: Dict[Tuple[int, int], List[int]] = {}
+    for query in problem.queries:
+        for plan_index in query.plan_indices:
+            classes.setdefault((colors[plan_index], query.index), []).append(plan_index)
+    ties = [group for group in classes.values() if len(group) > 1]
+    if not ties:
+        return []
+    return min(ties, key=lambda group: colors[group[0]])
+
+
+def _mapping_from_colors(problem: MQOProblem, colors: Dict[int, int]) -> Dict[int, int]:
+    mapping: Dict[int, int] = {}
+    next_index = 0
+    for query in problem.queries:
+        for plan_index in sorted(query.plan_indices, key=lambda p: colors[p]):
+            mapping[plan_index] = next_index
+            next_index += 1
+    return mapping
+
+
+def _form_key(problem: MQOProblem, mapping: Dict[int, int]) -> Tuple:
+    """Comparable fingerprint of the savings structure under ``mapping``
+    (the plan costs are already fixed by the colour order)."""
+    return tuple(
+        sorted(
+            (*sorted((mapping[p1], mapping[p2])), round(value, 12))
+            for (p1, p2), value in problem.savings.items()
+        )
+    )
+
+
+def _canonical_plan_order(problem: MQOProblem) -> Dict[int, int]:
+    """Map every global plan index to its canonical global index.
+
+    Canonicalisation via individualization-refinement: colours start
+    from ``(query, cost)`` and are refined to the fixpoint; while any
+    two same-query plans stay tied, each member of the lowest tie class
+    is individualized in turn and the search recurses, keeping the
+    lexicographically smallest resulting savings structure.  Branching
+    (rather than breaking ties by input order) is what makes the result
+    invariant under *correlated* symmetries, where swapping one tied
+    pair is only an automorphism together with swapping another.
+
+    The search is exhaustive up to :data:`_MAX_CANONICAL_LEAVES` leaves;
+    beyond that (astronomically symmetric instances) the smallest form
+    found so far is used, making the hash best-effort there.
+    """
+    initial_ranks = {
+        key: rank
+        for rank, key in enumerate(
+            sorted({(plan.query_index, round(plan.cost, 12)) for plan in problem.plans})
+        )
+    }
+    start = {
+        plan.index: initial_ranks[(plan.query_index, round(plan.cost, 12))]
+        for plan in problem.plans
+    }
+
+    best: List[Tuple[Tuple, Dict[int, int]]] = []
+    leaves = [0]
+
+    def search(colors: Dict[int, int]) -> None:
+        if leaves[0] >= _MAX_CANONICAL_LEAVES:
+            return
+        colors = _refine_colors(problem, colors)
+        ties = _first_tie_class(problem, colors)
+        if not ties:
+            leaves[0] += 1
+            mapping = _mapping_from_colors(problem, colors)
+            key = _form_key(problem, mapping)
+            if not best or key < best[0][0]:
+                best[:] = [(key, mapping)]
+            return
+        fresh_color = max(colors.values()) + 1
+        for plan_index in ties:
+            branched = dict(colors)
+            branched[plan_index] = fresh_color
+            search(branched)
+
+    search(start)
+    assert best, "canonical search always produces at least one leaf"
+    return best[0][1]
+
+
+def canonical_problem_dict(problem: MQOProblem) -> Dict[str, Any]:
+    """A canonical, order-independent dictionary form of ``problem``.
+
+    Unlike :func:`problem_to_dict` the result ignores the instance name
+    and all labels, and renumbers plans within each query into their
+    canonical order, so structurally identical problems produce identical
+    dictionaries regardless of how their plans were enumerated.
+    """
+    mapping = _canonical_plan_order(problem)
+    inverse = {new: old for old, new in mapping.items()}
+    plans_per_query: List[List[float]] = []
+    cursor = 0
+    for query in problem.queries:
+        costs = [
+            round(problem.plan_cost(inverse[cursor + offset]), 12)
+            for offset in range(query.num_plans)
+        ]
+        plans_per_query.append(costs)
+        cursor += query.num_plans
+    savings = sorted(
+        (
+            [*sorted((mapping[p1], mapping[p2])), round(value, 12)]
+            for (p1, p2), value in problem.savings.items()
+        )
+    )
+    return {
+        "format_version": _FORMAT_VERSION,
+        "plans_per_query": plans_per_query,
+        "savings": savings,
+    }
+
+
+def canonical_problem_hash(problem: MQOProblem) -> str:
+    """SHA-256 hex digest of :func:`canonical_problem_dict`.
+
+    This is the key used by the service-layer result cache: two problems
+    hash equally iff they have the same queries, plan costs and savings
+    structure (names, labels and plan enumeration order do not matter).
+    """
+    payload = json.dumps(
+        canonical_problem_dict(problem), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def solution_to_dict(solution: MQOSolution) -> Dict[str, Any]:

@@ -1,0 +1,262 @@
+"""Batch executor: solve many instances concurrently with process workers.
+
+The executor takes a sequence of :class:`~repro.service.jobs.SolveRequest`
+objects and runs them on a ``ProcessPoolExecutor`` (``workers=0`` runs
+everything inline, which is also the fallback when a pool cannot be
+spawned).  Jobs cross the process boundary as plain dictionaries, and
+each worker resolves solver names against its own process-wide default
+registry — custom registries therefore require inline execution.
+
+Determinism: every job that arrives without a seed gets one derived from
+the executor's base seed and the job's position
+(:func:`derive_job_seed`), so a replayed batch hands every solver the
+exact same stream regardless of worker count or completion order.
+Results are bit-identical whenever each solver converges within its
+wall-clock budget (exact solvers proving optimality always replay
+identically; a heuristic truncated mid-flight by CPU contention may not).
+
+An optional :class:`~repro.service.cache.ResultCache` short-circuits
+jobs whose key is already cached and absorbs fresh results; when the
+cache has a backing file it is saved once at the end of the batch.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ServiceError
+from repro.service.cache import ResultCache
+from repro.service.jobs import PORTFOLIO_SOLVER, SolveRequest, SolveResult
+from repro.service.portfolio import PortfolioScheduler
+from repro.service.registry import SolverRegistry, default_registry
+from repro.utils.rng import derive_seed
+from repro.utils.stopwatch import Stopwatch
+
+__all__ = ["BatchExecutor", "execute_request", "derive_job_seed"]
+
+
+def derive_job_seed(base_seed: Optional[int], job_index: int) -> int:
+    """Deterministic per-job seed for position ``job_index`` of a batch."""
+    return derive_seed(base_seed, job_index)
+
+
+def execute_request(
+    request: SolveRequest,
+    registry: SolverRegistry | None = None,
+    portfolio_mode: str = "threads",
+) -> SolveResult:
+    """Solve one request synchronously in the current process.
+
+    ``solver="portfolio"`` races the portfolio scheduler; any other name
+    runs that registered solver directly.  Solver failures are captured
+    into :attr:`SolveResult.error` instead of propagating, so one bad job
+    cannot take down a batch.
+    """
+    registry = registry if registry is not None else default_registry()
+    stopwatch = Stopwatch().start()
+    try:
+        if request.solver == PORTFOLIO_SOLVER:
+            scheduler = PortfolioScheduler(registry=registry, mode=portfolio_mode)
+            outcome = scheduler.solve(
+                request.problem,
+                request.time_budget_ms,
+                seed=request.seed,
+                solvers=request.solvers,
+            )
+            if not outcome.winner:
+                raise ServiceError(
+                    f"every portfolio member failed: {outcome.errors}"
+                )
+            result = SolveResult.from_trajectory(
+                request,
+                outcome.merged_trajectory,
+                winner=outcome.winner,
+                total_time_ms=stopwatch.elapsed_ms(),
+            )
+        else:
+            solver = registry.create(request.solver)
+            trajectory = solver.solve(
+                request.problem, request.time_budget_ms, seed=request.seed
+            )
+            # The registry name is the stable identity; the trajectory only
+            # carries the solver's display name, which may differ.
+            result = SolveResult.from_trajectory(
+                request,
+                trajectory,
+                winner=request.solver,
+                total_time_ms=stopwatch.elapsed_ms(),
+            )
+        return result
+    except Exception as exc:  # noqa: BLE001 — any solver failure becomes a
+        # per-job error result, so one bad job cannot take down a batch
+        # (and inline execution matches what a worker pool would report).
+        return SolveResult.from_error(request, f"{type(exc).__name__}: {exc}")
+
+
+def _execute_job_payload(payload: Dict[str, Any], portfolio_mode: str) -> Dict[str, Any]:
+    """Worker entry point: dict in, dict out (must stay module-level so it
+    pickles for the process pool)."""
+    request = SolveRequest.from_dict(payload)
+    return execute_request(request, portfolio_mode=portfolio_mode).to_dict()
+
+
+class BatchExecutor:
+    """Solve batches of requests, optionally on a process pool.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes; ``0`` (or ``1``) solves inline in
+        this process.
+    cache:
+        Optional result cache consulted before dispatch and updated with
+        fresh results.  When the cache has a backing file it is saved at
+        the end of every batch.
+    registry:
+        Registry for *inline* execution.  Worker processes always use
+        their own default registry, so passing a custom registry
+        together with ``workers > 1`` is rejected.
+    base_seed:
+        Default base seed for :func:`derive_job_seed`; can be overridden
+        per run.
+    portfolio_mode:
+        Racing mode forwarded to the portfolio scheduler.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        cache: ResultCache | None = None,
+        registry: SolverRegistry | None = None,
+        base_seed: Optional[int] = None,
+        portfolio_mode: str = "threads",
+    ) -> None:
+        if workers < 0:
+            raise ServiceError(f"workers must be non-negative, got {workers}")
+        if registry is not None and workers > 1:
+            raise ServiceError(
+                "custom registries cannot cross process boundaries; "
+                "use workers=0 for inline execution"
+            )
+        self.workers = workers
+        self.cache = cache
+        self.registry = registry
+        self.base_seed = base_seed
+        self.portfolio_mode = portfolio_mode
+
+    # ------------------------------------------------------------------ #
+    # Seeding and cache plumbing
+    # ------------------------------------------------------------------ #
+    def _seeded(
+        self, requests: Sequence[SolveRequest], base_seed: Optional[int]
+    ) -> List[SolveRequest]:
+        """Copy of ``requests`` with per-job seeds and job ids filled in."""
+        seeded = []
+        for index, request in enumerate(requests):
+            seed = (
+                request.seed
+                if request.seed is not None
+                else derive_job_seed(base_seed, index)
+            )
+            seeded.append(
+                SolveRequest(
+                    problem=request.problem,
+                    solver=request.solver,
+                    time_budget_ms=request.time_budget_ms,
+                    seed=seed,
+                    job_id=request.job_id or f"job-{index}",
+                    solvers=request.solvers,
+                    metadata=request.metadata,
+                )
+            )
+        return seeded
+
+    def _cache_lookup(self, request: SolveRequest) -> Optional[SolveResult]:
+        if self.cache is None:
+            return None
+        cached = self.cache.get(request.cache_key())
+        if cached is None:
+            return None
+        result = SolveResult.from_dict(cached)
+        # Identity fields echo the *current* request, not the one that
+        # populated the cache (neither is part of the cache key).
+        result.job_id = request.job_id
+        result.metadata = dict(request.metadata)
+        result.from_cache = True
+        result.total_time_ms = 0.0
+        return result
+
+    def _cache_store(self, request: SolveRequest, result: SolveResult) -> None:
+        if self.cache is not None and result.ok:
+            self.cache.put(request.cache_key(), result.to_dict())
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self, requests: Sequence[SolveRequest], base_seed: Optional[int] = None
+    ) -> List[SolveResult]:
+        """Solve every request; results come back in request order."""
+        results: List[Optional[SolveResult]] = [None] * len(requests)
+        for index, result in self.run_iter(requests, base_seed=base_seed):
+            results[index] = result
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
+
+    def run_iter(
+        self, requests: Sequence[SolveRequest], base_seed: Optional[int] = None
+    ) -> Iterator[Tuple[int, SolveResult]]:
+        """Yield ``(input_index, result)`` pairs as jobs finish.
+
+        Cache hits are yielded first (no solving happens for them); the
+        rest stream back in completion order.  The cache, if any, is
+        persisted to its backing file after the last job.
+        """
+        seeded = self._seeded(requests, base_seed if base_seed is not None else self.base_seed)
+        pending: List[Tuple[int, SolveRequest]] = []
+        for index, request in enumerate(seeded):
+            hit = self._cache_lookup(request)
+            if hit is not None:
+                yield index, hit
+            else:
+                pending.append((index, request))
+
+        try:
+            if self.workers > 1 and len(pending) > 1:
+                yield from self._run_pool(pending)
+            else:
+                for index, request in pending:
+                    result = execute_request(
+                        request, registry=self.registry, portfolio_mode=self.portfolio_mode
+                    )
+                    self._cache_store(request, result)
+                    yield index, result
+        finally:
+            if self.cache is not None and self.cache.path is not None:
+                self.cache.save()
+
+    def _run_pool(
+        self, pending: List[Tuple[int, SolveRequest]]
+    ) -> Iterator[Tuple[int, SolveResult]]:
+        """Dispatch pending jobs onto a process pool, yielding as completed."""
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = {}
+            for index, request in pending:
+                future = pool.submit(
+                    _execute_job_payload, request.to_dict(), self.portfolio_mode
+                )
+                futures[future] = (index, request)
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, request = futures[future]
+                    try:
+                        result = SolveResult.from_dict(future.result())
+                    except Exception as exc:  # worker crashed, not a solver error
+                        result = SolveResult.from_error(
+                            request, f"worker failure: {type(exc).__name__}: {exc}"
+                        )
+                    self._cache_store(request, result)
+                    yield index, result

@@ -1,0 +1,164 @@
+"""LRU result cache keyed by the canonical problem hash.
+
+Values are the JSON-serialisable dictionaries produced by
+:meth:`repro.service.jobs.SolveResult.to_dict`, which keeps the cache
+trivially persistable: :meth:`ResultCache.save` writes the whole store
+to one JSON file and :meth:`ResultCache.load` restores it, so a warm
+cache survives process restarts (the ``repro-mqo batch --cache-file``
+workflow).
+
+Keys come from :meth:`repro.service.jobs.SolveRequest.cache_key`, which
+combines :meth:`~repro.mqo.problem.MQOProblem.canonical_hash` with the
+solver choice, budget and seed — structurally identical problems hit the
+same entry no matter how their plans were enumerated.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.exceptions import ServiceError
+
+__all__ = ["ResultCache", "CacheStats"]
+
+_CACHE_FORMAT_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of :meth:`ResultCache.get` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0.0 when never queried)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """Thread-safe LRU cache of solve-result dictionaries.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; the least recently used entry is
+        evicted beyond that.
+    path:
+        Optional JSON file backing the cache.  When given and the file
+        exists, the cache warms itself from it on construction; call
+        :meth:`save` (the batch executor does) to persist new entries.
+    """
+
+    def __init__(self, capacity: int = 256, path: str | Path | None = None) -> None:
+        if capacity <= 0:
+            raise ServiceError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.path = Path(path) if path is not None else None
+        self._store: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+        if self.path is not None and self.path.exists():
+            self.load()
+
+    # ------------------------------------------------------------------ #
+    # Core operations
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached result dictionary for ``key``, or ``None`` on a miss."""
+        with self._lock:
+            try:
+                value = self._store[key]
+            except KeyError:
+                self.stats.misses += 1
+                return None
+            self._store.move_to_end(key)
+            self.stats.hits += 1
+            return dict(value)
+
+    def put(self, key: str, value: Dict[str, Any]) -> None:
+        """Store ``value`` under ``key``, evicting the LRU entry if full."""
+        if not isinstance(value, dict):
+            raise ServiceError(
+                f"cache values must be result dictionaries, got {type(value).__name__}"
+            )
+        with self._lock:
+            self._store[key] = dict(value)
+            self._store.move_to_end(key)
+            while len(self._store) > self.capacity:
+                self._store.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._store.clear()
+
+    def __contains__(self, key: object) -> bool:
+        with self._lock:
+            return key in self._store
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path | None = None) -> Path:
+        """Write the whole store to ``path`` (default: the backing file)."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ServiceError("no path given and the cache has no backing file")
+        with self._lock:
+            payload = {
+                "format_version": _CACHE_FORMAT_VERSION,
+                "entries": [
+                    {"key": key, "value": value} for key, value in self._store.items()
+                ],
+            }
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(payload))
+        return target
+
+    def load(self, path: str | Path | None = None) -> int:
+        """Merge entries from ``path`` (default: the backing file).
+
+        Returns the number of entries loaded.  Entries are inserted in
+        file order, so the file's most recent entries stay the most
+        recently used after a reload.
+        """
+        source = Path(path) if path is not None else self.path
+        if source is None:
+            raise ServiceError("no path given and the cache has no backing file")
+        try:
+            payload = json.loads(source.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"cannot load result cache from {source}: {exc}") from exc
+        if payload.get("format_version") != _CACHE_FORMAT_VERSION:
+            raise ServiceError(
+                f"unsupported cache format version {payload.get('format_version')!r} "
+                f"in {source}"
+            )
+        entries = payload.get("entries", [])
+        for entry in entries:
+            self.put(str(entry["key"]), entry["value"])
+        return len(entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ResultCache {len(self)}/{self.capacity} entries, "
+            f"hits={self.stats.hits}, misses={self.stats.misses}>"
+        )

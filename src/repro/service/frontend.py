@@ -1,0 +1,171 @@
+"""ServiceFrontend: the facade of the solver service.
+
+One object wires the registry, the portfolio scheduler, the result cache
+and the batch executor together and offers the three entry points the
+outer layers need:
+
+* :meth:`ServiceFrontend.solve` — one problem, cache-aware, portfolio or
+  named solver,
+* :meth:`ServiceFrontend.solve_batch` — many problems, concurrent, with
+  per-job seeds,
+* :meth:`ServiceFrontend.race` — raw portfolio access returning every
+  member's trajectory, which is what
+  :class:`~repro.experiments.runner.ExperimentRunner` uses to run its
+  solver sweep through the service layer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.mqo.problem import MQOProblem
+from repro.service.batch import BatchExecutor, execute_request
+from repro.service.cache import ResultCache
+from repro.service.jobs import PORTFOLIO_SOLVER, SolveRequest, SolveResult
+from repro.service.portfolio import PortfolioResult, PortfolioScheduler
+from repro.service.registry import SolverRegistry, default_registry
+
+__all__ = ["ServiceFrontend"]
+
+
+class ServiceFrontend:
+    """High-level interface to the MQO solver service.
+
+    Parameters
+    ----------
+    registry:
+        Solver registry (the process-wide default when omitted).
+    cache:
+        Optional result cache shared by :meth:`solve` and
+        :meth:`solve_batch`.
+    workers:
+        Worker processes for batches (0 = inline).
+    portfolio_solvers:
+        Default portfolio line-up (``None`` = every capable solver).
+    portfolio_mode:
+        ``"threads"`` (concurrent racing) or ``"split"`` (sequential
+        budget slices).
+    """
+
+    def __init__(
+        self,
+        registry: SolverRegistry | None = None,
+        cache: ResultCache | None = None,
+        workers: int = 0,
+        portfolio_solvers: Sequence[str] | None = None,
+        portfolio_mode: str = "threads",
+    ) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        self.cache = cache
+        self.scheduler = PortfolioScheduler(
+            registry=self.registry, solvers=portfolio_solvers, mode=portfolio_mode
+        )
+        self.executor = BatchExecutor(
+            workers=workers,
+            cache=cache,
+            registry=registry,  # None keeps process workers usable
+            portfolio_mode=portfolio_mode,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Single-instance entry points
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        problem: MQOProblem,
+        solver: str = PORTFOLIO_SOLVER,
+        time_budget_ms: float = 1000.0,
+        seed: Optional[int] = None,
+        solvers: Sequence[str] | None = None,
+    ) -> SolveResult:
+        """Solve one problem through the service (cache-aware)."""
+        request = SolveRequest(
+            problem=problem,
+            solver=solver,
+            time_budget_ms=time_budget_ms,
+            seed=seed,
+            solvers=tuple(solvers) if solvers is not None else self.scheduler.solvers,
+        )
+        return self.submit(request)
+
+    def _with_default_lineup(self, request: SolveRequest) -> SolveRequest:
+        """Apply the frontend's portfolio line-up to an unrestricted request.
+
+        Done before cache lookup so ``solve()``, ``submit()`` and
+        ``solve_batch()`` compute the same cache key for the same work.
+        """
+        if (
+            request.solver != PORTFOLIO_SOLVER
+            or request.solvers is not None
+            or self.scheduler.solvers is None
+        ):
+            return request
+        return SolveRequest(
+            problem=request.problem,
+            solver=request.solver,
+            time_budget_ms=request.time_budget_ms,
+            seed=request.seed,
+            job_id=request.job_id,
+            solvers=self.scheduler.solvers,
+            metadata=request.metadata,
+        )
+
+    def submit(self, request: SolveRequest) -> SolveResult:
+        """Solve one prepared request (cache-aware)."""
+        request = self._with_default_lineup(request)
+        if self.cache is not None:
+            cached = self.cache.get(request.cache_key())
+            if cached is not None:
+                result = SolveResult.from_dict(cached)
+                # Identity fields echo the current request, not the one
+                # that populated the cache.
+                result.job_id = request.job_id
+                result.metadata = dict(request.metadata)
+                result.from_cache = True
+                result.total_time_ms = 0.0
+                return result
+        result = execute_request(
+            request, registry=self.registry, portfolio_mode=self.scheduler.mode
+        )
+        if self.cache is not None and result.ok:
+            self.cache.put(request.cache_key(), result.to_dict())
+        return result
+
+    def race(
+        self,
+        problem: MQOProblem,
+        time_budget_ms: float,
+        seed: Optional[int] = None,
+        solvers: Sequence[str] | None = None,
+    ) -> PortfolioResult:
+        """Race the portfolio and return every member's trajectory.
+
+        This bypasses the cache — callers like the experiment runner need
+        the fresh per-solver trajectories, not a flattened cached result.
+        """
+        return self.scheduler.solve(problem, time_budget_ms, seed=seed, solvers=solvers)
+
+    # ------------------------------------------------------------------ #
+    # Batch entry points
+    # ------------------------------------------------------------------ #
+    def solve_batch(
+        self,
+        requests: Sequence[SolveRequest],
+        base_seed: Optional[int] = None,
+    ) -> List[SolveResult]:
+        """Solve a batch; results in request order."""
+        return self.executor.run(
+            [self._with_default_lineup(request) for request in requests],
+            base_seed=base_seed,
+        )
+
+    def solve_batch_iter(
+        self,
+        requests: Sequence[SolveRequest],
+        base_seed: Optional[int] = None,
+    ) -> Iterator[Tuple[int, SolveResult]]:
+        """Stream batch results as they finish (``(input_index, result)``)."""
+        return self.executor.run_iter(
+            [self._with_default_lineup(request) for request in requests],
+            base_seed=base_seed,
+        )

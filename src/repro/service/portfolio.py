@@ -1,0 +1,271 @@
+"""Portfolio scheduler: race several solvers on one instance.
+
+Algorithm-portfolio scheduling is the classical answer to "which solver
+should I run?": run several and keep the best.  The scheduler takes a
+list of registered solver names, gives every member its own child seed
+derived from the job seed, runs them under a shared wall-clock budget —
+either truly concurrently on threads or sequentially on equal budget
+slices — and returns the best-cost winner together with every member's
+trajectory and the merged anytime trajectory of the whole portfolio.
+
+Winner selection is deterministic: lowest best cost, ties broken by the
+position of the solver in the raced line-up (registration order when the
+line-up comes from the registry).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.anytime import SolverTrajectory
+from repro.exceptions import ServiceError
+from repro.mqo.problem import MQOProblem, MQOSolution
+from repro.service.registry import SolverRegistry, default_registry
+from repro.utils.rng import derive_seed
+from repro.utils.stopwatch import Stopwatch
+
+__all__ = ["PortfolioScheduler", "PortfolioResult", "MERGED_TRAJECTORY_NAME"]
+
+#: Solver name carried by the merged portfolio trajectory.
+MERGED_TRAJECTORY_NAME = "PORTFOLIO"
+
+
+def _member_seed(base_seed: Optional[int], member_index: int) -> int:
+    """Deterministic child seed for portfolio member ``member_index``."""
+    return derive_seed(base_seed, member_index)
+
+
+@dataclass
+class PortfolioResult:
+    """Outcome of racing a portfolio on one instance.
+
+    Attributes
+    ----------
+    problem:
+        The raced instance.
+    winner:
+        Name of the member with the best final cost (``""`` when every
+        member failed).
+    trajectories:
+        Per-member trajectories keyed by solver name (only members that
+        finished successfully).
+    merged_trajectory:
+        Best-so-far envelope over all members, named
+        :data:`MERGED_TRAJECTORY_NAME`; its ``best_solution`` is the
+        winner's.
+    errors:
+        Member failures keyed by solver name (the race tolerates
+        individual failures as long as one member succeeds).
+    total_time_ms:
+        Wall-clock time of the whole race.
+    skipped:
+        Members excluded up front because their capabilities reject the
+        instance (e.g. too large for the annealer).
+    """
+
+    problem: MQOProblem
+    winner: str
+    trajectories: Dict[str, SolverTrajectory]
+    merged_trajectory: SolverTrajectory
+    errors: Dict[str, str] = field(default_factory=dict)
+    total_time_ms: float = 0.0
+    skipped: Tuple[str, ...] = ()
+
+    @property
+    def best_solution(self) -> Optional[MQOSolution]:
+        """The winning solution (``None`` when every member failed)."""
+        return self.merged_trajectory.best_solution
+
+    @property
+    def best_cost(self) -> float:
+        """Cost of the winning solution (``inf`` when every member failed)."""
+        return self.merged_trajectory.best_cost
+
+    @property
+    def winner_trajectory(self) -> SolverTrajectory:
+        """The winner's own trajectory."""
+        if not self.winner:
+            raise ServiceError("portfolio produced no winner; see .errors")
+        return self.trajectories[self.winner]
+
+
+class PortfolioScheduler:
+    """Race registered solvers on one instance under a shared budget.
+
+    Parameters
+    ----------
+    registry:
+        Solver registry to resolve names against (the process-wide
+        default registry when omitted).
+    solvers:
+        Default line-up raced by :meth:`solve` when the call does not
+        specify one.  ``None`` means "every registered solver that
+        supports the instance".
+    mode:
+        ``"threads"`` races all members concurrently, each under the full
+        wall-clock budget — real racing, finishing when the slowest
+        member's budget expires.  ``"split"`` runs members sequentially
+        on equal slices of the budget, which trades concurrency for
+        per-member timing that is unaffected by GIL contention.
+    """
+
+    MODES = ("threads", "split")
+
+    def __init__(
+        self,
+        registry: SolverRegistry | None = None,
+        solvers: Sequence[str] | None = None,
+        mode: str = "threads",
+    ) -> None:
+        if mode not in self.MODES:
+            raise ServiceError(f"unknown portfolio mode {mode!r}; expected {self.MODES}")
+        self.registry = registry if registry is not None else default_registry()
+        self.solvers = tuple(solvers) if solvers is not None else None
+        self.mode = mode
+
+    # ------------------------------------------------------------------ #
+    # Line-up selection
+    # ------------------------------------------------------------------ #
+    def lineup(
+        self, problem: MQOProblem, solvers: Sequence[str] | None = None
+    ) -> Tuple[List[str], Tuple[str, ...]]:
+        """Resolve the raced member names plus the capability-skipped ones.
+
+        Explicitly requested names must exist in the registry; members
+        whose capabilities reject the instance are skipped (reported, not
+        raced).
+        """
+        requested = list(solvers if solvers is not None else self.solvers or self.registry.names())
+        raced: List[str] = []
+        skipped: List[str] = []
+        for name in requested:
+            spec = self.registry.get(name)
+            if spec.capabilities.supports(problem):
+                raced.append(name)
+            else:
+                skipped.append(name)
+        if not raced:
+            raise ServiceError(
+                f"no portfolio member supports problem with {problem.num_plans} plans "
+                f"(requested: {requested})"
+            )
+        return raced, tuple(skipped)
+
+    # ------------------------------------------------------------------ #
+    # Racing
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        problem: MQOProblem,
+        time_budget_ms: float,
+        seed: Optional[int] = None,
+        solvers: Sequence[str] | None = None,
+    ) -> PortfolioResult:
+        """Race the portfolio on ``problem`` and return the full outcome."""
+        if time_budget_ms <= 0:
+            raise ServiceError(f"time_budget_ms must be positive, got {time_budget_ms}")
+        raced, skipped = self.lineup(problem, solvers)
+        stopwatch = Stopwatch().start()
+
+        def run_member(position: int, name: str) -> SolverTrajectory:
+            solver = self.registry.create(name)
+            budget = (
+                time_budget_ms if self.mode == "threads" else time_budget_ms / len(raced)
+            )
+            return solver.solve(problem, budget, seed=_member_seed(seed, position))
+
+        trajectories: Dict[str, SolverTrajectory] = {}
+        errors: Dict[str, str] = {}
+        start_offsets: Dict[str, float] = {}
+        if self.mode == "threads" and len(raced) > 1:
+            start_offsets = {name: 0.0 for name in raced}  # all start together
+            with ThreadPoolExecutor(max_workers=len(raced)) as pool:
+                futures = {
+                    name: pool.submit(run_member, position, name)
+                    for position, name in enumerate(raced)
+                }
+                for name, future in futures.items():
+                    try:
+                        trajectories[name] = future.result()
+                    except Exception as exc:  # noqa: BLE001 — any member failure
+                        # lands in .errors; the race survives as long as one
+                        # member succeeds.
+                        errors[name] = f"{type(exc).__name__}: {exc}"
+        else:
+            for position, name in enumerate(raced):
+                start_offsets[name] = stopwatch.elapsed_ms()
+                try:
+                    trajectories[name] = run_member(position, name)
+                except Exception as exc:  # noqa: BLE001 — see above
+                    errors[name] = f"{type(exc).__name__}: {exc}"
+
+        winner = self._pick_winner(raced, trajectories)
+        merged = self._merge(raced, trajectories, winner, start_offsets)
+        merged.total_time_ms = stopwatch.elapsed_ms()
+        return PortfolioResult(
+            problem=problem,
+            winner=winner,
+            trajectories=trajectories,
+            merged_trajectory=merged,
+            errors=errors,
+            total_time_ms=merged.total_time_ms,
+            skipped=skipped,
+        )
+
+    @staticmethod
+    def _pick_winner(raced: List[str], trajectories: Dict[str, SolverTrajectory]) -> str:
+        """Lowest best cost; ties resolved by line-up position."""
+        winner = ""
+        winner_cost = float("inf")
+        for name in raced:  # line-up order makes the tie-break deterministic
+            trajectory = trajectories.get(name)
+            if trajectory is None or trajectory.best_solution is None:
+                continue
+            if trajectory.best_cost < winner_cost - 1e-12:
+                winner = name
+                winner_cost = trajectory.best_cost
+        return winner
+
+    @staticmethod
+    def _merge(
+        raced: List[str],
+        trajectories: Dict[str, SolverTrajectory],
+        winner: str,
+        start_offsets: Dict[str, float],
+    ) -> SolverTrajectory:
+        """Best-so-far envelope over every member's anytime points.
+
+        Member trajectories keep their solver-local time axes; the merged
+        envelope lives on the race's wall-clock axis, so each member's
+        points are shifted by its start offset (zero when racing on
+        threads, the member's sequential start time in split mode).
+        """
+        events: List[Tuple[float, float]] = []
+        for name in raced:
+            trajectory = trajectories.get(name)
+            if trajectory is not None:
+                offset = start_offsets.get(name, 0.0)
+                events.extend((offset + elapsed, cost) for elapsed, cost in trajectory.points)
+        events.sort()
+        points: List[Tuple[float, float]] = []
+        best = float("inf")
+        for elapsed, cost in events:
+            if cost < best - 1e-12:
+                best = cost
+                points.append((elapsed, cost))
+        proved = any(
+            t.proved_optimal
+            and t.best_solution is not None
+            and abs(t.best_cost - best) < 1e-9
+            for t in trajectories.values()
+        )
+        return SolverTrajectory(
+            solver_name=MERGED_TRAJECTORY_NAME,
+            points=points,
+            best_solution=(
+                trajectories[winner].best_solution if winner in trajectories else None
+            ),
+            proved_optimal=proved,
+        )

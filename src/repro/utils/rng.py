@@ -13,7 +13,7 @@ import numpy as np
 
 SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
-__all__ = ["SeedLike", "ensure_rng", "spawn_rng"]
+__all__ = ["SeedLike", "ensure_rng", "spawn_rng", "derive_seed"]
 
 
 def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
@@ -46,3 +46,22 @@ def spawn_rng(rng: np.random.Generator, count: int) -> list[np.random.Generator]
         raise ValueError(f"count must be non-negative, got {count}")
     seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def derive_seed(base_seed: Optional[int], index: int) -> int:
+    """Deterministic child seed for position ``index`` under ``base_seed``.
+
+    Used by the service layer to give every batch job and every portfolio
+    member its own reproducible stream: the pair is fed through a
+    :class:`numpy.random.SeedSequence` so nearby indices yield unrelated
+    seeds.  ``base_seed=None`` still derives per-index seeds (from the
+    index alone), keeping unseeded runs replayable within one batch.
+    """
+    if index < 0:
+        raise ValueError(f"index must be non-negative, got {index}")
+    # SeedSequence only takes non-negative entropy; fold negative base
+    # seeds into uint64 space so e.g. --seed -1 works deterministically.
+    base = None if base_seed is None else int(base_seed) & 0xFFFFFFFFFFFFFFFF
+    entropy = [index] if base is None else [base, index]
+    sequence = np.random.SeedSequence(entropy)
+    return int(sequence.generate_state(1, dtype=np.uint64)[0])

@@ -80,3 +80,114 @@ class TestSolveCommand:
         exit_code = main(["solve", "--problem-file", str(path), "--reads", "20"])
         assert exit_code == 0
         assert problem.name in capsys.readouterr().out
+
+    def test_solve_json_output(self, capsys):
+        exit_code = main(
+            [
+                "solve",
+                "--queries",
+                "5",
+                "--plans",
+                "2",
+                "--reads",
+                "20",
+                "--baselines",
+                "--budget-ms",
+                "100",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["problem"]["num_queries"] == 5
+        assert len(payload["problem"]["canonical_hash"]) == 64
+        winners = [result["winner"] for result in payload["results"]]
+        assert winners[0] == "QA"
+        assert "LIN-MQO" in winners
+        for result in payload["results"]:
+            assert result["is_valid"]
+            assert result["trajectory"]
+
+
+class TestBatchCommand:
+    @staticmethod
+    def _write_workload(path, count, budget_ms=60.0):
+        with open(path, "w") as handle:
+            for index in range(count):
+                spec = {"queries": 4, "plans": 2, "seed": index, "budget_ms": budget_ms}
+                handle.write(json.dumps(spec) + "\n")
+        return path
+
+    def test_batch_defaults(self):
+        args = build_parser().parse_args(["batch", "workload.jsonl"])
+        assert args.solver == "portfolio"
+        assert args.workers == 0
+        assert args.cache_file is None
+
+    def test_batch_streams_portfolio_results(self, tmp_path, capsys):
+        workload = self._write_workload(tmp_path / "workload.jsonl", 3)
+        exit_code = main(
+            ["batch", str(workload), "--solvers", "LIN-MQO", "CLIMB", "--seed", "1"]
+        )
+        assert exit_code == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        assert len(lines) == 3
+        assert {line["job_id"] for line in lines} == {"job-0", "job-1", "job-2"}
+        for line in lines:
+            assert line["solver"] == "portfolio"
+            assert line["winner"] in ("LIN-MQO", "CLIMB")
+            assert line["is_valid"]
+
+    def test_batch_warm_cache_reports_hits(self, tmp_path, capsys):
+        workload = self._write_workload(tmp_path / "workload.jsonl", 2)
+        cache_file = tmp_path / "cache.json"
+        common = [
+            "batch",
+            str(workload),
+            "--solver",
+            "CLIMB",
+            "--seed",
+            "5",
+            "--cache-file",
+            str(cache_file),
+        ]
+        assert main(common) == 0
+        cold = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert all(not line["from_cache"] for line in cold)
+
+        assert main(common) == 0
+        warm = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert all(line["from_cache"] for line in warm)
+        by_job = lambda lines: sorted(
+            (line["job_id"], line["best_cost"]) for line in lines
+        )
+        assert by_job(cold) == by_job(warm)
+
+    def test_batch_output_file(self, tmp_path):
+        workload = self._write_workload(tmp_path / "workload.jsonl", 2)
+        out = tmp_path / "results.jsonl"
+        exit_code = main(
+            ["batch", str(workload), "--solver", "CLIMB", "--output", str(out)]
+        )
+        assert exit_code == 0
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(lines) == 2
+
+    def test_batch_empty_workload_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("# only a comment\n")
+        assert main(["batch", str(empty)]) == 1
+
+    def test_batch_unknown_solver_reports_failure_exit(self, tmp_path, capsys):
+        workload = self._write_workload(tmp_path / "workload.jsonl", 1)
+        assert main(["batch", str(workload), "--solver", "NOPE"]) == 1
+        (line,) = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        assert "UnknownSolverError" in line["error"]

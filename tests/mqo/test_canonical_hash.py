@@ -1,0 +1,155 @@
+"""Canonical hash stability and its interplay with serialization.
+
+The service-layer cache keys problems by
+:meth:`~repro.mqo.problem.MQOProblem.canonical_hash`, so the hash must be
+
+* stable across processes and reconstructions (pure function of the
+  problem structure),
+* invariant to the order in which plans are enumerated within a query,
+* sensitive to every structural ingredient (costs, savings, topology).
+"""
+
+import pytest
+
+from repro.mqo.generator import generate_paper_testcase, generate_random_problem
+from repro.mqo.problem import MQOProblem
+from repro.mqo.serialization import (
+    canonical_problem_dict,
+    canonical_problem_hash,
+    load_problem,
+    problem_from_dict,
+    problem_to_dict,
+    save_problem,
+)
+
+
+def _permuted_copy(problem: MQOProblem, order_per_query) -> MQOProblem:
+    """Rebuild ``problem`` with plans re-enumerated per ``order_per_query``.
+
+    ``order_per_query[q]`` lists the old per-query plan offsets in their
+    new order; savings indices are remapped accordingly.
+    """
+    index_map = {}
+    plans_per_query = []
+    next_index = 0
+    for query, order in zip(problem.queries, order_per_query):
+        costs = []
+        for new_offset, old_offset in enumerate(order):
+            old_index = query.plan_indices[old_offset]
+            index_map[old_index] = next_index + new_offset
+            costs.append(problem.plan_cost(old_index))
+        plans_per_query.append(costs)
+        next_index += len(order)
+    savings = {
+        (index_map[p1], index_map[p2]): value
+        for (p1, p2), value in problem.savings.items()
+    }
+    return MQOProblem(plans_per_query, savings, name="permuted")
+
+
+class TestHashStability:
+    def test_same_generation_same_hash(self):
+        first = generate_paper_testcase(7, 3, seed=5)
+        second = generate_paper_testcase(7, 3, seed=5)
+        assert first.canonical_hash() == second.canonical_hash()
+
+    def test_hash_is_memoised_and_hex(self):
+        problem = generate_paper_testcase(4, 2, seed=1)
+        digest = problem.canonical_hash()
+        assert digest == problem.canonical_hash()
+        assert len(digest) == 64
+        int(digest, 16)  # valid hex
+
+    def test_name_and_labels_ignored(self):
+        base = MQOProblem([[1.0, 2.0], [3.0, 4.0]], {(0, 2): 1.0}, name="a")
+        renamed = MQOProblem(
+            [[1.0, 2.0], [3.0, 4.0]],
+            {(0, 2): 1.0},
+            name="b",
+            query_labels=["x", "y"],
+            plan_labels=["p0", "p1", "p2", "p3"],
+        )
+        assert base.canonical_hash() == renamed.canonical_hash()
+
+    def test_plan_order_within_query_ignored(self):
+        problem = generate_paper_testcase(6, 3, seed=9)
+        reversed_orders = [
+            list(range(query.num_plans))[::-1] for query in problem.queries
+        ]
+        permuted = _permuted_copy(problem, reversed_orders)
+        assert problem.canonical_hash() == permuted.canonical_hash()
+
+    def test_plan_order_invariance_on_random_instances(self):
+        problem = generate_random_problem(5, 4, sharing_density=0.3, seed=13)
+        rotated = [
+            [(offset + 1) % query.num_plans for offset in range(query.num_plans)]
+            for query in problem.queries
+        ]
+        permuted = _permuted_copy(problem, rotated)
+        assert problem.canonical_hash() == permuted.canonical_hash()
+
+    def test_correlated_ties_are_order_invariant(self):
+        # Plans 1/2 of query 0 and 3/5 of query 1 are tied in cost and
+        # only interchangeable *together* ({1<->2, 3<->5} is the
+        # automorphism); naive tie-breaking by input order canonicalises
+        # the two enumerations differently.  The individualization-
+        # refinement search must not.
+        savings = {
+            (0, 3): 0.5, (0, 5): 0.5, (0, 6): 0.5,
+            (1, 4): 0.25, (1, 5): 0.5,
+            (2, 3): 0.5, (2, 4): 0.25,
+            (3, 7): 0.25, (4, 6): 0.5, (4, 7): 0.5, (5, 7): 0.25,
+        }
+        problem = MQOProblem([[1, 2, 2], [2, 2, 2], [2, 1, 1]], savings)
+        swap = {0: 0, 1: 2, 2: 1, 3: 3, 4: 4, 5: 5, 6: 6, 7: 7}
+        swapped = MQOProblem(
+            [[1, 2, 2], [2, 2, 2], [2, 1, 1]],
+            {tuple(sorted((swap[a], swap[b]))): v for (a, b), v in savings.items()},
+        )
+        assert problem.canonical_hash() == swapped.canonical_hash()
+
+    def test_identical_interchangeable_plans(self):
+        base = MQOProblem([[2.0, 2.0, 2.0, 2.0], [1.0, 3.0]], {(0, 5): 1.0})
+        moved = MQOProblem([[2.0, 2.0, 2.0, 2.0], [1.0, 3.0]], {(3, 5): 1.0})
+        assert base.canonical_hash() == moved.canonical_hash()
+
+    def test_structural_changes_change_hash(self):
+        base = MQOProblem([[1.0, 2.0], [3.0, 4.0]], {(0, 2): 1.0})
+        other_cost = MQOProblem([[1.0, 2.5], [3.0, 4.0]], {(0, 2): 1.0})
+        other_saving = MQOProblem([[1.0, 2.0], [3.0, 4.0]], {(0, 2): 2.0})
+        other_pair = MQOProblem([[1.0, 2.0], [3.0, 4.0]], {(1, 2): 1.0})
+        no_saving = MQOProblem([[1.0, 2.0], [3.0, 4.0]])
+        digests = {
+            p.canonical_hash()
+            for p in (base, other_cost, other_saving, other_pair, no_saving)
+        }
+        assert len(digests) == 5
+
+    def test_function_and_method_agree(self):
+        problem = generate_paper_testcase(4, 2, seed=2)
+        assert canonical_problem_hash(problem) == problem.canonical_hash()
+
+
+class TestSerializationInterplay:
+    def test_roundtrip_preserves_hash(self):
+        problem = generate_paper_testcase(6, 3, seed=4)
+        rebuilt = problem_from_dict(problem_to_dict(problem))
+        assert rebuilt.canonical_hash() == problem.canonical_hash()
+
+    def test_file_roundtrip_preserves_hash(self, tmp_path):
+        problem = generate_random_problem(4, 3, sharing_density=0.4, seed=8)
+        path = save_problem(problem, tmp_path / "problem.json")
+        assert load_problem(path).canonical_hash() == problem.canonical_hash()
+
+    def test_canonical_dict_shape(self):
+        problem = MQOProblem([[2.0, 1.0], [3.0]], {(0, 2): 1.5})
+        canonical = canonical_problem_dict(problem)
+        assert set(canonical) == {"format_version", "plans_per_query", "savings"}
+        # Plans are re-enumerated canonically: costs sorted by signature.
+        assert canonical["plans_per_query"] == [[1.0, 2.0], [3.0]]
+        # Plan 0 (cost 2.0) moves to canonical index 1; its partner stays 2.
+        assert canonical["savings"] == [[1, 2, 1.5]]
+
+    def test_canonical_dict_has_no_name(self):
+        problem = MQOProblem([[1.0]], name="secret")
+        assert "name" not in canonical_problem_dict(problem)

@@ -1,0 +1,187 @@
+"""Tests for the batch executor: determinism, workers, cache integration."""
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.mqo.generator import generate_paper_testcase
+from repro.service.batch import BatchExecutor, derive_job_seed, execute_request
+from repro.service.cache import ResultCache
+from repro.service.jobs import SolveRequest
+from repro.service.registry import SolverRegistry, default_registry
+
+
+def _requests(count: int, solver: str = "LIN-MQO", budget_ms: float = 500.0):
+    # Tiny instances + a generous budget: the exact solver proves
+    # optimality in a few ms, so runs replay identically even when CI
+    # load or worker contention eats most of the wall clock.
+    return [
+        SolveRequest(
+            problem=generate_paper_testcase(4, 2, seed=index),
+            solver=solver,
+            time_budget_ms=budget_ms,
+        )
+        for index in range(count)
+    ]
+
+
+def _fingerprint(results):
+    return [(r.job_id, r.best_cost, tuple(r.selected_plans)) for r in results]
+
+
+class TestExecuteRequest:
+    def test_named_solver(self):
+        request = _requests(1)[0]
+        result = execute_request(request)
+        assert result.ok
+        assert result.winner == "LIN-MQO"
+        assert result.proved_optimal
+        assert result.is_valid
+        assert result.cache_key == request.cache_key()
+
+    def test_portfolio_request(self):
+        problem = generate_paper_testcase(5, 2, seed=0)
+        request = SolveRequest(
+            problem=problem,
+            time_budget_ms=150.0,
+            seed=4,
+            solvers=("LIN-MQO", "CLIMB"),
+        )
+        result = execute_request(request)
+        assert result.ok
+        assert result.winner in ("LIN-MQO", "CLIMB")
+        assert result.solver == "portfolio"
+
+    def test_solver_failure_is_captured(self):
+        request = _requests(1)[0]
+        request.solver = "NOPE"
+        result = execute_request(request)
+        assert not result.ok
+        assert "UnknownSolverError" in result.error
+
+    def test_non_repro_exception_is_captured_too(self):
+        registry = SolverRegistry()
+
+        class Buggy:
+            name = "BUGGY"
+
+            def solve(self, problem, time_budget_ms, seed=None):
+                raise ValueError("not a ReproError")
+
+        registry.register("BUGGY", Buggy)
+        request = _requests(1, solver="BUGGY")[0]
+        result = execute_request(request, registry=registry)
+        assert not result.ok
+        assert "ValueError: not a ReproError" in result.error
+
+
+class TestDeterminism:
+    def test_same_base_seed_same_results(self):
+        requests = _requests(4)
+        first = BatchExecutor(workers=0).run(requests, base_seed=9)
+        second = BatchExecutor(workers=0).run(requests, base_seed=9)
+        assert all(r.proved_optimal for r in first + second)  # converged
+        assert _fingerprint(first) == _fingerprint(second)
+        assert [r.seed for r in first] == [r.seed for r in second]
+
+    def test_worker_count_does_not_change_results(self):
+        requests = _requests(4)
+        inline = BatchExecutor(workers=0).run(requests, base_seed=9)
+        pooled = BatchExecutor(workers=2).run(requests, base_seed=9)
+        # Seeds derive from (base_seed, position) only, never from the
+        # executor configuration.
+        assert [r.seed for r in inline] == [r.seed for r in pooled]
+        assert all(r.proved_optimal for r in inline + pooled)  # converged
+        assert _fingerprint(inline) == _fingerprint(pooled)
+
+    def test_explicit_request_seed_wins_over_derived(self):
+        request = _requests(1)[0]
+        request.seed = 1234
+        (result,) = BatchExecutor(workers=0).run([request], base_seed=9)
+        assert result.seed == 1234
+
+    def test_derive_job_seed_properties(self):
+        seeds = [derive_job_seed(7, index) for index in range(8)]
+        assert seeds == [derive_job_seed(7, index) for index in range(8)]
+        assert len(set(seeds)) == 8
+        assert derive_job_seed(8, 0) != derive_job_seed(7, 0)
+
+    def test_negative_base_seed_accepted(self):
+        assert derive_job_seed(-1, 0) == derive_job_seed(-1, 0)
+        assert derive_job_seed(-1, 0) != derive_job_seed(-2, 0)
+
+
+class TestCacheIntegration:
+    def test_second_run_hits_without_resolving(self):
+        cache = ResultCache()
+        executor = BatchExecutor(workers=0, cache=cache)
+        requests = _requests(3)
+        cold = executor.run(requests, base_seed=1)
+        assert all(not r.from_cache for r in cold)
+        warm = executor.run(requests, base_seed=1)
+        assert all(r.from_cache for r in warm)
+        assert _fingerprint(cold) == _fingerprint(warm)
+        assert cache.stats.hits == 3
+        assert all(r.total_time_ms == 0.0 for r in warm)
+
+    def test_cache_hit_echoes_current_request_metadata(self):
+        cache = ResultCache()
+        executor = BatchExecutor(workers=0, cache=cache)
+        request = _requests(1)[0]
+        request.seed = 1
+        executor.run([request])
+        rerun = _requests(1)[0]
+        rerun.seed = 1
+        rerun.metadata = {"ticket": 2}
+        (hit,) = executor.run([rerun])
+        assert hit.from_cache
+        assert hit.metadata == {"ticket": 2}
+
+    def test_different_base_seed_misses(self):
+        cache = ResultCache()
+        executor = BatchExecutor(workers=0, cache=cache)
+        requests = _requests(2)
+        executor.run(requests, base_seed=1)
+        rerun = executor.run(requests, base_seed=2)
+        assert all(not r.from_cache for r in rerun)
+
+    def test_cache_persisted_after_batch(self, tmp_path):
+        path = tmp_path / "cache.json"
+        executor = BatchExecutor(workers=0, cache=ResultCache(path=path))
+        executor.run(_requests(2), base_seed=1)
+        assert path.exists()
+
+        warmed = BatchExecutor(workers=0, cache=ResultCache(path=path))
+        results = warmed.run(_requests(2), base_seed=1)
+        assert all(r.from_cache for r in results)
+
+    def test_failures_are_not_cached(self):
+        cache = ResultCache()
+        request = _requests(1)[0]
+        request.solver = "NOPE"
+        executor = BatchExecutor(workers=0, cache=cache)
+        (result,) = executor.run([request], base_seed=0)
+        assert not result.ok
+        assert len(cache) == 0
+
+
+class TestConfiguration:
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ServiceError):
+            BatchExecutor(workers=-1)
+
+    def test_custom_registry_needs_inline_execution(self):
+        with pytest.raises(ServiceError):
+            BatchExecutor(workers=2, registry=SolverRegistry())
+        BatchExecutor(workers=0, registry=SolverRegistry())  # fine inline
+
+    def test_custom_registry_used_inline(self):
+        registry = SolverRegistry()
+        registry.register("ONLY", default_registry().get("CLIMB").factory)
+        request = _requests(1, solver="ONLY")[0]
+        (result,) = BatchExecutor(workers=0, registry=registry).run([request])
+        assert result.ok
+        assert result.winner == "ONLY"
+
+    def test_job_ids_default_to_position(self):
+        results = BatchExecutor(workers=0).run(_requests(2), base_seed=0)
+        assert [r.job_id for r in results] == ["job-0", "job-1"]

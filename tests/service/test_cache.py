@@ -1,0 +1,122 @@
+"""Tests for the LRU result cache and its JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.mqo.generator import generate_paper_testcase
+from repro.service.cache import ResultCache
+from repro.service.jobs import SolveRequest
+
+
+def _entry(index: int) -> dict:
+    return {"best_cost": float(index), "winner": "CLIMB"}
+
+
+class TestCoreOperations:
+    def test_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("k") is None
+        cache.put("k", _entry(1))
+        assert cache.get("k") == _entry(1)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_values_are_copied(self):
+        cache = ResultCache()
+        value = _entry(1)
+        cache.put("k", value)
+        value["best_cost"] = -1.0
+        fetched = cache.get("k")
+        assert fetched["best_cost"] == 1.0
+        fetched["winner"] = "X"
+        assert cache.get("k")["winner"] == "CLIMB"
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", _entry(1))
+        cache.put("b", _entry(2))
+        assert cache.get("a") is not None  # refresh "a": "b" becomes LRU
+        cache.put("c", _entry(3))
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_invalid_capacity_and_value(self):
+        with pytest.raises(ServiceError):
+            ResultCache(capacity=0)
+        with pytest.raises(ServiceError):
+            ResultCache().put("k", "not-a-dict")
+
+    def test_clear(self):
+        cache = ResultCache()
+        cache.put("k", _entry(1))
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = ResultCache(path=path)
+        cache.put("a", _entry(1))
+        cache.put("b", _entry(2))
+        cache.save()
+
+        warmed = ResultCache(path=path)
+        assert len(warmed) == 2
+        assert warmed.get("a") == _entry(1)
+        assert warmed.get("b") == _entry(2)
+
+    def test_save_requires_some_path(self):
+        with pytest.raises(ServiceError):
+            ResultCache().save()
+        with pytest.raises(ServiceError):
+            ResultCache().load()
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ServiceError):
+            ResultCache().load(path)
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"format_version": 99, "entries": []}))
+        with pytest.raises(ServiceError):
+            ResultCache().load(path)
+
+    def test_load_respects_capacity(self, tmp_path):
+        path = tmp_path / "cache.json"
+        big = ResultCache(path=path, capacity=8)
+        for index in range(8):
+            big.put(f"k{index}", _entry(index))
+        big.save()
+        small = ResultCache(capacity=3, path=path)
+        assert len(small) == 3
+        # The most recently written entries survive.
+        assert "k7" in small and "k5" in small
+        assert "k0" not in small
+
+
+class TestCacheKeys:
+    def test_key_ignores_plan_enumeration_order(self):
+        problem = generate_paper_testcase(5, 2, seed=3)
+        same = generate_paper_testcase(5, 2, seed=3)
+        k1 = SolveRequest(problem=problem, seed=1).cache_key()
+        k2 = SolveRequest(problem=same, seed=1).cache_key()
+        assert k1 == k2
+
+    def test_key_depends_on_solver_budget_and_seed(self):
+        problem = generate_paper_testcase(5, 2, seed=3)
+        base = SolveRequest(problem=problem, seed=1).cache_key()
+        assert SolveRequest(problem=problem, seed=2).cache_key() != base
+        assert (
+            SolveRequest(problem=problem, seed=1, solver="CLIMB").cache_key() != base
+        )
+        assert (
+            SolveRequest(problem=problem, seed=1, time_budget_ms=9.0).cache_key()
+            != base
+        )

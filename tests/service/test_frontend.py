@@ -1,0 +1,109 @@
+"""Tests for the ServiceFrontend facade and its experiment-runner hookup."""
+
+import pytest
+
+from repro.baselines.hillclimb import IteratedHillClimbing
+from repro.baselines.ilp_mqo import IntegerProgrammingMQOSolver
+from repro.chimera.topology import ChimeraGraph
+from repro.experiments.profiles import ExperimentProfile
+from repro.experiments.runner import QA_SOLVER_NAME, ExperimentRunner
+from repro.mqo.generator import generate_paper_testcase
+from repro.service.cache import ResultCache
+from repro.service.frontend import ServiceFrontend
+from repro.service.jobs import SolveRequest
+
+
+@pytest.fixture()
+def problem():
+    return generate_paper_testcase(5, 2, seed=2)
+
+
+@pytest.fixture()
+def frontend():
+    return ServiceFrontend(
+        cache=ResultCache(), portfolio_solvers=("LIN-MQO", "CLIMB")
+    )
+
+
+class TestSolve:
+    def test_portfolio_solve(self, frontend, problem):
+        result = frontend.solve(problem, time_budget_ms=150.0, seed=0)
+        assert result.ok
+        assert result.winner in ("LIN-MQO", "CLIMB")
+        assert result.is_valid
+
+    def test_named_solver_solve(self, frontend, problem):
+        result = frontend.solve(problem, solver="CLIMB", time_budget_ms=80.0, seed=0)
+        assert result.winner == "CLIMB"
+
+    def test_cache_round_trip(self, frontend, problem):
+        cold = frontend.solve(problem, time_budget_ms=100.0, seed=3)
+        warm = frontend.solve(problem, time_budget_ms=100.0, seed=3)
+        assert not cold.from_cache
+        assert warm.from_cache
+        assert warm.best_cost == cold.best_cost
+        assert warm.selected_plans == cold.selected_plans
+
+    def test_race_bypasses_cache(self, frontend, problem):
+        frontend.solve(problem, time_budget_ms=100.0, seed=3)
+        race = frontend.race(problem, time_budget_ms=100.0, seed=3)
+        assert sorted(race.trajectories) == ["CLIMB", "LIN-MQO"]
+
+    def test_solve_batch(self, frontend):
+        requests = [
+            SolveRequest(
+                problem=generate_paper_testcase(4, 2, seed=index),
+                solver="CLIMB",
+                time_budget_ms=60.0,
+            )
+            for index in range(3)
+        ]
+        results = frontend.solve_batch(requests, base_seed=5)
+        assert [r.job_id for r in results] == ["job-0", "job-1", "job-2"]
+        assert all(r.ok for r in results)
+
+    def test_solve_batch_honours_default_lineup(self, frontend, problem):
+        (result,) = frontend.solve_batch(
+            [SolveRequest(problem=problem, time_budget_ms=100.0, seed=3)]
+        )
+        # The frontend was built with portfolio_solvers=(LIN-MQO, CLIMB),
+        # so the batch must race only those members...
+        assert result.winner in ("LIN-MQO", "CLIMB")
+        # ...and share cache entries with solve() for the same work.
+        via_solve = frontend.solve(problem, time_budget_ms=100.0, seed=3)
+        assert via_solve.from_cache
+        assert via_solve.cache_key == result.cache_key
+
+
+class TestRunnerIntegration:
+    @pytest.fixture(scope="class")
+    def mini_profile(self):
+        return ExperimentProfile(
+            name="mini-service",
+            query_scale=0.25,
+            num_instances=1,
+            classical_budget_ms=150.0,
+            checkpoints_ms=(1.0, 10.0, 150.0),
+            num_reads=30,
+            num_gauges=3,
+            sa_sweeps=40,
+            chimera_rows=4,
+            chimera_cols=4,
+            include_slow_solvers=False,
+        )
+
+    def test_runner_sweep_through_portfolio(self, mini_profile):
+        runner = ExperimentRunner(
+            profile=mini_profile,
+            topology=ChimeraGraph(4, 4),
+            solvers=[IntegerProgrammingMQOSolver(), IteratedHillClimbing()],
+            frontend=ServiceFrontend(),
+            seed=7,
+        )
+        test_class = runner.test_classes((2,))[0]
+        (result,) = runner.run_class(test_class)
+        assert sorted(result.trajectories) == ["CLIMB", "LIN-MQO", QA_SOLVER_NAME]
+        for name, trajectory in result.trajectories.items():
+            assert trajectory.best_solution is not None, name
+            assert trajectory.best_solution.is_valid
+        assert result.best_known_cost <= result.quantum_trajectory().best_cost

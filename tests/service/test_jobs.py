@@ -1,0 +1,137 @@
+"""Tests for the request/response model and JSONL workload specs."""
+
+import math
+
+import pytest
+
+from repro.baselines.anytime import SolverTrajectory
+from repro.exceptions import ServiceError
+from repro.mqo.generator import generate_paper_testcase
+from repro.service.jobs import (
+    PORTFOLIO_SOLVER,
+    SolveRequest,
+    SolveResult,
+    request_from_spec,
+)
+from repro.mqo.serialization import problem_to_dict
+
+
+@pytest.fixture()
+def problem():
+    return generate_paper_testcase(5, 2, seed=3)
+
+
+class TestSolveRequest:
+    def test_dict_roundtrip(self, problem):
+        request = SolveRequest(
+            problem=problem,
+            solver="CLIMB",
+            time_budget_ms=250.0,
+            seed=7,
+            job_id="j1",
+            solvers=("CLIMB", "LIN-MQO"),
+            metadata={"tenant": "t1"},
+        )
+        rebuilt = SolveRequest.from_dict(request.to_dict())
+        assert rebuilt.solver == "CLIMB"
+        assert rebuilt.time_budget_ms == 250.0
+        assert rebuilt.seed == 7
+        assert rebuilt.job_id == "j1"
+        assert rebuilt.solvers == ("CLIMB", "LIN-MQO")
+        assert rebuilt.metadata == {"tenant": "t1"}
+        assert rebuilt.problem.canonical_hash() == problem.canonical_hash()
+        assert rebuilt.cache_key() == request.cache_key()
+
+    def test_missing_problem_raises(self):
+        with pytest.raises(ServiceError):
+            SolveRequest.from_dict({"solver": "CLIMB"})
+
+    def test_non_positive_budget_rejected(self, problem):
+        with pytest.raises(ServiceError):
+            SolveRequest(problem=problem, time_budget_ms=0.0)
+
+
+class TestSolveResult:
+    def test_from_trajectory(self, problem):
+        request = SolveRequest(problem=problem, solver="CLIMB", seed=1, job_id="x")
+        solution = problem.solution_from_choices([0] * problem.num_queries)
+        trajectory = SolverTrajectory(
+            solver_name="CLIMB",
+            points=[(1.0, 12.0), (2.0, solution.cost)],
+            best_solution=solution,
+            proved_optimal=False,
+            total_time_ms=3.0,
+        )
+        result = SolveResult.from_trajectory(request, trajectory)
+        assert result.ok
+        assert result.winner == "CLIMB"
+        assert result.best_cost == solution.cost
+        assert result.selected_plans == sorted(solution.selected_plans)
+        assert result.trajectory == [(1.0, 12.0), (2.0, solution.cost)]
+        assert result.cache_key == request.cache_key()
+
+    def test_from_error(self, problem):
+        request = SolveRequest(problem=problem, job_id="bad")
+        result = SolveResult.from_error(request, "boom")
+        assert not result.ok
+        assert result.error == "boom"
+        assert result.job_id == "bad"
+        assert math.isinf(result.best_cost)
+
+    def test_dict_roundtrip(self, problem):
+        request = SolveRequest(problem=problem, solver="CLIMB", seed=1)
+        solution = problem.solution_from_choices([0] * problem.num_queries)
+        trajectory = SolverTrajectory(
+            solver_name="CLIMB", points=[(2.0, solution.cost)], best_solution=solution
+        )
+        original = SolveResult.from_trajectory(request, trajectory)
+        rebuilt = SolveResult.from_dict(original.to_dict())
+        assert rebuilt == original
+
+
+class TestRequestFromSpec:
+    def test_generator_spec(self):
+        request = request_from_spec(
+            {"queries": 4, "plans": 2, "seed": 5}, job_id="g0"
+        )
+        assert request.problem.num_queries == 4
+        assert request.problem.num_plans == 8
+        assert request.seed == 5
+        assert request.solver == PORTFOLIO_SOLVER
+        assert request.job_id == "g0"
+
+    def test_generator_seed_can_differ_from_solve_seed(self):
+        request = request_from_spec(
+            {"queries": 4, "plans": 2, "generator_seed": 5, "seed": 9}
+        )
+        twin = request_from_spec({"queries": 4, "plans": 2, "generator_seed": 5})
+        assert request.seed == 9
+        assert request.problem.canonical_hash() == twin.problem.canonical_hash()
+
+    def test_bare_problem_spec(self, problem):
+        spec = problem_to_dict(problem)
+        spec["solver"] = "CLIMB"
+        spec["budget_ms"] = 50.0
+        request = request_from_spec(spec)
+        assert request.solver == "CLIMB"
+        assert request.time_budget_ms == 50.0
+        assert request.problem.canonical_hash() == problem.canonical_hash()
+
+    def test_full_request_spec(self, problem):
+        request = SolveRequest(problem=problem, solver="CLIMB", seed=2)
+        rebuilt = request_from_spec(request.to_dict())
+        assert rebuilt.solver == "CLIMB"
+        assert rebuilt.seed == 2
+
+    def test_defaults_applied(self, problem):
+        request = request_from_spec(
+            problem_to_dict(problem), default_solver="CLIMB", default_budget_ms=77.0
+        )
+        assert request.solver == "CLIMB"
+        assert request.time_budget_ms == 77.0
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ServiceError):
+            request_from_spec({"nonsense": 1})
+        with pytest.raises(ServiceError):
+            request_from_spec([1, 2, 3])

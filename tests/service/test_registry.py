@@ -1,0 +1,105 @@
+"""Tests for the solver registry."""
+
+import pytest
+
+from repro.baselines.hillclimb import IteratedHillClimbing
+from repro.exceptions import DuplicateSolverError, ServiceError, UnknownSolverError
+from repro.mqo.problem import MQOProblem
+from repro.service.registry import (
+    SolverCapabilities,
+    SolverRegistry,
+    default_registry,
+    register_default_solvers,
+)
+
+
+@pytest.fixture()
+def registry():
+    reg = SolverRegistry()
+    reg.register("CLIMB", IteratedHillClimbing)
+    return reg
+
+
+class TestRegistration:
+    def test_register_and_lookup(self, registry):
+        spec = registry.get("CLIMB")
+        assert spec.name == "CLIMB"
+        solver = registry.create("CLIMB")
+        assert isinstance(solver, IteratedHillClimbing)
+
+    def test_create_returns_fresh_instances(self, registry):
+        assert registry.create("CLIMB") is not registry.create("CLIMB")
+
+    def test_duplicate_registration_raises(self, registry):
+        with pytest.raises(DuplicateSolverError):
+            registry.register("CLIMB", IteratedHillClimbing)
+
+    def test_duplicate_with_replace_overrides(self, registry):
+        marker = IteratedHillClimbing(max_restarts=3)
+        registry.register("CLIMB", lambda: marker, replace=True)
+        assert registry.create("CLIMB") is marker
+
+    def test_unknown_lookup_raises(self, registry):
+        with pytest.raises(UnknownSolverError):
+            registry.get("NOPE")
+        with pytest.raises(UnknownSolverError):
+            registry.create("NOPE")
+
+    def test_unregister(self, registry):
+        registry.unregister("CLIMB")
+        assert "CLIMB" not in registry
+        with pytest.raises(UnknownSolverError):
+            registry.unregister("CLIMB")
+
+    def test_bad_name_rejected(self, registry):
+        with pytest.raises(ServiceError):
+            registry.register("", IteratedHillClimbing)
+
+    def test_factory_without_solve_rejected_at_create(self, registry):
+        registry.register("BROKEN", lambda: object())
+        with pytest.raises(ServiceError):
+            registry.create("BROKEN")
+
+    def test_registration_order_preserved(self, registry):
+        registry.register("Z", IteratedHillClimbing)
+        registry.register("A", IteratedHillClimbing)
+        assert registry.names() == ["CLIMB", "Z", "A"]
+
+
+class TestCapabilities:
+    def test_supports_respects_max_plans(self):
+        small_only = SolverCapabilities(max_plans=3)
+        problem = MQOProblem(plans_per_query=[[1.0, 2.0], [3.0, 4.0]])
+        assert not small_only.supports(problem)
+        assert SolverCapabilities(max_plans=4).supports(problem)
+        assert SolverCapabilities().supports(problem)
+
+    def test_supporting_filters_registry(self):
+        registry = SolverRegistry()
+        registry.register("BIG", IteratedHillClimbing)
+        registry.register(
+            "TINY", IteratedHillClimbing, SolverCapabilities(max_plans=2)
+        )
+        problem = MQOProblem(plans_per_query=[[1.0, 2.0], [3.0, 4.0]])
+        assert registry.supporting(problem) == ["BIG"]
+
+
+class TestDefaultRegistry:
+    def test_paper_lineup_registered(self):
+        registry = default_registry()
+        for name in ("QA", "LIN-MQO", "LIN-QUB", "CLIMB", "GA(50)", "GA(200)", "GREEDY"):
+            assert name in registry
+
+    def test_default_registry_is_singleton(self):
+        assert default_registry() is default_registry()
+
+    def test_qa_capabilities_bounded(self):
+        spec = default_registry().get("QA")
+        assert spec.capabilities.max_plans == 1152
+        assert "quantum" in spec.capabilities.tags
+        exact = default_registry().get("LIN-MQO")
+        assert exact.capabilities.exact
+
+    def test_register_default_solvers_into_fresh_registry(self):
+        registry = register_default_solvers(SolverRegistry())
+        assert len(registry) == 7
