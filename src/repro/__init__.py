@@ -76,7 +76,15 @@ from repro.core import (
     embed_logical_qubo,
     map_mqo_to_qubo,
 )
-from repro.annealer import DWaveSamplerSimulator, NoiseModel, SimulatedAnnealingSampler
+from repro.annealer import (
+    BatchedAnnealer,
+    CompileCache,
+    CompiledQUBO,
+    DWaveSamplerSimulator,
+    NoiseModel,
+    SimulatedAnnealingSampler,
+    compile_qubo,
+)
 from repro.baselines import (
     AnytimeSolver,
     GeneticAlgorithmSolver,
@@ -170,6 +178,10 @@ __all__ = [
     # annealer
     "DWaveSamplerSimulator",
     "SimulatedAnnealingSampler",
+    "BatchedAnnealer",
+    "CompileCache",
+    "CompiledQUBO",
+    "compile_qubo",
     "NoiseModel",
     # baselines
     "AnytimeSolver",

@@ -15,7 +15,14 @@ package substitutes that hardware with a software device model:
 
 from repro.annealer.schedule import AnnealingSchedule, geometric_beta_schedule, linear_beta_schedule
 from repro.annealer.sampleset import Sample, SampleSet
+from repro.annealer.compile import (
+    CompileCache,
+    CompiledQUBO,
+    compile_qubo,
+    default_compile_cache,
+)
 from repro.annealer.simulated_annealing import SimulatedAnnealingSampler
+from repro.annealer.batched import BatchedAnnealer, BlockResult
 from repro.annealer.gauge import GaugeTransform, random_gauge
 from repro.annealer.noise import NoiseModel
 from repro.annealer.device import DWaveSamplerSimulator
@@ -26,7 +33,13 @@ __all__ = [
     "linear_beta_schedule",
     "Sample",
     "SampleSet",
+    "CompileCache",
+    "CompiledQUBO",
+    "compile_qubo",
+    "default_compile_cache",
     "SimulatedAnnealingSampler",
+    "BatchedAnnealer",
+    "BlockResult",
     "GaugeTransform",
     "random_gauge",
     "NoiseModel",

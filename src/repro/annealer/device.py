@@ -19,9 +19,9 @@ substitution preserves the experiments' structure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Hashable, List, Mapping
+from typing import Hashable, List
 
+from repro.annealer.batched import BatchedAnnealer
 from repro.annealer.gauge import GaugeTransform, random_gauge
 from repro.annealer.noise import NoiseModel
 from repro.annealer.sampleset import Sample, SampleSet
@@ -32,7 +32,7 @@ from repro.chimera.topology import ChimeraGraph
 from repro.exceptions import DeviceCapacityError, DeviceError
 from repro.qubo.ising import ising_to_qubo, qubo_to_ising
 from repro.qubo.model import QUBOModel
-from repro.utils.rng import SeedLike, ensure_rng, spawn_rng
+from repro.utils.rng import SeedLike, ensure_rng
 
 __all__ = ["DWaveSamplerSimulator"]
 
@@ -58,6 +58,15 @@ class DWaveSamplerSimulator:
     seed:
         Seed controlling the device's static bias, gauge draws and
         annealing randomness.
+    batch_gauges:
+        When true (the default) all gauge batches of a request are
+        packed into one block-diagonal problem and annealed in a single
+        fused state tensor by :class:`BatchedAnnealer`, amortising the
+        numpy dispatch cost across batches.  Disable to anneal the
+        batches sequentially.  The two modes draw different random
+        streams but sample the same distribution; neither replays the
+        per-seed sample values of pre-sparse-engine releases, because
+        all gauge/noise draws now happen before any annealing.
     """
 
     def __init__(
@@ -69,6 +78,7 @@ class DWaveSamplerSimulator:
         schedule: AnnealingSchedule | None = None,
         seed: SeedLike = None,
         programming_time_ms: float = 0.0,
+        batch_gauges: bool = True,
     ) -> None:
         if programming_time_ms < 0:
             raise DeviceError("programming_time_ms must be non-negative")
@@ -77,6 +87,8 @@ class DWaveSamplerSimulator:
         self.topology = topology if topology is not None else spec.build_topology(seed=self._rng)
         self.noise = noise if noise is not None else NoiseModel()
         self.sampler = SimulatedAnnealingSampler(num_sweeps=num_sweeps, schedule=schedule)
+        self.batched_sampler = BatchedAnnealer(num_sweeps=num_sweeps, schedule=schedule)
+        self.batch_gauges = batch_gauges
         self.programming_time_ms = programming_time_ms
         self._static_bias = self.noise.static_bias(self.topology.qubits, seed=self._rng)
 
@@ -161,16 +173,44 @@ class DWaveSamplerSimulator:
         scale = ising.max_abs_weight()
 
         batch_sizes = self._batch_sizes(num_reads, num_gauges)
-        samples: List[Sample] = []
-        read_index = 0
-        for gauge_index, batch_size in enumerate(batch_sizes):
+        # Program every gauge batch up front (gauge + noise draws happen in
+        # batch order either way), then anneal: fused in one block-diagonal
+        # problem when batching is on, sequentially otherwise.
+        gauges: List[GaugeTransform] = []
+        programmed_qubos: List[QUBOModel] = []
+        for _ in batch_sizes:
             gauge = random_gauge(variables, seed=rng)
             gauged = gauge.apply_to_ising(ising)
             noisy = self.noise.perturb_ising(gauged, self._static_bias, scale, seed=rng)
-            programmed = ising_to_qubo(noisy)
-            assignments, _noisy_energies = self.sampler.sample(
-                programmed, num_reads=batch_size, seed=rng
+            gauges.append(gauge)
+            programmed_qubos.append(ising_to_qubo(noisy))
+
+        if self.batch_gauges and len(batch_sizes) > 1:
+            # Fused blocks share one read count; anneal the maximum and let
+            # each batch keep only its first batch_size reads.  The raw
+            # state matrices are consumed directly — energies are evaluated
+            # below on the noiseless problem anyway.
+            block_states, block_compiled = self.batched_sampler.sample_block_states(
+                programmed_qubos, num_reads=max(batch_sizes), seed=rng
             )
+            per_batch_assignments = [
+                [
+                    {var: int(states[r, i]) for i, var in enumerate(block.variables)}
+                    for r in range(batch_size)
+                ]
+                for states, block, batch_size in zip(
+                    block_states, block_compiled, batch_sizes
+                )
+            ]
+        else:
+            per_batch_assignments = [
+                self.sampler.sample(programmed, num_reads=batch_size, seed=rng)[0]
+                for programmed, batch_size in zip(programmed_qubos, batch_sizes)
+            ]
+
+        samples: List[Sample] = []
+        read_index = 0
+        for gauge_index, (gauge, assignments) in enumerate(zip(gauges, per_batch_assignments)):
             for assignment in assignments:
                 original = gauge.apply_to_binary(assignment)
                 energy = qubo.energy(original)

@@ -7,15 +7,35 @@ parallel: the state of all reads is a ``(num_reads, num_variables)``
 colour class (a proper colouring of the interaction graph guarantees
 that simultaneously updated variables do not interact, so the update is
 equivalent to sequential single-flip Metropolis within the class).
+
+Two backends share the Metropolis logic and the random stream:
+
+* ``"sparse"`` (the default) computes each class's local field with the
+  CSR gather plans of :mod:`repro.annealer.compile`, so a sweep costs
+  ``O(num_reads * nnz)`` — on bounded-degree Chimera problems that is
+  orders of magnitude below the dense cost,
+* ``"dense"`` multiplies against the full coupling matrix exactly as
+  the original implementation did; it is kept as the reference for the
+  sparse-vs-dense equivalence tests and the benchmark baseline.
+
+Both backends draw the same random numbers in the same order, so equal
+seeds produce equal samples (up to floating-point ties of measure zero).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Dict, Hashable, List, Tuple
 
 import numpy as np
 
+from repro.annealer.compile import (
+    CompileCache,
+    CompiledQUBO,
+    compile_qubo,
+    csr_field_kernel,
+    default_compile_cache,
+    greedy_coloring,
+)
 from repro.annealer.schedule import AnnealingSchedule, default_schedule_for
 from repro.exceptions import DeviceError
 from repro.qubo.model import QUBOModel
@@ -27,32 +47,51 @@ Variable = Hashable
 
 
 def _greedy_coloring(adjacency: List[List[int]]) -> List[List[int]]:
-    """Partition variable indices into independent sets (colour classes)."""
-    num_vars = len(adjacency)
-    colors = [-1] * num_vars
-    order = sorted(range(num_vars), key=lambda i: -len(adjacency[i]))
-    for node in order:
-        taken = {colors[neighbor] for neighbor in adjacency[node] if colors[neighbor] >= 0}
-        color = 0
-        while color in taken:
-            color += 1
-        colors[node] = color
-    classes: Dict[int, List[int]] = {}
-    for node, color in enumerate(colors):
-        classes.setdefault(color, []).append(node)
-    return [classes[color] for color in sorted(classes)]
+    """Partition variable indices into independent sets (colour classes).
+
+    Thin alias kept for backwards compatibility; the implementation
+    lives in :func:`repro.annealer.compile.greedy_coloring`.
+    """
+    return greedy_coloring(adjacency)
 
 
-@dataclass
-class _CompiledQUBO:
-    """Array form of a QUBO used by the vectorised sweeps."""
+def _metropolis_flips(
+    delta: np.ndarray,
+    beta: float | np.ndarray,
+    rng: np.random.Generator,
+    buffers: tuple | None = None,
+) -> np.ndarray:
+    """Metropolis acceptance mask for energy changes ``delta``.
 
-    variables: List[Variable]
-    linear: np.ndarray
-    coupling: np.ndarray  # symmetric dense matrix with zero diagonal
-    offset: float
-    color_classes: List[np.ndarray]
-    max_abs_weight: float
+    Flips with ``delta <= 0`` are always accepted; the Boltzmann factor
+    ``exp(-beta * delta)`` is evaluated *only* on the positive branch
+    (via the ufunc ``where`` mask) so large-weight QUBOs cannot overflow
+    ``exp`` — the old implementation fed the masked-out branch through
+    ``np.where``, which still evaluated both sides and spewed overflow
+    warnings.  Masked-out lanes keep an acceptance probability of 1, and
+    a uniform in ``[0, 1)`` is always below it, so a single comparison
+    decides every lane.  The uniform draw covers the full class so every
+    backend consumes the random stream identically.
+
+    ``buffers`` is an optional ``(uniforms, probability, positive,
+    flips)`` tuple of preallocated arrays matching ``delta``'s shape
+    (two float, two bool): the hot sweep loops pass it so no memory is
+    allocated per update.  ``delta`` is clobbered either way.
+    """
+    if buffers is None:
+        uniforms = np.empty_like(delta)
+        probability = np.empty_like(delta)
+        positive = np.empty(delta.shape, dtype=bool)
+        flips = np.empty(delta.shape, dtype=bool)
+    else:
+        uniforms, probability, positive, flips = buffers
+    rng.random(out=uniforms)
+    np.greater(delta, 0.0, out=positive)
+    np.multiply(delta, -beta, out=delta)
+    probability.fill(1.0)
+    np.exp(delta, out=probability, where=positive)
+    np.less(uniforms, probability, out=flips)
+    return flips
 
 
 class SimulatedAnnealingSampler:
@@ -65,52 +104,31 @@ class SimulatedAnnealingSampler:
     schedule:
         Optional explicit :class:`AnnealingSchedule`; when omitted a
         geometric schedule scaled to the problem's weights is used.
+    backend:
+        ``"sparse"`` (default) for the CSR gather path, ``"dense"`` for
+        the reference dense-matrix path.
+    compile_cache:
+        Structure cache consulted when compiling QUBOs; defaults to the
+        process-wide cache.  Pass ``CompileCache(maxsize=0)`` to disable.
     """
+
+    BACKENDS = ("sparse", "dense")
 
     def __init__(
         self,
         num_sweeps: int = 100,
         schedule: AnnealingSchedule | None = None,
+        backend: str = "sparse",
+        compile_cache: CompileCache | None = None,
     ) -> None:
         if num_sweeps <= 0:
             raise DeviceError(f"num_sweeps must be positive, got {num_sweeps}")
+        if backend not in self.BACKENDS:
+            raise DeviceError(f"unknown backend {backend!r}; expected one of {self.BACKENDS}")
         self.num_sweeps = num_sweeps
         self.schedule = schedule
-
-    # ------------------------------------------------------------------ #
-    # Compilation
-    # ------------------------------------------------------------------ #
-    @staticmethod
-    def _compile(qubo: QUBOModel) -> _CompiledQUBO:
-        variables = qubo.variables
-        if not variables:
-            raise DeviceError("cannot sample an empty QUBO")
-        index = {var: i for i, var in enumerate(variables)}
-        n = len(variables)
-        linear = np.zeros(n)
-        coupling = np.zeros((n, n))
-        adjacency: List[List[int]] = [[] for _ in range(n)]
-        for var, weight in qubo.linear.items():
-            linear[index[var]] = weight
-        for (u, v), weight in qubo.quadratic.items():
-            i, j = index[u], index[v]
-            coupling[i, j] += weight
-            coupling[j, i] += weight
-            adjacency[i].append(j)
-            adjacency[j].append(i)
-        color_classes = [np.asarray(cls, dtype=int) for cls in _greedy_coloring(adjacency)]
-        max_abs = max(
-            float(np.max(np.abs(linear))) if n else 0.0,
-            float(np.max(np.abs(coupling))) if n else 0.0,
-        )
-        return _CompiledQUBO(
-            variables=variables,
-            linear=linear,
-            coupling=coupling,
-            offset=qubo.offset,
-            color_classes=color_classes,
-            max_abs_weight=max_abs,
-        )
+        self.backend = backend
+        self.compile_cache = compile_cache if compile_cache is not None else default_compile_cache()
 
     # ------------------------------------------------------------------ #
     # Sampling
@@ -129,11 +147,37 @@ class SimulatedAnnealingSampler:
         (assignments, energies)
             One assignment dictionary and its energy per read, in read order.
         """
+        states, compiled = self.sample_states(
+            qubo, num_reads=num_reads, seed=seed, initial_states=initial_states
+        )
+        energies = compiled.energies(states)
+        variables = compiled.variables
+        assignments = [
+            {var: int(states[r, i]) for i, var in enumerate(variables)}
+            for r in range(num_reads)
+        ]
+        return assignments, [float(e) for e in energies]
+
+    def sample_states(
+        self,
+        qubo: QUBOModel,
+        num_reads: int = 1,
+        seed: SeedLike = None,
+        initial_states: np.ndarray | None = None,
+    ) -> Tuple[np.ndarray, CompiledQUBO]:
+        """Anneal and return the raw ``(num_reads, n)`` state matrix.
+
+        The array form skips the per-read dictionary construction of
+        :meth:`sample`; batch consumers (vectorised chain read-out, the
+        benchmarks) use it directly together with the compiled model.
+        """
         if num_reads <= 0:
             raise DeviceError(f"num_reads must be positive, got {num_reads}")
+        if not qubo.num_variables:
+            raise DeviceError("cannot sample an empty QUBO")
         rng = ensure_rng(seed)
-        compiled = self._compile(qubo)
-        n = len(compiled.variables)
+        compiled = compile_qubo(qubo, cache=self.compile_cache)
+        n = compiled.num_variables
 
         if initial_states is not None:
             states = np.array(initial_states, dtype=float)
@@ -149,37 +193,116 @@ class SimulatedAnnealingSampler:
         )
         betas = schedule.as_array()
 
-        for beta in betas:
-            for color_class in compiled.color_classes:
-                self._update_class(states, compiled, color_class, beta, rng)
+        # The sweeps run on the transposed (n, num_reads) layout: a colour
+        # class is then a contiguous row gather and the CSR matvec needs
+        # no transposes.
+        states_t = np.ascontiguousarray(states.T)
+        if self.backend == "dense":
+            self._anneal_dense(states_t, compiled, betas, rng)
+        else:
+            self._anneal_sparse(states_t, compiled, betas, rng)
+        return np.ascontiguousarray(states_t.T), compiled
 
-        energies = self._energies(states, compiled)
-        assignments = [
-            {var: int(states[r, i]) for i, var in enumerate(compiled.variables)}
-            for r in range(num_reads)
-        ]
-        return assignments, [float(e) for e in energies]
-
+    # ------------------------------------------------------------------ #
+    # Backends
+    # ------------------------------------------------------------------ #
     @staticmethod
-    def _update_class(
-        states: np.ndarray,
-        compiled: _CompiledQUBO,
-        color_class: np.ndarray,
-        beta: float,
+    def _run_sweeps(
+        states_t: np.ndarray,
+        compiled: CompiledQUBO,
+        betas: np.ndarray,
+        rng: np.random.Generator,
+        field_fns,
+    ) -> None:
+        """Shared Metropolis sweep driver for both backends.
+
+        ``field_fns[k](states_t)`` returns the local field of colour
+        class ``k`` (linear term included) as a fresh ``(|class|, R)``
+        array that the driver may overwrite.  Everything else runs on
+        preallocated per-class buffers with in-place ufuncs — at
+        Chimera sparsity the elementwise bookkeeping, not the field
+        computation, would otherwise dominate the sweep.  The Boltzmann
+        factor is evaluated only on the positive-delta lanes via the
+        ufunc ``where`` mask (the masked lanes keep probability 1, which
+        every uniform in ``[0, 1)`` is below), so large-weight QUBOs
+        cannot overflow ``exp``.
+        """
+        classes = compiled.structure.classes
+        num_reads = states_t.shape[1]
+        buffers = [
+            (
+                np.empty((plan.members.size, num_reads)),  # current
+                np.empty((plan.members.size, num_reads)),  # tilt
+                tuple(np.empty((plan.members.size, num_reads)) for _ in range(2))
+                + tuple(
+                    np.empty((plan.members.size, num_reads), dtype=bool) for _ in range(2)
+                ),  # _metropolis_flips scratch
+            )
+            for plan in classes
+        ]
+        for beta in betas:
+            beta = float(beta)
+            for plan, field_fn, (current, tilt, metropolis_buffers) in zip(
+                classes, field_fns, buffers
+            ):
+                np.take(states_t, plan.members, axis=0, out=current)
+                delta = field_fn(states_t)
+                np.multiply(current, -2.0, out=tilt)
+                tilt += 1.0  # tilt = 1 - 2x: the sign of each candidate flip
+                delta *= tilt
+                flips = _metropolis_flips(delta, beta, rng, buffers=metropolis_buffers)
+                np.multiply(flips, tilt, out=delta)  # accepted flips as +-1 steps
+                delta += current
+                states_t[plan.members] = delta
+
+    def _anneal_sparse(
+        self,
+        states_t: np.ndarray,
+        compiled: CompiledQUBO,
+        betas: np.ndarray,
         rng: np.random.Generator,
     ) -> None:
-        """Metropolis update of one independent variable class for all reads."""
-        # Energy change of flipping variable i in read r:
-        #   delta = (1 - 2 x_ri) * (h_i + sum_j J_ij x_rj)
-        local_field = compiled.linear[color_class] + states @ compiled.coupling[:, color_class]
-        current = states[:, color_class]
-        delta = (1.0 - 2.0 * current) * local_field
-        accept_prob = np.where(delta <= 0.0, 1.0, np.exp(-beta * np.clip(delta, 0.0, 700.0)))
-        flips = rng.random(size=current.shape) < accept_prob
-        states[:, color_class] = np.where(flips, 1.0 - current, current)
+        """Sweep using the per-class CSR kernels (cost scales with nnz)."""
 
-    @staticmethod
-    def _energies(states: np.ndarray, compiled: _CompiledQUBO) -> np.ndarray:
-        linear_part = states @ compiled.linear
-        quadratic_part = 0.5 * np.einsum("ri,ij,rj->r", states, compiled.coupling, states)
-        return linear_part + quadratic_part + compiled.offset
+        def make_field_fn(class_index: int):
+            plan = compiled.structure.classes[class_index]
+            base = compiled.linear[plan.members][:, None]
+            matrices = compiled.class_matrices
+            if matrices is not None and plan.neighbor_cols.size:
+                kernel = csr_field_kernel(matrices[class_index])
+
+                def field(states_t: np.ndarray) -> np.ndarray:
+                    out = kernel(states_t)
+                    out += base
+                    return out
+
+                return field
+            return lambda states_t: compiled.local_field_t(states_t, class_index)
+
+        field_fns = [make_field_fn(k) for k in range(compiled.num_classes)]
+        self._run_sweeps(states_t, compiled, betas, rng, field_fns)
+
+    def _anneal_dense(
+        self,
+        states_t: np.ndarray,
+        compiled: CompiledQUBO,
+        betas: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        """Reference sweep against the dense coupling matrix (O(n^2))."""
+        coupling = compiled.dense_coupling()
+
+        def make_field_fn(class_index: int):
+            plan = compiled.structure.classes[class_index]
+            base = compiled.linear[plan.members][:, None]
+            block = coupling[plan.members]
+
+            def field(states_t: np.ndarray) -> np.ndarray:
+                out = block @ states_t
+                out += base
+                return out
+
+            return field
+
+        field_fns = [make_field_fn(k) for k in range(compiled.num_classes)]
+        self._run_sweeps(states_t, compiled, betas, rng, field_fns)

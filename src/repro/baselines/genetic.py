@@ -100,6 +100,7 @@ class GeneticAlgorithmSolver(AnytimeSolver):
         time_budget_ms: float,
         seed: SeedLike = None,
     ) -> SolverTrajectory:
+        """Evolve plan selections under the time budget and return the trajectory."""
         self._check_budget(time_budget_ms)
         rng = ensure_rng(seed)
         recorder = TrajectoryRecorder(self.name)

@@ -49,6 +49,7 @@ class GreedyConstructiveSolver(AnytimeSolver):
         time_budget_ms: float,
         seed: SeedLike = None,
     ) -> SolverTrajectory:
+        """Build one greedy selection (cheapest plan incl. savings per query)."""
         self._check_budget(time_budget_ms)
         recorder = TrajectoryRecorder(self.name)
         recorder.record(self.construct(problem))

@@ -38,6 +38,7 @@ class IteratedHillClimbing(AnytimeSolver):
         time_budget_ms: float,
         seed: SeedLike = None,
     ) -> SolverTrajectory:
+        """Run random-restart steepest descent until the budget expires."""
         self._check_budget(time_budget_ms)
         rng = ensure_rng(seed)
         recorder = TrajectoryRecorder(self.name)

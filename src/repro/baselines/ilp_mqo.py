@@ -114,6 +114,7 @@ class IntegerProgrammingMQOSolver(AnytimeSolver):
         time_budget_ms: float,
         seed: SeedLike = None,
     ) -> SolverTrajectory:
+        """Run branch-and-bound on the MQO integer program within the budget."""
         self._check_budget(time_budget_ms)
         recorder = TrajectoryRecorder(self.name)
         program, _plan_column = build_mqo_program(problem)

@@ -124,6 +124,7 @@ class IntegerProgrammingQUBOSolver(AnytimeSolver):
         time_budget_ms: float,
         seed: SeedLike = None,
     ) -> SolverTrajectory:
+        """Run branch-and-bound on the linearised QUBO within the budget."""
         self._check_budget(time_budget_ms)
         recorder = TrajectoryRecorder(self.name)
         mapping = LogicalMapping(problem, self.logical_config)

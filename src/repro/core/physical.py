@@ -24,11 +24,13 @@ couplings from ``b`` to qubits outside ``B``); then
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Mapping, Tuple
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+
+import numpy as np
 
 from repro.chimera.topology import ChimeraGraph
 from repro.embedding.base import Embedding
-from repro.embedding.unembed import ChainReadout, resolve_chains
+from repro.embedding.unembed import ChainReadout, resolve_chains, resolve_chains_batch
 from repro.exceptions import EmbeddingError
 from repro.qubo.model import QUBOModel
 
@@ -112,6 +114,33 @@ class PhysicalMapping:
         (``PhysicalMapping^-1`` in Algorithm 1).
         """
         return resolve_chains(physical_sample, self.embedding, self.config.readout)
+
+    def unembed_samples(
+        self, physical_samples: Sequence[Mapping[int, int]]
+    ) -> List[Tuple[Dict[Variable, int], bool]]:
+        """Vectorised chain read-out of a whole batch of physical samples.
+
+        Equivalent to calling :meth:`unembed_sample` per sample, but the
+        majority votes of all reads happen in one gather plus one
+        segmented reduction (:class:`~repro.embedding.unembed.ChainGather`),
+        which is what the pipeline uses after a many-read device request.
+        """
+        if not physical_samples:
+            return []
+        qubit_order = list(physical_samples[0])
+        try:
+            states = np.array(
+                [[sample[qubit] for qubit in qubit_order] for sample in physical_samples],
+                dtype=np.int64,
+            )
+        except KeyError as exc:
+            raise EmbeddingError(
+                f"physical sample is missing qubit {exc} required by the embedding"
+            ) from exc
+        assignments, broken = resolve_chains_batch(
+            states, qubit_order, self.embedding, self.config.readout
+        )
+        return list(zip(assignments, broken))
 
     def logical_energy(self, logical_assignment: Mapping[Variable, int]) -> float:
         """Energy of a logical assignment under the *logical* QUBO."""

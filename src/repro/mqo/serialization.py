@@ -23,6 +23,7 @@ __all__ = [
     "load_problem",
     "canonical_problem_dict",
     "canonical_problem_hash",
+    "exact_problem_token",
 ]
 
 _FORMAT_VERSION = 1
@@ -229,6 +230,23 @@ def canonical_problem_hash(problem: MQOProblem) -> str:
         canonical_problem_dict(problem), sort_keys=True, separators=(",", ":")
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def exact_problem_token(problem: MQOProblem) -> str:
+    """SHA-256 fingerprint of the problem's *concrete* plan layout.
+
+    Unlike :func:`canonical_problem_hash` this is **not** invariant to
+    the plan enumeration order: two relabel-equivalent problems whose
+    plans are listed differently get different tokens.  Used wherever an
+    artefact is tied to concrete plan indices — prepared pipelines,
+    in-batch deduplication — where serving a merely isomorphic instance
+    would mis-attribute plan selections.  The instance name is ignored.
+    """
+    payload = {
+        key: value for key, value in problem_to_dict(problem).items() if key != "name"
+    }
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
 
 def solution_to_dict(solution: MQOSolution) -> Dict[str, Any]:

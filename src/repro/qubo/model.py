@@ -256,6 +256,36 @@ class QUBOModel:
             matrix[i, j] += weight
         return matrix
 
+    def to_arrays(
+        self, variable_order: Sequence[Variable] | None = None
+    ) -> Tuple[List[Variable], np.ndarray, np.ndarray, np.ndarray]:
+        """Flat-array export of the model for the annealing hot path.
+
+        Returns ``(variables, linear, edges, weights)`` where ``linear``
+        has one entry per variable, ``edges`` is an ``(m, 2)`` int64
+        array of variable *indices* (each interaction appears exactly
+        once, in the model's insertion order) and ``weights`` holds the
+        matching quadratic weights.  Unlike :meth:`to_dense` the output
+        size scales with the number of interactions, not with the square
+        of the variable count.
+        """
+        order = list(variable_order) if variable_order is not None else self.variables
+        index = {var: i for i, var in enumerate(order)}
+        missing = [var for var in self._linear if var not in index]
+        if missing:
+            raise QUBOError(f"variable_order is missing QUBO variables: {missing[:5]}")
+        linear = np.zeros(len(order))
+        for var, weight in self._linear.items():
+            linear[index[var]] = weight
+        num_edges = len(self._quadratic)
+        edges = np.empty((num_edges, 2), dtype=np.int64)
+        weights = np.empty(num_edges)
+        for slot, ((u, v), weight) in enumerate(self._quadratic.items()):
+            edges[slot, 0] = index[u]
+            edges[slot, 1] = index[v]
+            weights[slot] = weight
+        return order, linear, edges, weights
+
     def energy_range_bounds(self) -> Tuple[float, float]:
         """Loose lower/upper bounds on the reachable energy.
 

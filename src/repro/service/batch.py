@@ -18,6 +18,15 @@ identically; a heuristic truncated mid-flight by CPU contention may not).
 An optional :class:`~repro.service.cache.ResultCache` short-circuits
 jobs whose key is already cached and absorbs fresh results; when the
 cache has a backing file it is saved once at the end of the batch.
+Independently of the persistent cache, identical jobs *within* one
+batch (same problem, solver, budget and seed) are deduplicated: the
+first occurrence is solved and the twins receive an echo of its result.
+
+Annealer jobs additionally benefit from two process-wide caches that
+this executor warms as a side effect: the QA adapter's prepared-pipeline
+LRU (embedding + physical mapping per instance, keyed by canonical
+hash) and the sparse compile-structure cache of
+:mod:`repro.annealer.compile`, so repeated QA solves skip recompilation.
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ServiceError
+from repro.mqo.serialization import exact_problem_token
 from repro.service.cache import ResultCache
 from repro.service.jobs import PORTFOLIO_SOLVER, SolveRequest, SolveResult
 from repro.service.portfolio import PortfolioScheduler
@@ -122,6 +132,11 @@ class BatchExecutor:
         per run.
     portfolio_mode:
         Racing mode forwarded to the portfolio scheduler.
+    dedupe:
+        Solve identical jobs (same cache key: problem, solver, budget
+        and seed) once per batch and echo the result to the duplicates
+        (default).  Duplicates are marked ``from_cache`` since no solver
+        ran for them.
     """
 
     def __init__(
@@ -131,6 +146,7 @@ class BatchExecutor:
         registry: SolverRegistry | None = None,
         base_seed: Optional[int] = None,
         portfolio_mode: str = "threads",
+        dedupe: bool = True,
     ) -> None:
         if workers < 0:
             raise ServiceError(f"workers must be non-negative, got {workers}")
@@ -144,6 +160,7 @@ class BatchExecutor:
         self.registry = registry
         self.base_seed = base_seed
         self.portfolio_mode = portfolio_mode
+        self.dedupe = dedupe
 
     # ------------------------------------------------------------------ #
     # Seeding and cache plumbing
@@ -209,32 +226,69 @@ class BatchExecutor:
     ) -> Iterator[Tuple[int, SolveResult]]:
         """Yield ``(input_index, result)`` pairs as jobs finish.
 
-        Cache hits are yielded first (no solving happens for them); the
-        rest stream back in completion order.  The cache, if any, is
-        persisted to its backing file after the last job.
+        Cache hits are yielded first (no solving happens for them), then
+        duplicates of an already-dispatched job are folded onto their
+        representative; the rest stream back in completion order.  The
+        cache, if any, is persisted to its backing file after the last
+        job.
         """
         seeded = self._seeded(requests, base_seed if base_seed is not None else self.base_seed)
         pending: List[Tuple[int, SolveRequest]] = []
+        representative_by_key: Dict[str, int] = {}
+        duplicates: Dict[int, List[Tuple[int, SolveRequest]]] = {}
         for index, request in enumerate(seeded):
             hit = self._cache_lookup(request)
             if hit is not None:
                 yield index, hit
-            else:
-                pending.append((index, request))
+                continue
+            if self.dedupe:
+                # cache_key() hashes the problem canonically (relabel-
+                # invariant); the exact token is appended so only jobs with
+                # the same concrete plan indices fold — an echoed result's
+                # selected_plans must be meaningful for the twin request.
+                key = f"{request.cache_key()}:{exact_problem_token(request.problem)}"
+                rep_index = representative_by_key.get(key)
+                if rep_index is not None:
+                    duplicates.setdefault(rep_index, []).append((index, request))
+                    continue
+                representative_by_key[key] = index
+            pending.append((index, request))
 
         try:
             if self.workers > 1 and len(pending) > 1:
-                yield from self._run_pool(pending)
+                source = self._run_pool(pending)
             else:
-                for index, request in pending:
-                    result = execute_request(
-                        request, registry=self.registry, portfolio_mode=self.portfolio_mode
-                    )
-                    self._cache_store(request, result)
-                    yield index, result
+                source = self._run_inline(pending)
+            for index, result in source:
+                yield index, result
+                for dup_index, dup_request in duplicates.get(index, ()):
+                    yield dup_index, self._duplicate_result(result, dup_request)
         finally:
             if self.cache is not None and self.cache.path is not None:
                 self.cache.save()
+
+    def _run_inline(
+        self, pending: List[Tuple[int, SolveRequest]]
+    ) -> Iterator[Tuple[int, SolveResult]]:
+        """Solve pending jobs one by one in this process."""
+        for index, request in pending:
+            result = execute_request(
+                request, registry=self.registry, portfolio_mode=self.portfolio_mode
+            )
+            self._cache_store(request, result)
+            yield index, result
+
+    @staticmethod
+    def _duplicate_result(result: SolveResult, request: SolveRequest) -> SolveResult:
+        """Echo a representative's result to a deduplicated twin request."""
+        if result.error is not None:
+            return SolveResult.from_error(request, result.error)
+        echo = SolveResult.from_dict(result.to_dict())
+        echo.job_id = request.job_id
+        echo.metadata = dict(request.metadata)
+        echo.from_cache = True
+        echo.total_time_ms = 0.0
+        return echo
 
     def _run_pool(
         self, pending: List[Tuple[int, SolveRequest]]

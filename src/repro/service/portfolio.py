@@ -169,8 +169,22 @@ class PortfolioScheduler:
         raced, skipped = self.lineup(problem, solvers)
         stopwatch = Stopwatch().start()
 
+        # Instantiate members up front and give solvers with a prepare()
+        # hook (the QA adapter) the chance to compile the instance before
+        # the race: the compilation lands in a shared cache, so it is paid
+        # once instead of inside every member's timed budget.
+        members = {name: self.registry.create(name) for name in raced}
+        for name, solver in members.items():
+            prepare = getattr(solver, "prepare", None)
+            if callable(prepare):
+                try:
+                    prepare(problem)
+                except Exception:  # noqa: BLE001 — preparation is best-effort;
+                    # a failing member surfaces its error from solve() below.
+                    pass
+
         def run_member(position: int, name: str) -> SolverTrajectory:
-            solver = self.registry.create(name)
+            solver = members[name]
             budget = (
                 time_budget_ms if self.mode == "threads" else time_budget_ms / len(raced)
             )
@@ -242,30 +256,19 @@ class PortfolioScheduler:
         points are shifted by its start offset (zero when racing on
         threads, the member's sequential start time in split mode).
         """
-        events: List[Tuple[float, float]] = []
-        for name in raced:
-            trajectory = trajectories.get(name)
-            if trajectory is not None:
-                offset = start_offsets.get(name, 0.0)
-                events.extend((offset + elapsed, cost) for elapsed, cost in trajectory.points)
-        events.sort()
-        points: List[Tuple[float, float]] = []
-        best = float("inf")
-        for elapsed, cost in events:
-            if cost < best - 1e-12:
-                best = cost
-                points.append((elapsed, cost))
-        proved = any(
-            t.proved_optimal
-            and t.best_solution is not None
-            and abs(t.best_cost - best) < 1e-9
-            for t in trajectories.values()
-        )
-        return SolverTrajectory(
+        ordered = [(name, trajectories[name]) for name in raced if name in trajectories]
+        merged = SolverTrajectory.envelope(
+            [trajectory for _, trajectory in ordered],
+            offsets=[start_offsets.get(name, 0.0) for name, _ in ordered],
             solver_name=MERGED_TRAJECTORY_NAME,
-            points=points,
             best_solution=(
                 trajectories[winner].best_solution if winner in trajectories else None
             ),
-            proved_optimal=proved,
         )
+        merged.proved_optimal = any(
+            t.proved_optimal
+            and t.best_solution is not None
+            and abs(t.best_cost - merged.best_cost) < 1e-9
+            for t in trajectories.values()
+        )
+        return merged

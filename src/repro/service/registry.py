@@ -201,8 +201,11 @@ def register_default_solvers(registry: SolverRegistry) -> SolverRegistry:
             exact=False,
             deterministic=True,
             max_plans=QuantumAnnealingSolver.default_max_plans(),
-            tags=("quantum",),
-            description="simulated D-Wave annealing pipeline (Algorithm 1)",
+            tags=("quantum", "sparse", "batched"),
+            description=(
+                "simulated D-Wave annealing pipeline (Algorithm 1); sparse "
+                "CSR sweeps, fused gauge batches, prepared-pipeline cache"
+            ),
         ),
     )
     registry.register(

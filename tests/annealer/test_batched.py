@@ -1,0 +1,134 @@
+"""Tests for the block-diagonal batched annealer."""
+
+import numpy as np
+import pytest
+
+from repro.annealer.batched import BatchedAnnealer
+from repro.annealer.compile import CompileCache
+from repro.annealer.simulated_annealing import SimulatedAnnealingSampler
+from repro.chimera.topology import ChimeraGraph
+from repro.exceptions import DeviceError
+from repro.qubo.bruteforce import solve_bruteforce
+from repro.qubo.model import QUBOModel
+from repro.qubo.random_qubo import random_chimera_qubo, random_qubo
+
+
+class TestBatchedAnnealer:
+    def test_single_block_matches_plain_sampler(self):
+        """With one block the fused sweep is the plain sparse sweep."""
+        qubo = random_qubo(9, density=0.5, seed=3)
+        sampler = SimulatedAnnealingSampler(num_sweeps=40)
+        batched = BatchedAnnealer(num_sweeps=40)
+        assignments, energies = sampler.sample(qubo, num_reads=6, seed=42)
+        blocks = batched.sample_blocks([qubo], num_reads=6, seed=42)
+        assert blocks[0].assignments == assignments
+        assert np.allclose(blocks[0].energies, energies)
+
+    def test_energies_consistent_per_block(self):
+        topology = ChimeraGraph(2, 2)
+        qubos = [
+            random_chimera_qubo(topology.edges(), topology.qubits, seed=s) for s in range(3)
+        ] + [random_qubo(5, density=0.7, seed=1)]
+        results = BatchedAnnealer(num_sweeps=30).sample_blocks(qubos, num_reads=4, seed=0)
+        assert len(results) == 4
+        for qubo, block in zip(qubos, results):
+            assert len(block.assignments) == 4
+            for assignment, energy in zip(block.assignments, block.energies):
+                assert qubo.energy(assignment) == pytest.approx(energy, abs=1e-9)
+
+    def test_finds_optima_of_small_blocks(self):
+        qubos = [random_qubo(8, density=0.5, seed=s) for s in range(3)]
+        results = BatchedAnnealer(num_sweeps=200).sample_blocks(qubos, num_reads=20, seed=7)
+        for qubo, block in zip(qubos, results):
+            _opt, opt_energy = solve_bruteforce(qubo)
+            assert min(block.energies) == pytest.approx(opt_energy, abs=1e-9)
+
+    def test_deterministic_given_seed(self):
+        qubos = [random_qubo(6, density=0.5, seed=s) for s in range(2)]
+        annealer = BatchedAnnealer(num_sweeps=25)
+        first = annealer.sample_blocks(qubos, num_reads=3, seed=5)
+        second = annealer.sample_blocks(qubos, num_reads=3, seed=5)
+        for a, b in zip(first, second):
+            assert a.assignments == b.assignments
+            assert a.energies == b.energies
+
+    def test_blocks_with_different_weight_scales_keep_own_schedule(self):
+        """A huge-weight block must not melt a small-weight block's anneal."""
+        small = QUBOModel(linear={0: -1.0, 1: 1.0}, quadratic={(0, 1): -2.0})
+        huge = QUBOModel(linear={0: 1e6, 1: 1e6}, quadratic={(0, 1): -3e6})
+        results = BatchedAnnealer(num_sweeps=150).sample_blocks(
+            [small, huge], num_reads=10, seed=2
+        )
+        _opt_small, e_small = solve_bruteforce(small)
+        _opt_huge, e_huge = solve_bruteforce(huge)
+        assert min(results[0].energies) == pytest.approx(e_small, abs=1e-9)
+        assert min(results[1].energies) == pytest.approx(e_huge, abs=1e-6)
+
+    def test_shared_structure_compiles_once(self):
+        cache = CompileCache(maxsize=8)
+        topology = ChimeraGraph(2, 2)
+        qubos = [
+            random_chimera_qubo(topology.edges(), topology.qubits, seed=s) for s in range(5)
+        ]
+        BatchedAnnealer(num_sweeps=5, compile_cache=cache).sample_blocks(
+            qubos, num_reads=2, seed=0
+        )
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 4
+
+    def test_empty_inputs_rejected(self):
+        annealer = BatchedAnnealer(num_sweeps=5)
+        with pytest.raises(DeviceError):
+            annealer.sample_blocks([], num_reads=1)
+        with pytest.raises(DeviceError):
+            annealer.sample_blocks([random_qubo(3, seed=0)], num_reads=0)
+        with pytest.raises(DeviceError):
+            annealer.sample_blocks([QUBOModel()], num_reads=1)
+
+    def test_invalid_sweeps_rejected(self):
+        with pytest.raises(DeviceError):
+            BatchedAnnealer(num_sweeps=0)
+
+
+class TestDeviceGaugeBatching:
+    def test_fused_and_sequential_sample_same_distribution(self):
+        """Both modes must find the optimum of a small native problem."""
+        from repro.annealer.device import DWaveSamplerSimulator
+        from repro.annealer.noise import NoiseModel
+        from repro.chimera.hardware import DWAVE_2X
+
+        topology = ChimeraGraph(1, 2)
+        qubo = random_chimera_qubo(topology.edges(), topology.qubits, seed=5)
+        _opt, opt_energy = solve_bruteforce(qubo)
+        for batch_gauges in (True, False):
+            device = DWaveSamplerSimulator(
+                spec=DWAVE_2X,
+                topology=topology,
+                noise=NoiseModel(0.0, 0.0),
+                num_sweeps=150,
+                seed=3,
+                batch_gauges=batch_gauges,
+            )
+            sample_set = device.sample_qubo(qubo, num_reads=30, num_gauges=5)
+            assert sample_set.num_reads == 30
+            assert sample_set.best().energy == pytest.approx(opt_energy, abs=1e-9)
+
+    def test_gauge_indices_preserved_in_fused_mode(self):
+        from repro.annealer.device import DWaveSamplerSimulator
+        from repro.annealer.noise import NoiseModel
+        from repro.chimera.hardware import DWAVE_2X
+
+        topology = ChimeraGraph(1, 2)
+        qubo = random_chimera_qubo(topology.edges(), topology.qubits, seed=1)
+        device = DWaveSamplerSimulator(
+            spec=DWAVE_2X,
+            topology=topology,
+            noise=NoiseModel(0.0, 0.0),
+            num_sweeps=10,
+            seed=0,
+            batch_gauges=True,
+        )
+        sample_set = device.sample_qubo(qubo, num_reads=10, num_gauges=4)
+        assert [s.read_index for s in sample_set] == list(range(10))
+        assert {s.gauge_index for s in sample_set} == set(range(4))

@@ -1,0 +1,104 @@
+"""Property tests: the sparse CSR path must reproduce the dense path.
+
+The acceptance bar for the sparse rewrite is *bit-equivalence of the
+sampling dynamics*: both backends draw the same random numbers in the
+same order, so for equal seeds they must produce identical sampled
+states and (up to floating-point associativity) identical energies, on
+random dense-ish QUBOs as well as on Chimera-structured ones.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.annealer.compile import CompileCache
+from repro.annealer.simulated_annealing import SimulatedAnnealingSampler
+from repro.chimera.topology import ChimeraGraph
+from repro.qubo.random_qubo import random_chimera_qubo, random_qubo
+
+
+def _pair(num_sweeps):
+    """A (sparse, dense) sampler pair with cold compile caches."""
+    sparse = SimulatedAnnealingSampler(
+        num_sweeps=num_sweeps, backend="sparse", compile_cache=CompileCache(maxsize=0)
+    )
+    dense = SimulatedAnnealingSampler(
+        num_sweeps=num_sweeps, backend="dense", compile_cache=CompileCache(maxsize=0)
+    )
+    return sparse, dense
+
+
+def _assert_equivalent(qubo, num_reads, seed, num_sweeps):
+    sparse, dense = _pair(num_sweeps)
+    sparse_assignments, sparse_energies = sparse.sample(qubo, num_reads=num_reads, seed=seed)
+    dense_assignments, dense_energies = dense.sample(qubo, num_reads=num_reads, seed=seed)
+    assert sparse_assignments == dense_assignments
+    assert np.allclose(sparse_energies, dense_energies, atol=1e-9)
+    for assignment, energy in zip(sparse_assignments, sparse_energies):
+        assert qubo.energy(assignment) == pytest.approx(energy, abs=1e-9)
+
+
+class TestSparseDenseEquivalence:
+    @given(
+        num_variables=st.integers(min_value=1, max_value=18),
+        density=st.floats(min_value=0.0, max_value=1.0),
+        qubo_seed=st.integers(min_value=0, max_value=2**31 - 1),
+        sample_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_qubos(self, num_variables, density, qubo_seed, sample_seed):
+        qubo = random_qubo(num_variables, density=density, seed=qubo_seed)
+        _assert_equivalent(qubo, num_reads=4, seed=sample_seed, num_sweeps=25)
+
+    @given(
+        qubo_seed=st.integers(min_value=0, max_value=2**31 - 1),
+        sample_seed=st.integers(min_value=0, max_value=2**31 - 1),
+        edge_probability=st.floats(min_value=0.1, max_value=1.0),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_chimera_structured_qubos(self, qubo_seed, sample_seed, edge_probability):
+        topology = ChimeraGraph(2, 2)
+        qubo = random_chimera_qubo(
+            topology.edges(),
+            topology.qubits,
+            edge_probability=edge_probability,
+            seed=qubo_seed,
+        )
+        _assert_equivalent(qubo, num_reads=5, seed=sample_seed, num_sweeps=30)
+
+    def test_large_weights_no_overflow_warning(self):
+        qubo = random_qubo(8, density=0.8, weight_range=(-1e6, 1e6), seed=0)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            _assert_equivalent(qubo, num_reads=4, seed=1, num_sweeps=30)
+
+    def test_identical_with_warm_structure_cache(self):
+        """Cache hits must not change the sampled states."""
+        topology = ChimeraGraph(2, 2)
+        qubo = random_chimera_qubo(topology.edges(), topology.qubits, seed=3)
+        cold = SimulatedAnnealingSampler(
+            num_sweeps=30, compile_cache=CompileCache(maxsize=0)
+        )
+        warm = SimulatedAnnealingSampler(num_sweeps=30, compile_cache=CompileCache(maxsize=4))
+        warm.sample(qubo, num_reads=2, seed=0)  # populate the structure cache
+        a_cold = cold.sample(qubo, num_reads=5, seed=11)
+        a_warm = warm.sample(qubo, num_reads=5, seed=11)
+        assert a_cold[0] == a_warm[0]
+        assert a_cold[1] == a_warm[1]
+
+    def test_initial_states_respected_by_both_backends(self):
+        qubo = random_qubo(6, density=0.5, seed=2)
+        initial = np.zeros((3, 6))
+        sparse, dense = _pair(20)
+        a1, _ = sparse.sample(qubo, num_reads=3, seed=7, initial_states=initial)
+        a2, _ = dense.sample(qubo, num_reads=3, seed=7, initial_states=initial)
+        assert a1 == a2
+
+    def test_unknown_backend_rejected(self):
+        from repro.exceptions import DeviceError
+
+        with pytest.raises(DeviceError):
+            SimulatedAnnealingSampler(backend="gpu")

@@ -1,0 +1,117 @@
+"""Tests for the vectorised batch chain read-out."""
+
+import numpy as np
+import pytest
+
+from repro.chimera.topology import ChimeraGraph
+from repro.embedding.base import Embedding
+from repro.embedding.unembed import (
+    ChainGather,
+    ChainReadout,
+    resolve_chains,
+    resolve_chains_batch,
+)
+from repro.exceptions import EmbeddingError
+
+
+def _embedding():
+    return Embedding({"a": (0, 4), "b": (1,), "c": (2, 5, 6)})
+
+
+def _random_samples(qubit_order, num_reads, seed):
+    rng = np.random.default_rng(seed)
+    states = rng.integers(0, 2, size=(num_reads, len(qubit_order)))
+    dicts = [
+        {qubit: int(states[r, i]) for i, qubit in enumerate(qubit_order)}
+        for r in range(num_reads)
+    ]
+    return states, dicts
+
+
+class TestChainGather:
+    def test_matches_scalar_resolution_all_readouts(self):
+        embedding = _embedding()
+        qubit_order = [0, 1, 2, 4, 5, 6]
+        states, dicts = _random_samples(qubit_order, num_reads=32, seed=1)
+        for readout in ChainReadout:
+            batch_assignments, batch_broken = resolve_chains_batch(
+                states, qubit_order, embedding, readout
+            )
+            for row, (assignment, broken) in enumerate(zip(batch_assignments, batch_broken)):
+                expected_assignment, expected_broken = resolve_chains(
+                    dicts[row], embedding, readout
+                )
+                assert assignment == expected_assignment, (readout, row)
+                assert broken == expected_broken, (readout, row)
+
+    def test_majority_tie_resolves_to_one(self):
+        embedding = Embedding({"x": (0, 1)})
+        states = np.array([[1, 0]])
+        assignments, broken = resolve_chains_batch(states, [0, 1], embedding)
+        assert assignments[0] == {"x": 1}
+        assert broken == [True]
+
+    def test_discard_blanks_broken_reads(self):
+        embedding = Embedding({"x": (0, 1), "y": (2,)})
+        states = np.array([[1, 0, 1], [1, 1, 0]])
+        assignments, broken = resolve_chains_batch(
+            states, [0, 1, 2], embedding, ChainReadout.DISCARD
+        )
+        assert assignments[0] == {}
+        assert broken[0] is True
+        assert assignments[1] == {"x": 1, "y": 0}
+        assert broken[1] is False
+
+    def test_missing_qubit_rejected(self):
+        embedding = _embedding()
+        with pytest.raises(EmbeddingError):
+            ChainGather(embedding, [0, 1, 2])  # chains also use 4, 5, 6
+
+    def test_non_binary_values_rejected(self):
+        embedding = Embedding({"x": (0,)})
+        with pytest.raises(EmbeddingError):
+            resolve_chains_batch(np.array([[2]]), [0], embedding)
+
+    def test_non_2d_states_rejected(self):
+        embedding = Embedding({"x": (0,)})
+        gather = ChainGather(embedding, [0])
+        with pytest.raises(EmbeddingError):
+            gather.resolve(np.array([1, 0]))
+
+
+def _prepared_physical(num_queries=4, seed=1):
+    from repro.core.pipeline import QuantumMQO
+    from repro.mqo.generator import generate_paper_testcase
+
+    problem = generate_paper_testcase(num_queries, 2, seed=seed)
+    return QuantumMQO(seed=0).prepare(problem).physical
+
+
+class TestPhysicalMappingBatchReadout:
+    def test_unembed_samples_matches_scalar(self):
+        physical = _prepared_physical()
+        qubits = physical.physical_qubo.variables
+        _states, dicts = _random_samples(qubits, num_reads=16, seed=3)
+        batch = physical.unembed_samples(dicts)
+        for sample_dict, (assignment, broken) in zip(dicts, batch):
+            expected_assignment, expected_broken = physical.unembed_sample(sample_dict)
+            assert assignment == expected_assignment
+            assert broken == expected_broken
+
+    def test_empty_batch(self):
+        physical = _prepared_physical(num_queries=2, seed=0)
+        assert physical.unembed_samples([]) == []
+
+
+class TestPreparedMismatchGuard:
+    def test_solve_rejects_foreign_preparation(self):
+        from repro.core.pipeline import QuantumMQO
+        from repro.exceptions import InvalidProblemError
+        from repro.mqo.generator import generate_paper_testcase
+
+        pipeline = QuantumMQO(seed=0)
+        problem_a = generate_paper_testcase(3, 2, seed=1)
+        problem_b = generate_paper_testcase(4, 2, seed=2)
+        prepared_a = pipeline.prepare(problem_a)
+        with pytest.raises(InvalidProblemError):
+            pipeline.solve(problem_b, num_reads=5, prepared=prepared_a)

@@ -1,0 +1,64 @@
+"""Tier-1 enforcement of the docs CI gates.
+
+Runs the same two checks `.github/workflows/ci.yml` runs — docstring
+coverage on ``src/repro`` and the markdown link check — so a regression
+fails locally before it fails in CI, and asserts the documentation
+satellite deliverables stay linked from the README.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / script), *args],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestDocsGates:
+    def test_docstring_coverage_gate(self):
+        result = _run("check_docstrings.py", "--fail-under", "85", "src/repro")
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_docs_link_check(self):
+        result = _run("check_doc_links.py", "README.md", "docs")
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_link_checker_catches_broken_links(self, tmp_path):
+        bad = tmp_path / "bad.md"
+        bad.write_text("see [missing](does-not-exist.md)\n")
+        result = _run("check_doc_links.py", str(bad))
+        assert result.returncode == 1
+        assert "does-not-exist.md" in result.stdout
+
+    def test_docstring_checker_counts_missing(self, tmp_path):
+        module = tmp_path / "undocumented.py"
+        module.write_text("def public():\n    return 1\n")
+        result = _run("check_docstrings.py", "--fail-under", "100", str(module))
+        assert result.returncode == 1
+        assert "public" in result.stdout
+
+
+class TestDocsDeliverables:
+    def test_docs_exist(self):
+        assert (REPO_ROOT / "docs" / "architecture.md").is_file()
+        assert (REPO_ROOT / "docs" / "annealer.md").is_file()
+        assert (REPO_ROOT / "docs" / "service.md").is_file()
+
+    def test_docs_linked_from_readme(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "docs/architecture.md" in readme
+        assert "docs/annealer.md" in readme
+        assert "docs/service.md" in readme
+
+    def test_ci_runs_the_gates(self):
+        workflow = (REPO_ROOT / ".github" / "workflows" / "ci.yml").read_text()
+        assert "check_docstrings.py" in workflow
+        assert "check_doc_links.py" in workflow

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repository docs.
+
+Scans the given markdown files (or directories of them) for inline
+links/images ``[text](target)`` and verifies that every *relative*
+target exists on disk, resolved against the containing file. External
+schemes (http/https/mailto) and pure in-page anchors (``#...``) are
+skipped; ``path#anchor`` targets are checked for the path part.
+
+Usage::
+
+    python tools/check_doc_links.py README.md docs
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+#: Inline markdown links/images; deliberately simple — the docs here do
+#: not use reference-style links or angle-bracket destinations.
+_LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def check_file(path: Path) -> List[Tuple[int, str]]:
+    """Broken relative links in one markdown file as ``(line, target)``."""
+    broken: List[Tuple[int, str]] = []
+    for line_number, line in enumerate(path.read_text().splitlines(), start=1):
+        for match in _LINK_PATTERN.finditer(line):
+            target = match.group(1)
+            if target.startswith(_SKIP_PREFIXES) or target.startswith("#"):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            if not (path.parent / file_part).exists():
+                broken.append((line_number, target))
+    return broken
+
+
+def main(argv: List[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="+", help="markdown files or directories")
+    args = parser.parse_args(argv)
+
+    files: List[Path] = []
+    for raw in args.paths:
+        root = Path(raw)
+        files.extend(sorted(root.rglob("*.md")) if root.is_dir() else [root])
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for file in files:
+        for line_number, target in check_file(file):
+            print(f"{file}:{line_number}: broken link -> {target}")
+            failures += 1
+    checked = len(files)
+    if failures:
+        print(f"FAIL: {failures} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"OK: no broken relative links in {checked} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Docstring-coverage gate (a dependency-free `interrogate` equivalent).
+
+Walks the given source trees, counts docstring-carrying definitions —
+modules, public classes and public functions/methods — and fails when
+coverage drops below the threshold. Private names (leading underscore)
+and dunders other than ``__init__``-less are skipped; ``__init__``
+itself is exempt because the convention here documents parameters on the
+class docstring.
+
+Usage::
+
+    python tools/check_docstrings.py --fail-under 85 src/repro
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+
+def _is_public(name: str) -> bool:
+    """Whether ``name`` counts towards the coverage denominator."""
+    if name.startswith("__") and name.endswith("__"):
+        return False
+    return not name.startswith("_")
+
+
+def _definitions(tree: ast.Module, module_label: str) -> Iterator[Tuple[str, bool]]:
+    """Yield ``(qualified_name, has_docstring)`` for countable definitions."""
+    yield module_label, ast.get_docstring(tree) is not None
+
+    def walk(node: ast.AST, prefix: str) -> Iterator[Tuple[str, bool]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                if not _is_public(child.name):
+                    continue
+                qualified = f"{prefix}.{child.name}"
+                yield qualified, ast.get_docstring(child) is not None
+                if isinstance(child, ast.ClassDef):
+                    yield from walk(child, qualified)
+
+    yield from walk(tree, module_label)
+
+
+def collect(paths: List[str]) -> List[Tuple[str, bool]]:
+    """All countable definitions under ``paths`` (files or directories)."""
+    results: List[Tuple[str, bool]] = []
+    for raw in paths:
+        root = Path(raw)
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for file in files:
+            tree = ast.parse(file.read_text(), filename=str(file))
+            results.extend(_definitions(tree, str(file)))
+    return results
+
+
+def main(argv: List[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="+", help="source files or directories")
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=85.0,
+        help="minimum acceptable coverage percentage (default 85)",
+    )
+    parser.add_argument(
+        "--list-missing", action="store_true", help="print every undocumented definition"
+    )
+    args = parser.parse_args(argv)
+
+    definitions = collect(args.paths)
+    if not definitions:
+        print("no Python definitions found", file=sys.stderr)
+        return 2
+    documented = sum(1 for _, has in definitions if has)
+    coverage = 100.0 * documented / len(definitions)
+    missing = [name for name, has in definitions if not has]
+    print(
+        f"docstring coverage: {coverage:.1f}% "
+        f"({documented}/{len(definitions)} definitions documented)"
+    )
+    if args.list_missing or coverage < args.fail_under:
+        for name in missing:
+            print(f"  missing: {name}")
+    if coverage < args.fail_under:
+        print(f"FAIL: coverage {coverage:.1f}% is below --fail-under {args.fail_under}%")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
