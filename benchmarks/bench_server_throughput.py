@@ -1,0 +1,142 @@
+"""Solver-server throughput: closed-loop multi-client load generation.
+
+Boots a real :class:`SolverServer` (in-process, ephemeral port), then
+hammers it with ``REPRO_BENCH_SERVER_CLIENTS`` concurrent closed-loop
+clients — each on its own thread and TCP connection, submitting the
+next job the moment the previous result arrives — for
+``REPRO_BENCH_SERVER_SECONDS`` of wall clock.  Every job runs the CLIMB
+heuristic under a small fixed budget with a unique seed, so the
+workload is budget-bound, coalescing-free and measures the server
+stack: protocol, queue, worker pool, executor.
+
+Reported: client-observed p50/p99 latency, jobs/sec, and the server's
+own ``stats`` snapshot (per-endpoint latencies, queue wait).  Besides
+the text exhibit, everything is persisted as
+``benchmark_results/BENCH_server.json`` so CI can archive the perf
+trajectory as an artifact.
+"""
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.server.app import ServerConfig, run_server_in_thread
+from repro.server.client import SolverClient
+from repro.server.metrics import LatencyStats
+
+DURATION_S = float(os.environ.get("REPRO_BENCH_SERVER_SECONDS", "5"))
+NUM_CLIENTS = max(4, int(os.environ.get("REPRO_BENCH_SERVER_CLIENTS", "4")))
+SERVER_WORKERS = int(os.environ.get("REPRO_BENCH_SERVER_WORKERS", "4"))
+BUDGET_MS = 40.0
+SOLVER = "CLIMB"
+
+
+def _client_loop(port, client_index, deadline, latencies_ms, failures):
+    """One closed-loop client: solve, record latency, repeat."""
+    with SolverClient(
+        port=port, client_name=f"bench-{client_index}", timeout_s=60.0
+    ) as client:
+        iteration = 0
+        while time.perf_counter() < deadline:
+            seed = client_index * 1_000_000 + iteration
+            spec = {"queries": 5, "plans": 2, "generator_seed": seed % 64}
+            start = time.perf_counter()
+            result = client.solve(
+                spec, solver=SOLVER, budget_ms=BUDGET_MS, seed=seed
+            )
+            latencies_ms.append((time.perf_counter() - start) * 1000.0)
+            if not result.ok:
+                failures.append(result.error)
+            iteration += 1
+
+
+def bench_server_throughput(benchmark, save_exhibit):
+    handle = run_server_in_thread(
+        ServerConfig(port=0, workers=SERVER_WORKERS, queue_capacity=256)
+    )
+    per_client_latencies = [[] for _ in range(NUM_CLIENTS)]
+    failures = []
+
+    def run_load():
+        deadline = time.perf_counter() + DURATION_S
+        threads = [
+            threading.Thread(
+                target=_client_loop,
+                args=(handle.port, index, deadline, per_client_latencies[index], failures),
+                name=f"bench-client-{index}",
+            )
+            for index in range(NUM_CLIENTS)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return time.perf_counter() - start
+
+    try:
+        elapsed_s = benchmark.pedantic(run_load, rounds=1, iterations=1)
+        with SolverClient(port=handle.port) as observer:
+            server_stats = observer.stats()
+    finally:
+        handle.stop()
+
+    latencies = [sample for bucket in per_client_latencies for sample in bucket]
+    assert NUM_CLIENTS >= 4, "the load test must run at least 4 concurrent clients"
+    assert not failures, f"server returned failures: {failures[:3]}"
+    assert latencies, "no jobs completed during the load window"
+    assert all(bucket for bucket in per_client_latencies), (
+        "every client must complete jobs — per-client fairness is broken otherwise"
+    )
+    jobs_per_s = len(latencies) / elapsed_s
+    # Same nearest-rank estimator the server's stats endpoint uses, so
+    # client-side and server-side percentiles stay comparable.
+    latency_stats = LatencyStats(window=len(latencies))
+    for sample in latencies:
+        latency_stats.observe(sample)
+
+    record = {
+        "clients": NUM_CLIENTS,
+        "server_workers": SERVER_WORKERS,
+        "duration_s": round(elapsed_s, 3),
+        "budget_ms_per_job": BUDGET_MS,
+        "solver": SOLVER,
+        "jobs_completed": len(latencies),
+        "jobs_per_second": round(jobs_per_s, 3),
+        "latency_p50_ms": round(latency_stats.percentile(0.50), 3),
+        "latency_p99_ms": round(latency_stats.percentile(0.99), 3),
+        "latency_max_ms": round(latency_stats.max_ms, 3),
+        "min_jobs_per_client": min(len(bucket) for bucket in per_client_latencies),
+        "server_stats": server_stats,
+    }
+    results_dir = Path(__file__).resolve().parent.parent / "benchmark_results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "BENCH_server.json").write_text(json.dumps(record, indent=2))
+
+    lines = [
+        f"Server throughput: {NUM_CLIENTS} closed-loop clients, "
+        f"{SERVER_WORKERS} workers, {DURATION_S:.0f}s window",
+        "",
+    ]
+    for key in (
+        "jobs_completed",
+        "jobs_per_second",
+        "latency_p50_ms",
+        "latency_p99_ms",
+        "latency_max_ms",
+        "min_jobs_per_client",
+    ):
+        lines.append(f"  {key:>20}: {record[key]}")
+    lines.append(
+        f"  {'server queue_wait':>20}: p50={server_stats['queue_wait']['p50_ms']} ms, "
+        f"p99={server_stats['queue_wait']['p99_ms']} ms"
+    )
+    save_exhibit("server_throughput", "\n".join(lines))
+
+    # Sanity floor, not a race: the stack must sustain real concurrent
+    # traffic (p99 should stay within a few job budgets of p50).
+    assert jobs_per_s > NUM_CLIENTS / 2.0, f"server too slow: {record}"
+    assert record["latency_p99_ms"] >= record["latency_p50_ms"]
+    assert server_stats["counters"]["jobs_completed"] >= len(latencies)

@@ -1,0 +1,82 @@
+"""Solver-server demo: boot a server, stream a job, coalesce, drain.
+
+Runs entirely in one process (the server lives on a background thread)
+but over a real TCP socket, exactly like the `repro-mqo serve` /
+`repro-mqo submit` pair. Shows the four signature behaviours:
+
+1. a streaming solve — anytime updates arrive while the job runs,
+2. pipelined submits collected with wait(),
+3. duplicate in-flight requests coalescing onto one execution,
+4. the stats endpoint and a graceful drain.
+
+Run with: PYTHONPATH=src python examples/server_demo.py
+"""
+
+from repro.server import ServerConfig, SolverClient, run_server_in_thread
+
+
+def main() -> None:
+    """Walk the server's feature set end to end."""
+    handle = run_server_in_thread(ServerConfig(port=0, workers=2, queue_capacity=64))
+    print(f"server listening on {handle.host}:{handle.port}")
+
+    with SolverClient(port=handle.port, client_name="demo") as client:
+        hello = client.hello()
+        print(f"connected to {hello['server']} v{hello['version']}, "
+              f"solvers: {', '.join(hello['solvers'])}")
+
+        # 1. Streaming solve: watch the incumbent improve live.
+        print("\n[1] streaming solve (CLIMB, 150 ms budget)")
+        result = client.solve(
+            {"queries": 10, "plans": 2, "seed": 7},
+            solver="CLIMB",
+            budget_ms=150.0,
+            on_update=lambda update: print(
+                f"    update #{update['seq']}: cost {update['cost']:.1f} "
+                f"at {update['elapsed_ms']:.1f} ms"
+            ),
+        )
+        print(f"    final: cost {result.best_cost:.1f} by {result.winner}")
+
+        # 2. Pipelined submits: enqueue a small workload, collect results.
+        print("\n[2] pipelined submit/wait of 4 jobs")
+        job_ids = [
+            client.submit(
+                {"queries": 6, "plans": 2, "seed": seed},
+                solver="CLIMB",
+                budget_ms=60.0,
+                seed=seed,
+            )
+            for seed in range(4)
+        ]
+        for job_id in job_ids:
+            outcome = client.wait(job_id)
+            print(f"    {job_id}: cost {outcome.best_cost:.1f}")
+
+        # 3. Coalescing: identical in-flight jobs run once.
+        print("\n[3] duplicate in-flight requests")
+        twin_spec = {"queries": 8, "plans": 2, "seed": 42}
+        first = client.submit(twin_spec, solver="CLIMB", budget_ms=200.0, seed=1)
+        second = client.submit(twin_spec, solver="CLIMB", budget_ms=200.0, seed=1)
+        result_a, result_b = client.wait(first), client.wait(second)
+        print(f"    {first}: from_cache={result_a.from_cache}, "
+              f"{second}: from_cache={result_b.from_cache} (coalesced echo)")
+
+        # 4. Metrics, then a graceful drain.
+        stats = client.stats()
+        counters = stats["counters"]
+        print("\n[4] stats")
+        print(f"    jobs: {counters['jobs_completed']} completed, "
+              f"{counters['jobs_coalesced']} coalesced, "
+              f"{counters['updates_streamed']} updates streamed")
+        print(f"    solve endpoint p50: {stats['endpoints']['solve']['p50_ms']} ms, "
+              f"throughput: {stats['jobs_per_second']} jobs/s")
+        client.shutdown(drain=True)
+        print("    drain requested")
+
+    handle.thread.join(timeout=10.0)
+    print("server exited cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,6 +29,7 @@ Quick start::
 """
 
 from repro.exceptions import (
+    AdmissionError,
     DeviceCapacityError,
     DeviceError,
     DuplicateSolverError,
@@ -36,8 +37,10 @@ from repro.exceptions import (
     EmbeddingNotFoundError,
     InvalidProblemError,
     InvalidSolutionError,
+    ProtocolError,
     QUBOError,
     ReproError,
+    ServerError,
     ServiceError,
     SolverError,
     TopologyError,
@@ -108,9 +111,23 @@ from repro.service import (
     default_registry,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from repro.server import (  # noqa: E402 — needs __version__ for the hello frame
+    ServerConfig,
+    ServerHandle,
+    SolverClient,
+    SolverServer,
+    run_server_in_thread,
+)
 
 __all__ = [
+    # server
+    "SolverServer",
+    "ServerConfig",
+    "ServerHandle",
+    "SolverClient",
+    "run_server_in_thread",
     # service
     "ServiceFrontend",
     "SolverRegistry",
@@ -137,6 +154,9 @@ __all__ = [
     "ServiceError",
     "UnknownSolverError",
     "DuplicateSolverError",
+    "ServerError",
+    "ProtocolError",
+    "AdmissionError",
     # mqo
     "Plan",
     "Query",

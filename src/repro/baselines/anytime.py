@@ -11,15 +11,60 @@ which the cost at arbitrary checkpoints can be read.
 from __future__ import annotations
 
 import abc
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import SolverError
 from repro.mqo.problem import MQOProblem, MQOSolution
 from repro.utils.rng import SeedLike
 from repro.utils.stopwatch import Stopwatch
 
-__all__ = ["SolverTrajectory", "AnytimeSolver", "TrajectoryRecorder"]
+__all__ = [
+    "SolverTrajectory",
+    "AnytimeSolver",
+    "TrajectoryRecorder",
+    "ImprovementObserver",
+    "observe_improvements",
+    "current_improvement_observers",
+]
+
+#: Callback invoked on every incumbent improvement a solver records:
+#: ``observer(solver_name, elapsed_ms, cost)``.
+ImprovementObserver = Callable[[str, float, float], None]
+
+_OBSERVERS = threading.local()
+
+
+def current_improvement_observers() -> Tuple[ImprovementObserver, ...]:
+    """Observers installed for the *current thread* (empty when none).
+
+    The solver server uses this to stream anytime updates: it installs an
+    observer around a solve call, and the portfolio scheduler re-installs
+    the caller's observers inside its member threads so improvements made
+    on racing threads are forwarded too.
+    """
+    return getattr(_OBSERVERS, "installed", ())
+
+
+@contextmanager
+def observe_improvements(*observers: ImprovementObserver) -> Iterator[None]:
+    """Register ``observers`` for improvements recorded on this thread.
+
+    Every :meth:`TrajectoryRecorder.record` call that improves the
+    incumbent notifies the observers installed on the recording thread
+    with ``(solver_name, elapsed_ms, cost)``.  Contexts nest: inner
+    registrations are appended to (not replacing) the outer ones, and the
+    previous set is restored on exit.  Observer exceptions are swallowed
+    so a misbehaving listener cannot fail a solver.
+    """
+    previous = getattr(_OBSERVERS, "installed", ())
+    _OBSERVERS.installed = previous + tuple(observers)
+    try:
+        yield
+    finally:
+        _OBSERVERS.installed = previous
 
 
 @dataclass
@@ -154,9 +199,13 @@ class TrajectoryRecorder:
             return False
         self._best_cost = solution.cost
         self._best_solution = solution
-        self._points.append(
-            (self.elapsed_ms() if elapsed_ms is None else elapsed_ms, solution.cost)
-        )
+        point_time = self.elapsed_ms() if elapsed_ms is None else elapsed_ms
+        self._points.append((point_time, solution.cost))
+        for observer in current_improvement_observers():
+            try:
+                observer(self.solver_name, point_time, solution.cost)
+            except Exception:  # noqa: BLE001 — a bad listener must not fail the solver
+                pass
         return True
 
     def finish(self, proved_optimal: bool = False) -> SolverTrajectory:

@@ -1,12 +1,15 @@
 """Command-line interface: ``repro-mqo``.
 
-Four subcommands cover the common workflows:
+Six subcommands cover the common workflows:
 
 * ``solve``    — generate (or load) an instance and solve it on the
   simulated annealer plus selected classical baselines (``--json`` for
   machine-readable output),
 * ``batch``    — stream a JSONL workload of instance specs through the
   solver service (portfolio racing, worker processes, result cache),
+* ``serve``    — run the async solver server (see ``docs/server.md``),
+* ``submit``   — send a JSONL workload to a running server and stream
+  the results back as JSONL,
 * ``capacity`` — print the Figure 7 capacity frontier for a qubit budget,
 * ``info``     — print the device model and profile configuration.
 """
@@ -14,27 +17,34 @@ Four subcommands cover the common workflows:
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
+from collections import OrderedDict, deque
 from pathlib import Path
-from typing import List, Sequence
+from typing import Iterator, Optional, Sequence, Tuple
 
 from repro.baselines.genetic import GeneticAlgorithmSolver
 from repro.baselines.hillclimb import IteratedHillClimbing
 from repro.baselines.ilp_mqo import IntegerProgrammingMQOSolver
 from repro.chimera.hardware import DWAVE_2X
 from repro.core.pipeline import QuantumMQO
-from repro.exceptions import ReproError
+from repro.exceptions import AdmissionError, ReproError
 from repro.experiments.figures import figure7_table
 from repro.experiments.profiles import get_profile
 from repro.mqo.generator import generate_paper_testcase
 from repro.mqo.serialization import load_problem
-from repro.service.batch import BatchExecutor
+from repro.server.app import ServerConfig, SolverServer
+from repro.server.client import SolverClient
+from repro.service.batch import BatchExecutor, derive_job_seed
 from repro.service.cache import ResultCache
+from repro.service.frontend import ServiceFrontend
 from repro.service.jobs import (
     PORTFOLIO_SOLVER,
     SolveRequest,
     SolveResult,
+    dedupe_key,
+    echo_result_for_duplicate,
     request_from_spec,
 )
 from repro.utils.stopwatch import Stopwatch
@@ -115,6 +125,110 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON result cache; warm entries are served without re-solving",
     )
     batch.add_argument(
+        "--output", type=str, default=None, help="write result JSONL here instead of stdout"
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the async solver server",
+        description=(
+            "Start a long-running solver server speaking the newline-"
+            "delimited JSON protocol (docs/server.md). Stop it with "
+            "SIGINT/SIGTERM (graceful drain) or a client 'shutdown' op."
+        ),
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=7337, help="bind port (0 = OS-assigned)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="concurrent solver jobs"
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=128, help="admission-control queue bound"
+    )
+    serve.add_argument(
+        "--max-jobs-per-client",
+        type=int,
+        default=None,
+        help="per-client queued-job quota (default: unbounded)",
+    )
+    serve.add_argument(
+        "--budget-cap-ms",
+        type=float,
+        default=None,
+        help="reject jobs requesting more than this time budget",
+    )
+    serve.add_argument(
+        "--solvers",
+        type=str,
+        nargs="+",
+        default=None,
+        help="restrict the portfolio line-up to these registered solvers",
+    )
+    serve.add_argument(
+        "--cache-file",
+        type=str,
+        default=None,
+        help="persistent JSON result cache shared by all clients",
+    )
+    serve.add_argument(
+        "--cache-ttl-s",
+        type=float,
+        default=None,
+        help="expire cached results older than this many seconds",
+    )
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="send a JSONL workload to a running server",
+        description=(
+            "Read one instance spec per line (same shapes as 'batch'), "
+            "submit everything to a running repro-mqo server, and stream "
+            "one JSON result per line as jobs finish."
+        ),
+    )
+    submit.add_argument(
+        "input", type=str, help="JSONL workload file, or '-' to read stdin"
+    )
+    submit.add_argument("--host", type=str, default="127.0.0.1", help="server address")
+    submit.add_argument("--port", type=int, default=7337, help="server port")
+    submit.add_argument(
+        "--solver",
+        type=str,
+        default=None,
+        help="solver applied to specs that do not name one",
+    )
+    submit.add_argument(
+        "--budget-ms",
+        type=float,
+        default=None,
+        help="time budget applied to specs that do not carry one",
+    )
+    submit.add_argument(
+        "--seed", type=int, default=0, help="base seed for deterministic per-job seeds"
+    )
+    submit.add_argument(
+        "--priority",
+        choices=["high", "normal", "low"],
+        default=None,
+        help="queue priority of the submitted jobs",
+    )
+    submit.add_argument(
+        "--client",
+        type=str,
+        default="",
+        help="client name used for per-client queue fairness",
+    )
+    submit.add_argument(
+        "--stream",
+        action="store_true",
+        help="solve jobs one at a time and print anytime updates as JSONL too",
+    )
+    submit.add_argument(
+        "--timeout-s", type=float, default=120.0, help="socket timeout per reply"
+    )
+    submit.add_argument(
         "--output", type=str, default=None, help="write result JSONL here instead of stdout"
     )
 
@@ -217,31 +331,55 @@ def _run_solve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _read_workload(source: str) -> List[dict]:
-    """Parse the JSONL workload from a file path or stdin (``-``)."""
+#: Jobs dispatched per batch-executor round when streaming a workload.
+#: Bounds the number of parsed problems resident in memory at once; job
+#: ids and seeds are identical to the old whole-file behaviour.
+_BATCH_CHUNK_SIZE = 64
+
+#: Completed results remembered for cross-chunk duplicate echoing (the
+#: executor's in-batch dedupe only sees one chunk at a time).
+_BATCH_DEDUPE_MEMORY = 1024
+
+
+def _iter_workload(source: str) -> Iterator[dict]:
+    """Lazily parse a JSONL workload from a file path or stdin (``-``).
+
+    Lines are read and parsed one at a time, so arbitrarily large
+    workload files never spike the resident set; a malformed line only
+    raises when the stream reaches it.
+    """
     if source == "-":
-        text = sys.stdin.read()
+        handle = sys.stdin
+        owns_handle = False
     else:
         try:
-            text = Path(source).read_text()
+            handle = open(source, "r", encoding="utf-8")
         except OSError as exc:
             raise ReproError(f"cannot read workload file {source}: {exc}") from exc
-    specs = []
-    for line_number, line in enumerate(text.splitlines(), start=1):
-        line = line.strip()
-        if not line or line.startswith("#"):
-            continue
-        try:
-            specs.append(json.loads(line))
-        except json.JSONDecodeError as exc:
-            raise ReproError(f"workload line {line_number} is not valid JSON: {exc}") from exc
-    return specs
+        owns_handle = True
+    try:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReproError(
+                    f"workload line {line_number} is not valid JSON: {exc}"
+                ) from exc
+    finally:
+        if owns_handle:
+            handle.close()
 
 
-def _run_batch(args: argparse.Namespace) -> int:
-    specs = _read_workload(args.input)
-    requests = []
-    for index, spec in enumerate(specs):
+def _iter_requests(args: argparse.Namespace) -> Iterator[SolveRequest]:
+    """Build per-job requests lazily from the workload stream.
+
+    Job ids and seeds derive from the *global* position, so chunked
+    execution replays exactly like the old load-everything behaviour.
+    """
+    for index, spec in enumerate(_iter_workload(args.input)):
         request = request_from_spec(
             spec,
             default_solver=args.solver,
@@ -250,29 +388,293 @@ def _run_batch(args: argparse.Namespace) -> int:
         )
         if request.solvers is None and args.solvers is not None:
             request.solvers = tuple(args.solvers)
-        requests.append(request)
-    if not requests:
-        print("workload is empty; nothing to solve", file=sys.stderr)
-        return 1
+        if request.seed is None:
+            request.seed = derive_job_seed(args.seed, index)
+        yield request
 
+
+def _run_batch(args: argparse.Namespace) -> int:
     cache = ResultCache(path=args.cache_file) if args.cache_file else None
-    executor = BatchExecutor(workers=args.workers, cache=cache)
-    sink = open(args.output, "w") if args.output else sys.stdout
+    # One cache save at the end and one process pool for the whole
+    # workload, however many chunks it spans.
+    executor = BatchExecutor(
+        workers=args.workers, cache=cache, autosave=False, keep_pool=True
+    )
+    sink = None  # opened on the first result, so a bad/empty input
+    # never truncates an existing --output file
 
     stopwatch = Stopwatch().start()
-    hits = failures = 0
+    total = hits = failures = 0
+    requests = _iter_requests(args)
+    # Duplicates across chunk boundaries are echoed from here, preserving
+    # the whole-file dedupe semantics (keyed like the executor's in-batch
+    # dedupe: cache key plus the exact problem token) with bounded memory.
+    seen: "OrderedDict[str, SolveResult]" = OrderedDict()
+
+    def emit(result: SolveResult) -> None:
+        nonlocal total, hits, failures, sink
+        if sink is None:
+            sink = open(args.output, "w") if args.output else sys.stdout
+        total += 1
+        hits += int(result.from_cache)
+        failures += int(not result.ok)
+        sink.write(json.dumps(result.to_dict()) + "\n")
+        sink.flush()
+
     try:
-        for _, result in executor.run_iter(requests, base_seed=args.seed):
-            hits += int(result.from_cache)
-            failures += int(not result.ok)
-            sink.write(json.dumps(result.to_dict()) + "\n")
-            sink.flush()
+        while True:
+            chunk = []
+            keys = []
+            while len(chunk) < _BATCH_CHUNK_SIZE:
+                request = next(requests, None)
+                if request is None:
+                    break
+                key = dedupe_key(request)
+                prior = seen.get(key)
+                if prior is not None:
+                    emit(echo_result_for_duplicate(prior, request))
+                    continue
+                chunk.append(request)
+                keys.append(key)
+            if not chunk:
+                break
+            for index, result in executor.run_iter(chunk, base_seed=args.seed):
+                if keys[index] not in seen:
+                    seen[keys[index]] = result
+                    while len(seen) > _BATCH_DEDUPE_MEMORY:
+                        seen.popitem(last=False)
+                emit(result)
     finally:
-        if sink is not sys.stdout:
+        executor.close()
+        if cache is not None and cache.path is not None:
+            cache.save()
+        if sink is not None and sink is not sys.stdout:
             sink.close()
+    if total == 0:
+        print("workload is empty; nothing to solve", file=sys.stderr)
+        return 1
     print(
-        f"solved {len(requests)} jobs in {stopwatch.elapsed_ms() / 1000.0:.2f}s "
+        f"solved {total} jobs in {stopwatch.elapsed_ms() / 1000.0:.2f}s "
         f"({hits} cache hits, {failures} failures, workers={args.workers})",
+        file=sys.stderr,
+    )
+    return 1 if failures else 0
+
+
+#: How often a serving process checkpoints its --cache-file to disk.
+_SERVE_CACHE_SAVE_INTERVAL_S = 30.0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """Run the solver server until SIGINT/SIGTERM or a client shutdown."""
+    cache = (
+        ResultCache(path=args.cache_file, ttl_seconds=args.cache_ttl_s)
+        if args.cache_file
+        else None
+    )
+    frontend = ServiceFrontend(cache=cache, portfolio_solvers=args.solvers)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        max_jobs_per_client=args.max_jobs_per_client,
+        max_budget_ms=args.budget_cap_ms,
+    )
+    server = SolverServer(config=config, frontend=frontend)
+
+    def save_cache() -> None:
+        """Checkpoint the shared result cache (atomic; errors reported)."""
+        if cache is None or cache.path is None:
+            return
+        try:
+            cache.save()
+        except (ReproError, OSError) as exc:
+            print(f"repro-mqo serve: cache save failed: {exc}", file=sys.stderr)
+
+    async def periodic_cache_save() -> None:
+        """Checkpoint the cache while serving, so a crash loses little.
+
+        The JSON dump + disk write runs on the executor — checkpointing
+        must not stall the event loop that serves every connection.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(_SERVE_CACHE_SAVE_INTERVAL_S)
+            await loop.run_in_executor(None, save_cache)
+
+    async def main() -> None:
+        """Serve until stopped, draining gracefully on signals."""
+        await server.start()
+        loop = asyncio.get_running_loop()
+        try:
+            import signal
+
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(
+                    signum, lambda: loop.create_task(server.stop())
+                )
+        except (ImportError, NotImplementedError, RuntimeError):
+            pass  # platforms without signal handler support still serve
+        saver = (
+            loop.create_task(periodic_cache_save())
+            if cache is not None and cache.path is not None
+            else None
+        )
+        print(
+            f"repro-mqo serve: listening on {server.host}:{server.port} "
+            f"(workers={config.workers}, queue={config.queue_capacity})",
+            file=sys.stderr,
+            flush=True,
+        )
+        try:
+            await server.wait_stopped()
+        finally:
+            if saver is not None:
+                saver.cancel()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass  # signal handler unavailable; exiting without drain
+    finally:
+        # Persist on every exit path, including a bare KeyboardInterrupt.
+        save_cache()
+    print("repro-mqo serve: stopped", file=sys.stderr)
+    return 0
+
+
+#: Outstanding pipelined jobs per ``repro-mqo submit`` connection.  Kept
+#: well below the server's default queue capacity so a long workload
+#: self-throttles instead of tripping admission control.
+_SUBMIT_WINDOW = 32
+
+
+def _submit_spec_and_seed(
+    spec: object, base_seed: int, index: int
+) -> Tuple[object, Optional[int]]:
+    """Derive the per-job solve seed without disturbing problem generation.
+
+    ``request_from_spec`` falls back to a spec's ``seed`` as the
+    *generator* seed for generator specs, so injecting the derived solve
+    seed naively would change which problem is built.  Matching the
+    ``batch`` command's semantics, a generator spec without an explicit
+    ``generator_seed`` keeps generating as if no seed were given, and the
+    derived seed applies to solving only.
+    """
+    if not isinstance(spec, dict) or "seed" in spec:
+        return spec, None
+    if "queries" in spec and "problem" not in spec and "generator_seed" not in spec:
+        spec = dict(spec, generator_seed=None)
+    return spec, derive_job_seed(base_seed, index)
+
+
+def _submit_budget(spec: object, default_budget_ms: Optional[float]) -> Optional[float]:
+    """--budget-ms is a *default*, like batch: a spec's own budget wins."""
+    if isinstance(spec, dict) and ("budget_ms" in spec or "time_budget_ms" in spec):
+        return None
+    return default_budget_ms
+
+
+def _submit_job_id(spec: object, index: int) -> Optional[str]:
+    """Stable per-line result ids (``job-N``), matching ``batch`` output."""
+    if isinstance(spec, dict) and spec.get("job_id"):
+        return None
+    return f"job-{index}"
+
+
+def _submit_solver(spec: object, default_solver: Optional[str]) -> Optional[str]:
+    """--solver is a *default*, like batch: a spec's own solver wins."""
+    if isinstance(spec, dict) and spec.get("solver"):
+        return None
+    return default_solver
+
+
+def _run_submit(args: argparse.Namespace) -> int:
+    """Submit a workload to a running server and stream results back."""
+    sink = None  # opened on the first frame; see _run_batch
+    stopwatch = Stopwatch().start()
+    total = failures = 0
+
+    def emit(document: dict) -> None:
+        nonlocal sink
+        if sink is None:
+            sink = open(args.output, "w") if args.output else sys.stdout
+        sink.write(json.dumps(document) + "\n")
+        sink.flush()
+
+    def collect(client: SolverClient, job_id: str) -> None:
+        nonlocal total, failures
+        result = client.wait(job_id)
+        total += 1
+        failures += int(not result.ok)
+        emit(result.to_dict())
+
+    try:
+        with SolverClient(
+            host=args.host,
+            port=args.port,
+            client_name=args.client,
+            timeout_s=args.timeout_s,
+        ) as client:
+            if args.stream:
+                # One job at a time so anytime updates interleave cleanly.
+                for index, spec in enumerate(_iter_workload(args.input)):
+                    spec, seed = _submit_spec_and_seed(spec, args.seed, index)
+                    result = client.solve(
+                        spec,
+                        solver=_submit_solver(spec, args.solver),
+                        budget_ms=_submit_budget(spec, args.budget_ms),
+                        seed=seed,
+                        job_id=_submit_job_id(spec, index),
+                        priority=args.priority,
+                        on_update=emit,
+                    )
+                    total += 1
+                    failures += int(not result.ok)
+                    emit(result.to_dict())
+            else:
+                # Pipelined with a bounded window: collect the oldest
+                # result whenever the window fills (or the server pushes
+                # back), so arbitrarily long workloads neither overrun
+                # admission control nor hold every job id in flight.
+                pending: "deque[str]" = deque()
+                for index, spec in enumerate(_iter_workload(args.input)):
+                    spec, seed = _submit_spec_and_seed(spec, args.seed, index)
+                    while True:
+                        try:
+                            pending.append(
+                                client.submit(
+                                    spec,
+                                    solver=_submit_solver(spec, args.solver),
+                                    budget_ms=_submit_budget(spec, args.budget_ms),
+                                    seed=seed,
+                                    job_id=_submit_job_id(spec, index),
+                                    priority=args.priority,
+                                )
+                            )
+                            break
+                        except AdmissionError as exc:
+                            # Only transient backpressure is retryable;
+                            # 'budget'/'draining' rejections repeat forever.
+                            if exc.code not in ("queue_full", "client_quota"):
+                                raise
+                            if not pending:
+                                raise  # rejected with nothing to drain
+                            collect(client, pending.popleft())
+                    if len(pending) >= _SUBMIT_WINDOW:
+                        collect(client, pending.popleft())
+                while pending:
+                    collect(client, pending.popleft())
+    finally:
+        if sink is not None and sink is not sys.stdout:
+            sink.close()
+    if total == 0:
+        print("workload is empty; nothing to submit", file=sys.stderr)
+        return 1
+    print(
+        f"submitted {total} jobs to {args.host}:{args.port} in "
+        f"{stopwatch.elapsed_ms() / 1000.0:.2f}s ({failures} failures)",
         file=sys.stderr,
     )
     return 1 if failures else 0
@@ -311,6 +713,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_solve(args)
         if args.command == "batch":
             return _run_batch(args)
+        if args.command == "serve":
+            return _run_serve(args)
+        if args.command == "submit":
+            return _run_submit(args)
         if args.command == "capacity":
             return _run_capacity(args)
         if args.command == "info":

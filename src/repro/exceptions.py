@@ -23,6 +23,9 @@ __all__ = [
     "ServiceError",
     "UnknownSolverError",
     "DuplicateSolverError",
+    "ServerError",
+    "ProtocolError",
+    "AdmissionError",
 ]
 
 
@@ -93,3 +96,29 @@ class UnknownSolverError(ServiceError, KeyError):
 
 class DuplicateSolverError(ServiceError):
     """A solver name was registered twice without ``replace=True``."""
+
+
+class ServerError(ServiceError):
+    """The solver server (or its client) failed to process a request."""
+
+
+class ProtocolError(ServerError, ValueError):
+    """A wire frame violates the solver-server protocol.
+
+    Raised for unparsable JSON, frames that are not objects, oversized
+    frames, unknown operations and missing/ill-typed required fields.
+    """
+
+
+class AdmissionError(ServerError):
+    """The server refused to enqueue a job (admission control).
+
+    The ``code`` attribute distinguishes the reason: ``"queue_full"``
+    (global backpressure), ``"client_quota"`` (per-client fairness cap),
+    ``"draining"`` (graceful shutdown in progress) or ``"budget"`` (the
+    requested time budget exceeds the server's cap).
+    """
+
+    def __init__(self, message: str, code: str = "queue_full") -> None:
+        super().__init__(message)
+        self.code = code

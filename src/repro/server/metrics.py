@@ -1,0 +1,193 @@
+"""Server metrics: per-endpoint latency/throughput plus job counters.
+
+The server records every request it dispatches (per ``op``: count,
+errors, handler latency) and every job lifecycle event (submitted,
+completed, failed, coalesced, rejected, streamed updates).  Latency
+percentiles come from a fixed-size reservoir of the most recent samples,
+so the memory footprint is constant no matter how long the server runs.
+
+:meth:`ServerMetrics.snapshot` renders everything into one
+JSON-friendly dictionary; the ``stats`` protocol request returns it
+verbatim, and the throughput benchmark persists it into
+``BENCH_server.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["LatencyStats", "EndpointStats", "ServerMetrics"]
+
+#: Job/stream counters tracked by :class:`ServerMetrics`.
+_JOB_COUNTERS = (
+    "jobs_submitted",
+    "jobs_completed",
+    "jobs_failed",
+    "jobs_coalesced",
+    "jobs_rejected",
+    "updates_streamed",
+    "connections_opened",
+    "connections_closed",
+)
+
+
+class LatencyStats:
+    """Constant-memory latency aggregate: count, sum and a sample window.
+
+    Percentiles are computed over the most recent ``window`` samples (a
+    ring buffer); the count and mean cover the full lifetime.
+    """
+
+    def __init__(self, window: int = 2048) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self._window = window
+        self._samples: List[float] = []
+        self._cursor = 0
+        self.count = 0
+        self.total_ms = 0.0
+        self.max_ms = 0.0
+
+    def observe(self, latency_ms: float) -> None:
+        """Record one latency sample (milliseconds)."""
+        value = float(latency_ms)
+        self.count += 1
+        self.total_ms += value
+        if value > self.max_ms:
+            self.max_ms = value
+        if len(self._samples) < self._window:
+            self._samples.append(value)
+        else:
+            self._samples[self._cursor] = value
+            self._cursor = (self._cursor + 1) % self._window
+
+    def percentile(self, fraction: float) -> float:
+        """Latency at ``fraction`` (0..1) over the sample window (0 when empty)."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+        return ordered[index]
+
+    @property
+    def mean_ms(self) -> float:
+        """Lifetime mean latency (0 when no samples)."""
+        return self.total_ms / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """JSON-friendly summary: count, mean, p50, p99, max."""
+        return {
+            "count": self.count,
+            "mean_ms": round(self.mean_ms, 3),
+            "p50_ms": round(self.percentile(0.50), 3),
+            "p99_ms": round(self.percentile(0.99), 3),
+            "max_ms": round(self.max_ms, 3),
+        }
+
+
+class EndpointStats:
+    """Request count, error count and handler latency of one endpoint."""
+
+    def __init__(self, window: int = 2048) -> None:
+        self.requests = 0
+        self.errors = 0
+        self.latency = LatencyStats(window=window)
+
+    def observe(self, latency_ms: float, error: bool) -> None:
+        """Record one handled request."""
+        self.requests += 1
+        if error:
+            self.errors += 1
+        self.latency.observe(latency_ms)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-friendly summary of this endpoint."""
+        payload: Dict[str, Any] = {"requests": self.requests, "errors": self.errors}
+        payload.update(self.latency.snapshot())
+        return payload
+
+
+class ServerMetrics:
+    """Thread-safe aggregate of everything the ``stats`` request reports.
+
+    Handler paths run on the event loop, but job completions are recorded
+    from worker coroutines and the benchmark reads snapshots from other
+    threads, so a plain lock guards all state.
+    """
+
+    def __init__(self, window: int = 2048) -> None:
+        self._lock = threading.Lock()
+        self._window = window
+        self._endpoints: Dict[str, EndpointStats] = {}
+        self._counters: Dict[str, int] = {name: 0 for name in _JOB_COUNTERS}
+        self.queue_wait = LatencyStats(window=window)
+        self.job_run = LatencyStats(window=window)
+        self.started_at = time.monotonic()
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def observe_request(self, op: str, latency_ms: float, error: bool = False) -> None:
+        """Record one protocol request handled for endpoint ``op``."""
+        with self._lock:
+            endpoint = self._endpoints.get(op)
+            if endpoint is None:
+                endpoint = self._endpoints[op] = EndpointStats(window=self._window)
+            endpoint.observe(latency_ms, error)
+
+    def observe_job(self, queue_wait_ms: float, run_ms: float, failed: bool) -> None:
+        """Record one completed job (queue wait + execution time)."""
+        with self._lock:
+            self.queue_wait.observe(queue_wait_ms)
+            self.job_run.observe(run_ms)
+            self._counters["jobs_completed"] += 1
+            if failed:
+                self._counters["jobs_failed"] += 1
+
+    def increment(self, counter: str, amount: int = 1) -> None:
+        """Bump one of the job/stream counters by ``amount``."""
+        with self._lock:
+            self._counters[counter] = self._counters.get(counter, 0) + amount
+
+    def counter(self, name: str) -> int:
+        """Current value of one counter (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def snapshot(
+        self,
+        queue_depth: Optional[int] = None,
+        inflight: Optional[int] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Render all metrics into one JSON-friendly dictionary.
+
+        ``queue_depth``/``inflight`` are point-in-time gauges supplied by
+        the caller (the queue and worker pool own that state); ``extra``
+        is merged in verbatim (e.g. the result-cache hit rate).
+        """
+        with self._lock:
+            uptime_s = max(time.monotonic() - self.started_at, 1e-9)
+            completed = self._counters["jobs_completed"]
+            payload: Dict[str, Any] = {
+                "uptime_s": round(uptime_s, 3),
+                "counters": dict(self._counters),
+                "jobs_per_second": round(completed / uptime_s, 3),
+                "queue_wait": self.queue_wait.snapshot(),
+                "job_run": self.job_run.snapshot(),
+                "endpoints": {
+                    op: endpoint.snapshot() for op, endpoint in sorted(self._endpoints.items())
+                },
+            }
+        if queue_depth is not None:
+            payload["queue_depth"] = queue_depth
+        if inflight is not None:
+            payload["inflight"] = inflight
+        if extra:
+            payload.update(extra)
+        return payload

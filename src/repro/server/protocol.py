@@ -1,0 +1,293 @@
+"""Wire protocol of the solver server: newline-delimited JSON frames.
+
+One frame per line, UTF-8, at most :data:`MAX_FRAME_BYTES` per frame.
+Every frame is a JSON object.  Requests carry an ``op`` (one of
+:data:`REQUEST_OPS`) and a caller-chosen ``id`` that the server echoes
+into every frame it emits for that request, so a client can multiplex
+many requests over one connection.  Responses carry a ``type``
+discriminator:
+
+========== ==========================================================
+``type``   meaning
+========== ==========================================================
+hello      server identity, registered solvers and limits
+pong       reply to ``ping``
+queued     a job was admitted (``job_id``, queue depth, coalescing)
+update     one incremental anytime improvement of a running job
+result     the final :class:`~repro.service.jobs.SolveResult`
+subscribed acknowledgement of a ``subscribe`` (job state included)
+stats      server metrics snapshot
+draining   graceful shutdown has begun
+error      the request failed (``code`` + human-readable ``error``)
+========== ==========================================================
+
+This module is deliberately transport-free: it only turns dictionaries
+into wire bytes and back, validates request shapes and builds response
+frames.  Both :mod:`repro.server.app` (asyncio server) and
+:mod:`repro.server.client` (blocking client) speak through it, which is
+what the protocol round-trip fuzz tests exercise.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+from repro.exceptions import ProtocolError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "REQUEST_OPS",
+    "PRIORITIES",
+    "PRIORITY_NAMES",
+    "DEFAULT_PRIORITY",
+    "Request",
+    "encode_frame",
+    "decode_frame",
+    "parse_request",
+    "parse_priority",
+    "error_frame",
+    "hello_frame",
+    "pong_frame",
+    "queued_frame",
+    "update_frame",
+    "result_frame",
+    "subscribed_frame",
+    "stats_frame",
+    "draining_frame",
+]
+
+#: Protocol revision advertised in the ``hello`` frame.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one encoded frame (problems serialize into requests, so
+#: the cap is generous; the server also uses it as its read limit).
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: Operations a client may request.
+REQUEST_OPS = (
+    "hello",
+    "ping",
+    "solve",
+    "submit",
+    "wait",
+    "subscribe",
+    "stats",
+    "shutdown",
+)
+
+#: Named priority levels (lower value = served earlier).
+PRIORITIES: Dict[str, int] = {"high": 0, "normal": 1, "low": 2}
+
+#: Reverse mapping of :data:`PRIORITIES` for display purposes.
+PRIORITY_NAMES: Dict[int, str] = {level: name for name, level in PRIORITIES.items()}
+
+#: Priority applied when a request does not specify one.
+DEFAULT_PRIORITY = PRIORITIES["normal"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One validated request frame: operation, echo id and raw payload."""
+
+    op: str
+    id: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------- #
+# Frame encoding / decoding
+# ---------------------------------------------------------------------- #
+def encode_frame(frame: Mapping[str, Any], max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialise one frame to wire bytes (JSON + trailing newline).
+
+    Raises :class:`~repro.exceptions.ProtocolError` when the frame is not
+    JSON-serialisable (including NaN/Infinity, which strict JSON lacks)
+    or exceeds ``max_bytes``.
+    """
+    if not isinstance(frame, Mapping):
+        raise ProtocolError(f"frame must be a mapping, got {type(frame).__name__}")
+    try:
+        payload = json.dumps(dict(frame), separators=(",", ":"), allow_nan=False)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"frame is not JSON-serialisable: {exc}") from exc
+    data = payload.encode("utf-8") + b"\n"
+    if len(data) > max_bytes:
+        raise ProtocolError(
+            f"frame of {len(data)} bytes exceeds the {max_bytes}-byte limit"
+        )
+    return data
+
+
+def decode_frame(line: "bytes | str", max_bytes: int = MAX_FRAME_BYTES) -> Dict[str, Any]:
+    """Parse one wire line back into a frame dictionary.
+
+    Raises :class:`~repro.exceptions.ProtocolError` for oversized lines,
+    invalid UTF-8, invalid JSON, or a JSON value that is not an object.
+    """
+    if isinstance(line, str):
+        raw = line.encode("utf-8", errors="surrogatepass")
+    else:
+        raw = bytes(line)
+    if len(raw) > max_bytes:
+        raise ProtocolError(
+            f"frame of {len(raw)} bytes exceeds the {max_bytes}-byte limit"
+        )
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"frame is not valid UTF-8: {exc}") from exc
+    text = text.strip()
+    if not text:
+        raise ProtocolError("frame is empty")
+    try:
+        frame = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(frame).__name__}"
+        )
+    return frame
+
+
+# ---------------------------------------------------------------------- #
+# Request validation
+# ---------------------------------------------------------------------- #
+def parse_request(frame: Mapping[str, Any]) -> Request:
+    """Validate a decoded frame as a request.
+
+    The ``op`` must be one of :data:`REQUEST_OPS`; the optional ``id``
+    must be a string or integer (normalised to a string).  Everything
+    else stays in :attr:`Request.payload` for the per-op handler.
+    """
+    op = frame.get("op")
+    if not isinstance(op, str) or not op:
+        raise ProtocolError("request needs a non-empty string 'op' field")
+    if op not in REQUEST_OPS:
+        raise ProtocolError(f"unknown op {op!r}; supported: {list(REQUEST_OPS)}")
+    request_id = frame.get("id", "")
+    if isinstance(request_id, bool) or not isinstance(request_id, (str, int)):
+        raise ProtocolError(
+            f"request 'id' must be a string or integer, got {type(request_id).__name__}"
+        )
+    payload = {key: value for key, value in frame.items() if key not in ("op", "id")}
+    return Request(op=op, id=str(request_id), payload=payload)
+
+
+def parse_priority(value: Any) -> int:
+    """Normalise a priority field: a name from :data:`PRIORITIES` or an
+    integer level 0-2.  ``None`` yields :data:`DEFAULT_PRIORITY`."""
+    if value is None:
+        return DEFAULT_PRIORITY
+    if isinstance(value, str):
+        try:
+            return PRIORITIES[value]
+        except KeyError:
+            raise ProtocolError(
+                f"unknown priority {value!r}; expected one of {sorted(PRIORITIES)}"
+            ) from None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(
+            f"priority must be a name or an integer level, got {type(value).__name__}"
+        )
+    if value not in PRIORITY_NAMES:
+        raise ProtocolError(
+            f"priority level {value} out of range; expected {sorted(PRIORITY_NAMES)}"
+        )
+    return value
+
+
+# ---------------------------------------------------------------------- #
+# Response frame builders
+# ---------------------------------------------------------------------- #
+def error_frame(request_id: str, code: str, message: str) -> Dict[str, Any]:
+    """An error response: machine-readable ``code`` plus a message."""
+    return {"id": request_id, "type": "error", "code": code, "error": message}
+
+
+def hello_frame(
+    request_id: str,
+    server_name: str,
+    version: str,
+    solvers: Sequence[str],
+    limits: Mapping[str, Any],
+) -> Dict[str, Any]:
+    """The server's identity card (sent in reply to ``hello``)."""
+    return {
+        "id": request_id,
+        "type": "hello",
+        "server": server_name,
+        "version": version,
+        "protocol": PROTOCOL_VERSION,
+        "solvers": list(solvers),
+        "limits": dict(limits),
+    }
+
+
+def pong_frame(request_id: str) -> Dict[str, Any]:
+    """Reply to ``ping`` (liveness/latency probe)."""
+    return {"id": request_id, "type": "pong"}
+
+
+def queued_frame(
+    request_id: str,
+    job_id: str,
+    queue_depth: int,
+    coalesced_with: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Admission acknowledgement.
+
+    ``coalesced_with`` names the in-flight representative job when the
+    request was coalesced instead of queued (subscribe to that job id for
+    live updates).
+    """
+    return {
+        "id": request_id,
+        "type": "queued",
+        "job_id": job_id,
+        "queue_depth": queue_depth,
+        "coalesced_with": coalesced_with,
+    }
+
+
+def update_frame(
+    request_id: str,
+    job_id: str,
+    seq: int,
+    elapsed_ms: float,
+    cost: float,
+    solver: str,
+) -> Dict[str, Any]:
+    """One incremental anytime improvement of a running job."""
+    return {
+        "id": request_id,
+        "type": "update",
+        "job_id": job_id,
+        "seq": seq,
+        "elapsed_ms": elapsed_ms,
+        "cost": cost,
+        "solver": solver,
+    }
+
+
+def result_frame(request_id: str, job_id: str, result: Mapping[str, Any]) -> Dict[str, Any]:
+    """The final outcome of a job (a ``SolveResult.to_dict()`` payload)."""
+    return {"id": request_id, "type": "result", "job_id": job_id, "result": dict(result)}
+
+
+def subscribed_frame(request_id: str, job_id: str, state: str) -> Dict[str, Any]:
+    """Acknowledgement of ``subscribe``; ``state`` is queued/running/done."""
+    return {"id": request_id, "type": "subscribed", "job_id": job_id, "state": state}
+
+
+def stats_frame(request_id: str, stats: Mapping[str, Any]) -> Dict[str, Any]:
+    """Metrics snapshot (see :meth:`repro.server.metrics.ServerMetrics.snapshot`)."""
+    return {"id": request_id, "type": "stats", "stats": dict(stats)}
+
+
+def draining_frame(request_id: str, pending_jobs: int) -> Dict[str, Any]:
+    """Notification that graceful shutdown has begun."""
+    return {"id": request_id, "type": "draining", "pending_jobs": pending_jobs}

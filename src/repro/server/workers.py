@@ -1,0 +1,248 @@
+"""Worker pool: drain the job queue into the service frontend.
+
+``num_workers`` asyncio tasks pull jobs off the :class:`JobQueue` and
+run each through :meth:`ServiceFrontend.submit` on a thread-pool
+executor, so the event loop stays responsive while solvers burn CPU.
+Around every solve the worker installs an anytime-improvement observer
+(:func:`~repro.baselines.anytime.observe_improvements`) that forwards
+incumbent improvements — including those made on portfolio member
+threads — back to the event loop, where the
+:class:`~repro.server.streaming.StreamBroker` fans them out to
+subscribed clients.
+
+Duplicate in-flight requests are **coalesced**: a job whose coalesce key
+(request cache key + exact problem token, the same identity the batch
+executor dedupes on) matches a queued-or-running job is not enqueued at
+all; it is parked as a *follower* of that representative and, on
+completion, receives an echo of the representative's result marked
+``from_cache`` — four clients asking for the same expensive solve cost
+the server one execution.
+
+Batching note: jobs are executed one request per executor slot rather
+than being re-grouped through :meth:`ServiceFrontend.solve_batch`.
+Batch grouping would share one observer context across many jobs, which
+would make streamed improvements unattributable to a job; concurrency
+comes from the worker count instead, and cross-job reuse (result cache,
+prepared-pipeline cache, coalescing) is preserved.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional
+
+from repro.baselines.anytime import observe_improvements
+from repro.exceptions import AdmissionError
+from repro.server.metrics import ServerMetrics
+from repro.server.queue import JobQueue, ServerJob
+from repro.server.streaming import StreamBroker
+from repro.service.frontend import ServiceFrontend
+from repro.service.jobs import SolveResult, dedupe_key, echo_result_for_duplicate
+
+__all__ = ["WorkerPool"]
+
+
+def _result_payload(job: ServerJob) -> Dict[str, object]:
+    """The broker payload carrying a job's final result."""
+    assert job.result is not None
+    return {
+        "type": "result",
+        "job_id": job.job_id,
+        "result": job.result.to_dict(),
+    }
+
+
+class WorkerPool:
+    """Asyncio workers that execute queued jobs on executor threads.
+
+    Parameters
+    ----------
+    frontend:
+        The service facade jobs are executed through (cache-aware).
+    queue:
+        Source of admitted jobs; ``None`` popped from it stops a worker.
+    broker:
+        Stream broker updates and final results are published through.
+    metrics:
+        Counter/latency sink.
+    num_workers:
+        Number of concurrent jobs (asyncio tasks *and* executor threads).
+    coalesce:
+        Fold duplicate in-flight requests onto one execution (default).
+    """
+
+    def __init__(
+        self,
+        frontend: ServiceFrontend,
+        queue: JobQueue,
+        broker: StreamBroker,
+        metrics: ServerMetrics,
+        num_workers: int = 2,
+        coalesce: bool = True,
+    ) -> None:
+        if num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        self.frontend = frontend
+        self.queue = queue
+        self.broker = broker
+        self.metrics = metrics
+        self.num_workers = num_workers
+        self.coalesce = coalesce
+        self._executor = ThreadPoolExecutor(
+            max_workers=num_workers, thread_name_prefix="repro-server-worker"
+        )
+        self._tasks: List["asyncio.Task[None]"] = []
+        self._inflight_by_key: Dict[str, ServerJob] = {}
+        self._followers: Dict[str, List[ServerJob]] = {}
+        self._active = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def active(self) -> int:
+        """Number of jobs currently executing."""
+        return self._active
+
+    def pending_jobs(self) -> int:
+        """Queued plus executing jobs (drain waits for this to hit zero)."""
+        return self.queue.depth + self._active
+
+    # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def coalesce_key(job: ServerJob) -> str:
+        """Duplicate-detection identity of a job (shared with the batch
+        executor's dedupe via :func:`repro.service.jobs.dedupe_key`)."""
+        return dedupe_key(job.request)
+
+    def admit(self, job: ServerJob) -> str:
+        """Queue ``job``, or coalesce it onto an in-flight duplicate.
+
+        Returns ``"queued"`` or ``"coalesced"``.  Raises
+        :class:`~repro.exceptions.AdmissionError` when the queue refuses
+        the job; the caller turns that into a backpressure error frame.
+        Coalesced followers are bounded too: they are rejected while the
+        server drains, and each representative accepts at most the
+        queue's capacity in followers — a duplicate storm cannot grow
+        server state without limit.
+        """
+        job.coalesce_key = self.coalesce_key(job)
+        if self.coalesce:
+            representative = self._inflight_by_key.get(job.coalesce_key)
+            if representative is not None:
+                if self.queue.draining:
+                    raise AdmissionError(
+                        "server is draining; no new jobs accepted", code="draining"
+                    )
+                followers = self._followers.setdefault(representative.job_id, [])
+                if len(followers) >= self.queue.capacity:
+                    raise AdmissionError(
+                        f"job {representative.job_id} already has {len(followers)} "
+                        "coalesced duplicates; retry later",
+                        code="queue_full",
+                    )
+                job.coalesced_with = representative.job_id
+                followers.append(job)
+                # An urgent duplicate must not wait behind a lazy queued
+                # representative: the representative inherits the urgency.
+                if job.priority < representative.priority:
+                    self.queue.promote(representative, job.priority)
+                self.metrics.increment("jobs_submitted")
+                self.metrics.increment("jobs_coalesced")
+                return "coalesced"
+        self.queue.push(job)  # may raise AdmissionError
+        self._inflight_by_key[job.coalesce_key] = job
+        self.metrics.increment("jobs_submitted")
+        return "queued"
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Spawn the worker tasks on the running event loop."""
+        if self._tasks:
+            raise RuntimeError("worker pool already started")
+        for index in range(self.num_workers):
+            task = asyncio.get_running_loop().create_task(
+                self._worker(), name=f"repro-server-worker-{index}"
+            )
+            self._tasks.append(task)
+
+    async def join(self) -> None:
+        """Wait for every worker to exit (requires ``queue.drain()`` first)."""
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+
+    def shutdown_executor(self) -> None:
+        """Tear down the thread pool (after :meth:`join`)."""
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    async def _worker(self) -> None:
+        """One worker task: pop, execute, publish — until drained."""
+        while True:
+            job = await self.queue.get()
+            if job is None:
+                return
+            self._active += 1
+            try:
+                await self._run_job(job)
+            finally:
+                self._active -= 1
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    async def _run_job(self, job: ServerJob) -> None:
+        """Execute one job on the executor, streaming improvements."""
+        loop = asyncio.get_running_loop()
+        job.started_at = time.monotonic()
+
+        def forward_improvement(solver_name: str, _elapsed_ms: float, cost: float) -> None:
+            # Runs on the solver thread; elapsed is re-measured against the
+            # job's start so updates of racing members share one time axis.
+            elapsed_ms = (time.monotonic() - job.started_at) * 1000.0
+            try:
+                loop.call_soon_threadsafe(
+                    self.broker.publish_improvement, job.job_id, solver_name, elapsed_ms, cost
+                )
+            except RuntimeError:  # loop already closed mid-shutdown
+                pass
+
+        def execute() -> SolveResult:
+            with observe_improvements(forward_improvement):
+                return self.frontend.submit(job.request)
+
+        try:
+            result = await loop.run_in_executor(self._executor, execute)
+        except Exception as exc:  # noqa: BLE001 — frontend.submit already captures
+            # solver errors; this guards the executor/serialisation path.
+            result = SolveResult.from_error(job.request, f"{type(exc).__name__}: {exc}")
+        self._finish(job, result)
+
+    def _finish(self, job: ServerJob, result: SolveResult) -> None:
+        """Publish a finished job's result to it and all its followers."""
+        job.result = result
+        job.finished_at = time.monotonic()
+        self.metrics.observe_job(
+            queue_wait_ms=job.queue_wait_ms(),
+            run_ms=job.run_time_ms(),
+            failed=not result.ok,
+        )
+        self._inflight_by_key.pop(job.coalesce_key, None)
+        followers = self._followers.pop(job.job_id, [])
+        self.broker.close(job.job_id, _result_payload(job))
+        for follower in followers:
+            follower.result = echo_result_for_duplicate(result, follower.request)
+            # A follower admitted after its representative started never
+            # waited past its own admission; clamp so queue-wait samples
+            # stay non-negative.
+            if follower.started_at is None:
+                follower.started_at = max(job.started_at, follower.enqueued_at)
+            follower.finished_at = time.monotonic()
+            self.metrics.observe_job(queue_wait_ms=follower.queue_wait_ms(), run_ms=0.0,
+                                     failed=not follower.result.ok)
+            self.broker.close(follower.job_id, _result_payload(follower))

@@ -35,9 +35,14 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ServiceError
-from repro.mqo.serialization import exact_problem_token
 from repro.service.cache import ResultCache
-from repro.service.jobs import PORTFOLIO_SOLVER, SolveRequest, SolveResult
+from repro.service.jobs import (
+    PORTFOLIO_SOLVER,
+    SolveRequest,
+    SolveResult,
+    dedupe_key,
+    echo_result_for_duplicate,
+)
 from repro.service.portfolio import PortfolioScheduler
 from repro.service.registry import SolverRegistry, default_registry
 from repro.utils.rng import derive_seed
@@ -137,6 +142,15 @@ class BatchExecutor:
         and seed) once per batch and echo the result to the duplicates
         (default).  Duplicates are marked ``from_cache`` since no solver
         ran for them.
+    autosave:
+        Persist a file-backed cache after every batch (default).
+        Callers that run many small batches against one cache (the
+        chunked CLI) disable this and save once themselves.
+    keep_pool:
+        Reuse one process pool across :meth:`run` / :meth:`run_iter`
+        calls instead of spawning a fresh pool per call (the chunked CLI
+        would otherwise pay a pool spin-up per chunk).  Callers that set
+        this own the lifecycle: call :meth:`close` when done.
     """
 
     def __init__(
@@ -147,6 +161,8 @@ class BatchExecutor:
         base_seed: Optional[int] = None,
         portfolio_mode: str = "threads",
         dedupe: bool = True,
+        autosave: bool = True,
+        keep_pool: bool = False,
     ) -> None:
         if workers < 0:
             raise ServiceError(f"workers must be non-negative, got {workers}")
@@ -161,6 +177,9 @@ class BatchExecutor:
         self.base_seed = base_seed
         self.portfolio_mode = portfolio_mode
         self.dedupe = dedupe
+        self.autosave = autosave
+        self.keep_pool = keep_pool
+        self._pool: ProcessPoolExecutor | None = None
 
     # ------------------------------------------------------------------ #
     # Seeding and cache plumbing
@@ -242,11 +261,7 @@ class BatchExecutor:
                 yield index, hit
                 continue
             if self.dedupe:
-                # cache_key() hashes the problem canonically (relabel-
-                # invariant); the exact token is appended so only jobs with
-                # the same concrete plan indices fold — an echoed result's
-                # selected_plans must be meaningful for the twin request.
-                key = f"{request.cache_key()}:{exact_problem_token(request.problem)}"
+                key = dedupe_key(request)
                 rep_index = representative_by_key.get(key)
                 if rep_index is not None:
                     duplicates.setdefault(rep_index, []).append((index, request))
@@ -264,7 +279,7 @@ class BatchExecutor:
                 for dup_index, dup_request in duplicates.get(index, ()):
                     yield dup_index, self._duplicate_result(result, dup_request)
         finally:
-            if self.cache is not None and self.cache.path is not None:
+            if self.autosave and self.cache is not None and self.cache.path is not None:
                 self.cache.save()
 
     def _run_inline(
@@ -281,20 +296,28 @@ class BatchExecutor:
     @staticmethod
     def _duplicate_result(result: SolveResult, request: SolveRequest) -> SolveResult:
         """Echo a representative's result to a deduplicated twin request."""
-        if result.error is not None:
-            return SolveResult.from_error(request, result.error)
-        echo = SolveResult.from_dict(result.to_dict())
-        echo.job_id = request.job_id
-        echo.metadata = dict(request.metadata)
-        echo.from_cache = True
-        echo.total_time_ms = 0.0
-        return echo
+        return echo_result_for_duplicate(result, request)
+
+    def close(self) -> None:
+        """Shut down a kept process pool (no-op otherwise)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _acquire_pool(self) -> Tuple[ProcessPoolExecutor, bool]:
+        """The pool to dispatch on, plus whether this call owns it."""
+        if self.keep_pool:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            return self._pool, False
+        return ProcessPoolExecutor(max_workers=self.workers), True
 
     def _run_pool(
         self, pending: List[Tuple[int, SolveRequest]]
     ) -> Iterator[Tuple[int, SolveResult]]:
         """Dispatch pending jobs onto a process pool, yielding as completed."""
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+        pool, ephemeral = self._acquire_pool()
+        try:
             futures = {}
             for index, request in pending:
                 future = pool.submit(
@@ -314,3 +337,6 @@ class BatchExecutor:
                         )
                     self._cache_store(request, result)
                     yield index, result
+        finally:
+            if ephemeral:
+                pool.shutdown()

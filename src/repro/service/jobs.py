@@ -20,9 +20,20 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.baselines.anytime import SolverTrajectory
 from repro.exceptions import ServiceError
 from repro.mqo.problem import MQOProblem
-from repro.mqo.serialization import problem_from_dict, problem_to_dict
+from repro.mqo.serialization import (
+    exact_problem_token,
+    problem_from_dict,
+    problem_to_dict,
+)
 
-__all__ = ["PORTFOLIO_SOLVER", "SolveRequest", "SolveResult", "request_from_spec"]
+__all__ = [
+    "PORTFOLIO_SOLVER",
+    "SolveRequest",
+    "SolveResult",
+    "request_from_spec",
+    "dedupe_key",
+    "echo_result_for_duplicate",
+]
 
 #: Pseudo-solver name routing a request through the portfolio scheduler.
 PORTFOLIO_SOLVER = "portfolio"
@@ -254,6 +265,37 @@ class SolveResult:
             error=data.get("error"),
             metadata=dict(data.get("metadata", {})),
         )
+
+
+def dedupe_key(request: SolveRequest) -> str:
+    """The identity under which two requests may share one execution.
+
+    :meth:`SolveRequest.cache_key` hashes the problem *canonically*
+    (relabel-invariant), so the exact problem token is appended: an
+    echoed result's ``selected_plans`` are concrete plan indices and must
+    only be shared between requests whose indices mean the same thing.
+    The batch executor's in-batch dedupe, the CLI's cross-chunk echo and
+    the server's in-flight coalescing all key on this.
+    """
+    return f"{request.cache_key()}:{exact_problem_token(request.problem)}"
+
+
+def echo_result_for_duplicate(result: SolveResult, request: SolveRequest) -> SolveResult:
+    """Echo a representative's result to a deduplicated twin request.
+
+    Used by the batch executor's in-batch dedupe and the server's
+    in-flight coalescing: the twin gets a copy of the representative's
+    outcome carrying its *own* identity fields, marked ``from_cache``
+    (no solver ran for it) with zero attributed time.
+    """
+    if result.error is not None:
+        return SolveResult.from_error(request, result.error)
+    echo = SolveResult.from_dict(result.to_dict())
+    echo.job_id = request.job_id
+    echo.metadata = dict(request.metadata)
+    echo.from_cache = True
+    echo.total_time_ms = 0.0
+    return echo
 
 
 def request_from_spec(

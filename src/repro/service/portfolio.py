@@ -19,7 +19,12 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.baselines.anytime import SolverTrajectory
+from repro.baselines.anytime import (
+    ImprovementObserver,
+    SolverTrajectory,
+    current_improvement_observers,
+    observe_improvements,
+)
 from repro.exceptions import ServiceError
 from repro.mqo.problem import MQOProblem, MQOSolution
 from repro.service.registry import SolverRegistry, default_registry
@@ -183,12 +188,22 @@ class PortfolioScheduler:
                     # a failing member surfaces its error from solve() below.
                     pass
 
-        def run_member(position: int, name: str) -> SolverTrajectory:
+        # Anytime observers are registered per thread; capture the caller's
+        # set so member threads can forward their improvements too (the
+        # solver server streams live updates through this hook).
+        inherited: Tuple[ImprovementObserver, ...] = current_improvement_observers()
+
+        def run_member(
+            position: int,
+            name: str,
+            observers: Tuple[ImprovementObserver, ...] = (),
+        ) -> SolverTrajectory:
             solver = members[name]
             budget = (
                 time_budget_ms if self.mode == "threads" else time_budget_ms / len(raced)
             )
-            return solver.solve(problem, budget, seed=_member_seed(seed, position))
+            with observe_improvements(*observers):
+                return solver.solve(problem, budget, seed=_member_seed(seed, position))
 
         trajectories: Dict[str, SolverTrajectory] = {}
         errors: Dict[str, str] = {}
@@ -197,7 +212,7 @@ class PortfolioScheduler:
             start_offsets = {name: 0.0 for name in raced}  # all start together
             with ThreadPoolExecutor(max_workers=len(raced)) as pool:
                 futures = {
-                    name: pool.submit(run_member, position, name)
+                    name: pool.submit(run_member, position, name, inherited)
                     for position, name in enumerate(raced)
                 }
                 for name, future in futures.items():

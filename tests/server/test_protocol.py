@@ -1,0 +1,152 @@
+"""Protocol round-trip fuzz (hypothesis) plus deterministic edge cases."""
+
+import json
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.exceptions import ProtocolError
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PRIORITIES,
+    REQUEST_OPS,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    parse_priority,
+    parse_request,
+    queued_frame,
+    result_frame,
+    update_frame,
+)
+
+# Arbitrary JSON documents: scalars plus nested lists/objects.
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=40),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=10), children, max_size=4),
+    max_leaves=25,
+)
+frames = st.dictionaries(st.text(max_size=15), json_values, max_size=8)
+
+
+class TestRoundTripFuzz:
+    @given(frame=frames)
+    @settings(max_examples=150, deadline=None)
+    def test_encode_decode_roundtrip(self, frame):
+        assert decode_frame(encode_frame(frame)) == frame
+
+    @given(frame=frames)
+    @settings(max_examples=100, deadline=None)
+    def test_wire_form_is_one_line(self, frame):
+        data = encode_frame(frame)
+        assert data.endswith(b"\n")
+        assert data.count(b"\n") == 1  # NDJSON framing: exactly one line
+
+    @given(data=st.binary(max_size=300))
+    @settings(max_examples=150, deadline=None)
+    def test_decode_arbitrary_bytes_never_crashes_unexpectedly(self, data):
+        try:
+            frame = decode_frame(data)
+        except ProtocolError:
+            return
+        assert isinstance(frame, dict)
+
+    @given(frame=frames)
+    @settings(max_examples=100, deadline=None)
+    def test_parse_request_accepts_or_rejects_cleanly(self, frame):
+        try:
+            request = parse_request(frame)
+        except ProtocolError:
+            return
+        assert request.op in REQUEST_OPS
+        assert isinstance(request.id, str)
+        assert "op" not in request.payload and "id" not in request.payload
+
+
+class TestFrameValidation:
+    def test_oversized_frame_rejected_on_encode(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"blob": "x" * 64}, max_bytes=32)
+
+    def test_oversized_frame_rejected_on_decode(self):
+        line = json.dumps({"blob": "x" * 64}).encode() + b"\n"
+        with pytest.raises(ProtocolError):
+            decode_frame(line, max_bytes=32)
+
+    def test_default_limit_is_generous(self):
+        assert MAX_FRAME_BYTES >= 1024 * 1024
+
+    def test_non_object_payloads_rejected(self):
+        for bad in (b"[1,2,3]\n", b"42\n", b'"text"\n', b"null\n"):
+            with pytest.raises(ProtocolError):
+                decode_frame(bad)
+
+    def test_empty_and_invalid_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"\n")
+        with pytest.raises(ProtocolError):
+            decode_frame(b"{not json\n")
+        with pytest.raises(ProtocolError):
+            decode_frame(b"\xff\xfe{}\n")  # not UTF-8
+
+    def test_nan_rejected_on_encode(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"cost": float("nan")})
+
+    def test_unserialisable_rejected_on_encode(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"payload": object()})
+
+
+class TestRequestValidation:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_request({"op": "make-coffee", "id": "1"})
+
+    def test_missing_op_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_request({"id": "1"})
+
+    def test_integer_id_normalised(self):
+        assert parse_request({"op": "ping", "id": 7}).id == "7"
+
+    def test_bool_id_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_request({"op": "ping", "id": True})
+
+    def test_payload_excludes_envelope_fields(self):
+        request = parse_request({"op": "wait", "id": "9", "job_id": "sj-1"})
+        assert request.payload == {"job_id": "sj-1"}
+
+
+class TestPriorities:
+    def test_names_and_levels(self):
+        for name, level in PRIORITIES.items():
+            assert parse_priority(name) == level
+            assert parse_priority(level) == level
+
+    def test_default(self):
+        assert parse_priority(None) == PRIORITIES["normal"]
+
+    def test_rejects_unknowns(self):
+        for bad in ("urgent", 7, -1, 1.5, True):
+            with pytest.raises(ProtocolError):
+                parse_priority(bad)
+
+
+class TestResponseBuilders:
+    def test_builders_produce_encodable_frames(self):
+        for frame in (
+            error_frame("1", "protocol", "nope"),
+            queued_frame("2", "sj-1", 3, coalesced_with="sj-0"),
+            update_frame("3", "sj-1", 1, 12.5, 42.0, "CLIMB"),
+            result_frame("4", "sj-1", {"winner": "CLIMB", "best_cost": 1.0}),
+        ):
+            assert decode_frame(encode_frame(frame)) == frame
+            assert frame["id"] and frame["type"]

@@ -1,0 +1,177 @@
+"""Queue tests: priority order, round-robin fairness, backpressure, drain."""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import AdmissionError
+from repro.server.queue import FairScheduler, JobQueue, ServerJob
+from repro.service.jobs import SolveRequest
+
+from tests.server.conftest import tiny_problem
+
+
+def _job(job_id: str, client: str = "c1", priority: int = 1) -> ServerJob:
+    return ServerJob(
+        job_id=job_id,
+        client_id=client,
+        request=SolveRequest(problem=tiny_problem(job_id), solver="STEP"),
+        priority=priority,
+    )
+
+
+class TestPriorityOrder:
+    def test_high_before_normal_before_low(self):
+        scheduler = FairScheduler(capacity=8)
+        scheduler.push(_job("n", priority=1))
+        scheduler.push(_job("l", priority=2))
+        scheduler.push(_job("h", priority=0))
+        assert [scheduler.pop().job_id for _ in range(3)] == ["h", "n", "l"]
+        assert scheduler.pop() is None
+
+    def test_fifo_within_one_client_and_level(self):
+        scheduler = FairScheduler(capacity=8)
+        for name in ("a", "b", "c"):
+            scheduler.push(_job(name))
+        assert [scheduler.pop().job_id for _ in range(3)] == ["a", "b", "c"]
+
+
+class TestFairness:
+    def test_round_robin_across_clients(self):
+        scheduler = FairScheduler(capacity=16)
+        # Client A floods the queue before B and C submit anything.
+        for index in range(4):
+            scheduler.push(_job(f"a{index}", client="A"))
+        scheduler.push(_job("b0", client="B"))
+        scheduler.push(_job("c0", client="C"))
+        order = [scheduler.pop().job_id for _ in range(6)]
+        # A is served first (it arrived first) but B and C interleave
+        # instead of waiting behind A's whole backlog.
+        assert order == ["a0", "b0", "c0", "a1", "a2", "a3"]
+
+    def test_fairness_is_per_priority_level(self):
+        scheduler = FairScheduler(capacity=16)
+        scheduler.push(_job("a-low", client="A", priority=2))
+        scheduler.push(_job("b-high", client="B", priority=0))
+        scheduler.push(_job("a-high", client="A", priority=0))
+        order = [scheduler.pop().job_id for _ in range(3)]
+        assert order == ["b-high", "a-high", "a-low"]
+
+    def test_depth_bookkeeping(self):
+        scheduler = FairScheduler(capacity=8)
+        scheduler.push(_job("a", client="A"))
+        scheduler.push(_job("b", client="B"))
+        assert scheduler.depth == 2
+        assert scheduler.depth_for("A") == 1
+        scheduler.pop()
+        scheduler.pop()
+        assert scheduler.depth == 0
+        assert scheduler.depth_for("A") == 0
+
+
+class TestPromotion:
+    def test_promote_moves_job_ahead_of_its_old_level(self):
+        scheduler = FairScheduler(capacity=8)
+        normal = _job("n", priority=1)
+        low = _job("l", priority=2)
+        scheduler.push(normal)
+        scheduler.push(low)
+        assert scheduler.promote(low, 0)
+        assert low.priority == 0
+        assert [scheduler.pop().job_id for _ in range(2)] == ["l", "n"]
+        assert scheduler.depth == 0  # accounting unchanged by the move
+
+    def test_promote_rejects_demotions_and_popped_jobs(self):
+        scheduler = FairScheduler(capacity=8)
+        job = _job("a", priority=1)
+        scheduler.push(job)
+        assert not scheduler.promote(job, 1)  # not more urgent
+        assert not scheduler.promote(job, 2)  # demotion
+        popped = scheduler.pop()
+        assert not scheduler.promote(popped, 0)  # no longer queued
+
+
+class TestAdmissionControl:
+    def test_capacity_rejection(self):
+        scheduler = FairScheduler(capacity=2)
+        scheduler.push(_job("a"))
+        scheduler.push(_job("b"))
+        with pytest.raises(AdmissionError) as excinfo:
+            scheduler.push(_job("c"))
+        assert excinfo.value.code == "queue_full"
+        assert scheduler.depth == 2  # the rejected job was not admitted
+
+    def test_client_quota_rejection(self):
+        scheduler = FairScheduler(capacity=8, max_per_client=1)
+        scheduler.push(_job("a1", client="A"))
+        with pytest.raises(AdmissionError) as excinfo:
+            scheduler.push(_job("a2", client="A"))
+        assert excinfo.value.code == "client_quota"
+        # Another client is unaffected by A's quota.
+        scheduler.push(_job("b1", client="B"))
+
+    def test_quota_frees_up_after_pop(self):
+        scheduler = FairScheduler(capacity=8, max_per_client=1)
+        scheduler.push(_job("a1", client="A"))
+        scheduler.pop()
+        scheduler.push(_job("a2", client="A"))  # no longer over quota
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            FairScheduler(capacity=0)
+        with pytest.raises(ValueError):
+            FairScheduler(capacity=4, max_per_client=0)
+
+
+class TestAsyncJobQueue:
+    def test_get_returns_pushed_job(self):
+        async def scenario():
+            queue = JobQueue(capacity=4)
+            queue.push(_job("a"))
+            job = await asyncio.wait_for(queue.get(), timeout=1.0)
+            return job.job_id
+
+        assert asyncio.run(scenario()) == "a"
+
+    def test_get_blocks_until_push(self):
+        async def scenario():
+            queue = JobQueue(capacity=4)
+            getter = asyncio.create_task(queue.get())
+            await asyncio.sleep(0.02)
+            assert not getter.done()  # genuinely waiting
+            queue.push(_job("late"))
+            job = await asyncio.wait_for(getter, timeout=1.0)
+            return job.job_id
+
+        assert asyncio.run(scenario()) == "late"
+
+    def test_drain_releases_waiters_with_none(self):
+        async def scenario():
+            queue = JobQueue(capacity=4)
+            getter = asyncio.create_task(queue.get())
+            await asyncio.sleep(0.02)
+            queue.drain()
+            return await asyncio.wait_for(getter, timeout=1.0)
+
+        assert asyncio.run(scenario()) is None
+
+    def test_drain_serves_backlog_before_none(self):
+        async def scenario():
+            queue = JobQueue(capacity=4)
+            queue.push(_job("backlog"))
+            queue.drain()
+            first = await queue.get()
+            second = await queue.get()
+            return first.job_id, second
+
+        assert asyncio.run(scenario()) == ("backlog", None)
+
+    def test_push_while_draining_rejected(self):
+        async def scenario():
+            queue = JobQueue(capacity=4)
+            queue.drain()
+            with pytest.raises(AdmissionError) as excinfo:
+                queue.push(_job("nope"))
+            return excinfo.value.code
+
+        assert asyncio.run(scenario()) == "draining"

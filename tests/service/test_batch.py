@@ -185,3 +185,27 @@ class TestConfiguration:
     def test_job_ids_default_to_position(self):
         results = BatchExecutor(workers=0).run(_requests(2), base_seed=0)
         assert [r.job_id for r in results] == ["job-0", "job-1"]
+
+
+class TestKeptPool:
+    def test_keep_pool_reuses_one_pool_across_runs(self):
+        # The chunked CLI runs many small batches; with keep_pool the
+        # process pool must survive across run_iter calls instead of
+        # being respawned per chunk.
+        executor = BatchExecutor(workers=2, keep_pool=True)
+        try:
+            assert executor._pool is None
+            list(executor.run_iter(_requests(2), base_seed=1))
+            first = executor._pool
+            assert first is not None
+            list(executor.run_iter(_requests(2), base_seed=2))
+            assert executor._pool is first
+        finally:
+            executor.close()
+        assert executor._pool is None
+
+    def test_default_mode_leaves_no_kept_pool(self):
+        executor = BatchExecutor(workers=2)
+        list(executor.run_iter(_requests(2), base_seed=1))
+        assert executor._pool is None
+        executor.close()  # no-op

@@ -101,6 +101,141 @@ class TestPersistence:
         assert "k0" not in small
 
 
+class _FakeClock:
+    """Manually advanced timestamp source for TTL tests."""
+
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def __call__(self):
+        return self.now
+
+
+class TestAtomicSave:
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = ResultCache(path=path)
+        cache.put("a", _entry(1))
+        cache.save()
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["cache.json"]
+
+    def test_save_preserves_target_permissions(self, tmp_path):
+        import os
+
+        path = tmp_path / "cache.json"
+        cache = ResultCache(path=path)
+        cache.put("a", _entry(1))
+        cache.save()
+        os.chmod(path, 0o664)  # e.g. group-shared cache file
+        cache.put("b", _entry(2))
+        cache.save()
+        # The atomic temp-and-replace must not clamp the file to the
+        # temp file's private 0600 mode.
+        assert os.stat(path).st_mode & 0o777 == 0o664
+
+    def test_crash_mid_save_keeps_previous_file(self, tmp_path, monkeypatch):
+        path = tmp_path / "cache.json"
+        cache = ResultCache(path=path)
+        cache.put("a", _entry(1))
+        cache.save()
+
+        cache.put("b", _entry(2))
+
+        def exploding_replace(src, dst):
+            raise OSError("disk went away mid-rename")
+
+        monkeypatch.setattr("repro.service.cache.os.replace", exploding_replace)
+        with pytest.raises(OSError):
+            cache.save()
+        monkeypatch.undo()
+
+        # The previous store is intact and parseable, and the aborted
+        # attempt left no temp file behind.
+        survivor = ResultCache(path=path)
+        assert len(survivor) == 1
+        assert survivor.get("a") == _entry(1)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["cache.json"]
+
+
+class TestExpiry:
+    def test_invalid_ttl_rejected(self):
+        with pytest.raises(ServiceError):
+            ResultCache(ttl_seconds=0)
+
+    def test_entry_expires_into_a_miss(self):
+        clock = _FakeClock()
+        cache = ResultCache(ttl_seconds=10.0, clock=clock)
+        cache.put("k", _entry(1))
+        clock.advance(9.0)
+        assert cache.get("k") == _entry(1)
+        clock.advance(2.0)  # now 11 s after the put
+        assert cache.get("k") is None
+        assert cache.stats.expirations == 1
+        assert "k" not in cache  # dropped, not just hidden
+
+    def test_put_refreshes_age(self):
+        clock = _FakeClock()
+        cache = ResultCache(ttl_seconds=10.0, clock=clock)
+        cache.put("k", _entry(1))
+        clock.advance(8.0)
+        cache.put("k", _entry(2))
+        clock.advance(8.0)  # 16 s after first put, 8 s after refresh
+        assert cache.get("k") == _entry(2)
+
+    def test_contains_and_len_honour_ttl(self):
+        clock = _FakeClock()
+        cache = ResultCache(ttl_seconds=10.0, clock=clock)
+        cache.put("old", _entry(1))
+        clock.advance(6.0)
+        cache.put("new", _entry(2))
+        clock.advance(6.0)  # "old" expired, "new" still live; no get() ran
+        assert "old" not in cache
+        assert "new" in cache
+        assert len(cache) == 1
+
+    def test_purge_expired(self):
+        clock = _FakeClock()
+        cache = ResultCache(ttl_seconds=5.0, clock=clock)
+        cache.put("old", _entry(1))
+        clock.advance(6.0)
+        cache.put("new", _entry(2))
+        assert cache.purge_expired() == 1
+        assert "old" not in cache and "new" in cache
+
+    def test_ttl_survives_persistence(self, tmp_path):
+        path = tmp_path / "cache.json"
+        clock = _FakeClock()
+        writer = ResultCache(path=path, ttl_seconds=10.0, clock=clock)
+        writer.put("early", _entry(1))
+        clock.advance(8.0)
+        writer.put("late", _entry(2))
+        writer.save()
+
+        clock.advance(4.0)  # "early" is now 12 s old, "late" 4 s
+        warmed = ResultCache(ttl_seconds=10.0, clock=clock)
+        assert warmed.load(path) == 1
+        assert warmed.get("early") is None
+        assert warmed.get("late") == _entry(2)
+        assert warmed.stats.expirations == 1
+
+    def test_legacy_file_without_timestamps_loads_fresh(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format_version": 1,
+                    "entries": [{"key": "a", "value": _entry(1)}],
+                }
+            )
+        )
+        cache = ResultCache(ttl_seconds=10.0)
+        assert cache.load(path) == 1
+        assert cache.get("a") == _entry(1)
+
+
 class TestCacheKeys:
     def test_key_ignores_plan_enumeration_order(self):
         problem = generate_paper_testcase(5, 2, seed=3)
