@@ -11,20 +11,23 @@ stack: protocol, queue, worker pool, executor.
 
 Reported: client-observed p50/p99 latency, jobs/sec, and the server's
 own ``stats`` snapshot (per-endpoint latencies, queue wait).  Besides
-the text exhibit, everything is persisted as
-``benchmark_results/BENCH_server.json`` so CI can archive the perf
-trajectory as an artifact.
+the text exhibit, everything is persisted as a schema-validated BENCH
+document (``benchmark_results/BENCH_server.json``, see
+``docs/benchmarks.md``) — the same shape every other benchmark emits —
+which CI archives as an artifact and gates with
+``tools/check_bench_regression.py`` against the committed baseline in
+``benchmark_results/baselines/``.
 """
 
-import json
 import os
 import threading
 import time
 from pathlib import Path
 
+from repro.bench.schema import build_bench_document, save_bench_document
+from repro.bench.stats import summarize_latencies
 from repro.server.app import ServerConfig, run_server_in_thread
 from repro.server.client import SolverClient
-from repro.server.metrics import LatencyStats
 
 DURATION_S = float(os.environ.get("REPRO_BENCH_SERVER_SECONDS", "5"))
 NUM_CLIENTS = max(4, int(os.environ.get("REPRO_BENCH_SERVER_CLIENTS", "4")))
@@ -91,44 +94,52 @@ def bench_server_throughput(benchmark, save_exhibit):
         "every client must complete jobs — per-client fairness is broken otherwise"
     )
     jobs_per_s = len(latencies) / elapsed_s
-    # Same nearest-rank estimator the server's stats endpoint uses, so
-    # client-side and server-side percentiles stay comparable.
-    latency_stats = LatencyStats(window=len(latencies))
-    for sample in latencies:
-        latency_stats.observe(sample)
+    latency_block = summarize_latencies(latencies)
 
-    record = {
-        "clients": NUM_CLIENTS,
-        "server_workers": SERVER_WORKERS,
+    scenario = {
+        "name": "closed-loop-climb",
+        "family": "paper",
+        "jobs": len(latencies),
+        "failures": 0,
         "duration_s": round(elapsed_s, 3),
-        "budget_ms_per_job": BUDGET_MS,
-        "solver": SOLVER,
-        "jobs_completed": len(latencies),
-        "jobs_per_second": round(jobs_per_s, 3),
-        "latency_p50_ms": round(latency_stats.percentile(0.50), 3),
-        "latency_p99_ms": round(latency_stats.percentile(0.99), 3),
-        "latency_max_ms": round(latency_stats.max_ms, 3),
+        "throughput_jobs_per_s": round(jobs_per_s, 3),
+        "latency_ms": latency_block,
         "min_jobs_per_client": min(len(bucket) for bucket in per_client_latencies),
         "server_stats": server_stats,
     }
+    totals = {
+        "jobs": len(latencies),
+        "failures": 0,
+        "duration_s": round(elapsed_s, 3),
+        "throughput_jobs_per_s": round(jobs_per_s, 3),
+        "latency_ms": latency_block,
+    }
+    document = build_bench_document(
+        suite="server",
+        mode="server",
+        scenarios=[scenario],
+        totals=totals,
+        config={
+            "clients": NUM_CLIENTS,
+            "server_workers": SERVER_WORKERS,
+            "window_s": DURATION_S,
+            "budget_ms": BUDGET_MS,
+            "solver": SOLVER,
+        },
+    )
     results_dir = Path(__file__).resolve().parent.parent / "benchmark_results"
-    results_dir.mkdir(exist_ok=True)
-    (results_dir / "BENCH_server.json").write_text(json.dumps(record, indent=2))
+    save_bench_document(document, results_dir / "BENCH_server.json")
 
     lines = [
         f"Server throughput: {NUM_CLIENTS} closed-loop clients, "
         f"{SERVER_WORKERS} workers, {DURATION_S:.0f}s window",
         "",
+        f"  {'jobs_completed':>20}: {len(latencies)}",
+        f"  {'jobs_per_second':>20}: {round(jobs_per_s, 3)}",
     ]
-    for key in (
-        "jobs_completed",
-        "jobs_per_second",
-        "latency_p50_ms",
-        "latency_p99_ms",
-        "latency_max_ms",
-        "min_jobs_per_client",
-    ):
-        lines.append(f"  {key:>20}: {record[key]}")
+    for key in ("p50", "p99", "max"):
+        lines.append(f"  {'latency_' + key + '_ms':>20}: {latency_block[key]}")
+    lines.append(f"  {'min_jobs_per_client':>20}: {scenario['min_jobs_per_client']}")
     lines.append(
         f"  {'server queue_wait':>20}: p50={server_stats['queue_wait']['p50_ms']} ms, "
         f"p99={server_stats['queue_wait']['p99_ms']} ms"
@@ -137,6 +148,6 @@ def bench_server_throughput(benchmark, save_exhibit):
 
     # Sanity floor, not a race: the stack must sustain real concurrent
     # traffic (p99 should stay within a few job budgets of p50).
-    assert jobs_per_s > NUM_CLIENTS / 2.0, f"server too slow: {record}"
-    assert record["latency_p99_ms"] >= record["latency_p50_ms"]
+    assert jobs_per_s > NUM_CLIENTS / 2.0, f"server too slow: {document['totals']}"
+    assert latency_block["p99"] >= latency_block["p50"]
     assert server_stats["counters"]["jobs_completed"] >= len(latencies)

@@ -7,15 +7,17 @@ Each job runs the CLIMB heuristic under a fixed per-job budget, so the
 workload is budget-bound and the comparison measures the executor's
 concurrency, not solver luck.
 
-Besides the usual text exhibit, the speedup is persisted as JSON
-(``benchmark_results/service_throughput.json``) so regressions are
-machine-checkable.
+Both passes are persisted as one schema-validated BENCH document
+(``benchmark_results/BENCH_service.json``; scenario ``sequential``
+versus ``batch-pool``), so the speedup is machine-checkable with the
+same tooling as every other benchmark.
 """
 
-import json
 import time
 from pathlib import Path
 
+from repro.bench.schema import build_bench_document, save_bench_document
+from repro.bench.stats import summarize_latencies
 from repro.mqo.generator import generate_paper_testcase
 from repro.service.batch import BatchExecutor
 from repro.service.jobs import SolveRequest
@@ -36,6 +38,20 @@ def _workload():
         )
         for index in range(NUM_INSTANCES)
     ]
+
+
+def _scenario(name, results, elapsed_s):
+    """One BENCH scenario block from a pass over the workload."""
+    latencies_ms = [result.total_time_ms for result in results]
+    return {
+        "name": name,
+        "family": "paper",
+        "jobs": len(results),
+        "failures": sum(1 for result in results if not result.ok),
+        "duration_s": round(elapsed_s, 3),
+        "throughput_jobs_per_s": round(len(results) / elapsed_s, 3),
+        "latency_ms": summarize_latencies(latencies_ms),
+    }
 
 
 def bench_service_batch_throughput(benchmark, save_exhibit):
@@ -61,22 +77,48 @@ def bench_service_batch_throughput(benchmark, save_exhibit):
     assert [r.seed for r in sequential] == [r.seed for r in batched]
 
     speedup = sequential_s / batched_s
-    record = {
-        "instances": NUM_INSTANCES,
-        "workers": WORKERS,
-        "budget_ms_per_job": BUDGET_MS,
-        "sequential_s": round(sequential_s, 3),
-        "batch_s": round(batched_s, 3),
-        "speedup": round(speedup, 3),
+    scenarios = [
+        _scenario("sequential", sequential, sequential_s),
+        _scenario("batch-pool", batched, batched_s),
+    ]
+    totals = {
+        "jobs": 2 * NUM_INSTANCES,
+        "failures": 0,
+        "duration_s": round(sequential_s + batched_s, 3),
+        "throughput_jobs_per_s": round(
+            2 * NUM_INSTANCES / (sequential_s + batched_s), 3
+        ),
+        "latency_ms": summarize_latencies(
+            [r.total_time_ms for r in sequential + batched]
+        ),
     }
+    document = build_bench_document(
+        suite="service",
+        mode="service",
+        scenarios=scenarios,
+        totals=totals,
+        config={
+            "instances": NUM_INSTANCES,
+            "workers": WORKERS,
+            "budget_ms": BUDGET_MS,
+            "base_seed": BASE_SEED,
+            "speedup": round(speedup, 3),
+        },
+    )
     results_dir = Path(__file__).resolve().parent.parent / "benchmark_results"
-    results_dir.mkdir(exist_ok=True)
-    (results_dir / "service_throughput.json").write_text(json.dumps(record, indent=2))
+    save_bench_document(document, results_dir / "BENCH_service.json")
 
     lines = ["Service throughput: sequential loop vs batch executor", ""]
-    lines += [f"  {key:>18}: {value}" for key, value in record.items()]
+    lines += [
+        f"  {'instances':>18}: {NUM_INSTANCES}",
+        f"  {'workers':>18}: {WORKERS}",
+        f"  {'budget_ms_per_job':>18}: {BUDGET_MS}",
+        f"  {'sequential_s':>18}: {round(sequential_s, 3)}",
+        f"  {'batch_s':>18}: {round(batched_s, 3)}",
+        f"  {'speedup':>18}: {round(speedup, 3)}",
+    ]
     save_exhibit("service_throughput", "\n".join(lines))
 
     # The batch executor must beat the sequential loop on a budget-bound
     # workload; 4 workers leave comfortable margin over pool overhead.
-    assert speedup > 1.2, f"batch executor too slow: {record}"
+    assert speedup > 1.2, f"batch executor too slow: {document['config']}"

@@ -111,7 +111,7 @@ from repro.service import (
     default_registry,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.server import (  # noqa: E402 — needs __version__ for the hello frame
     ServerConfig,
@@ -120,8 +120,37 @@ from repro.server import (  # noqa: E402 — needs __version__ for the hello fra
     SolverServer,
     run_server_in_thread,
 )
+from repro.workloads import (  # noqa: E402
+    ArrivalProcess,
+    ScenarioSpec,
+    WorkloadFamily,
+    WorkloadSuite,
+    get_family,
+    get_suite,
+    list_families,
+    list_suites,
+    workload_family,
+)
+from repro.bench import (  # noqa: E402
+    BenchOrchestrator,
+    BenchRunConfig,
+    validate_bench_document,
+)
 
 __all__ = [
+    # workloads + bench
+    "ArrivalProcess",
+    "ScenarioSpec",
+    "WorkloadFamily",
+    "WorkloadSuite",
+    "get_family",
+    "get_suite",
+    "list_families",
+    "list_suites",
+    "workload_family",
+    "BenchOrchestrator",
+    "BenchRunConfig",
+    "validate_bench_document",
     # server
     "SolverServer",
     "ServerConfig",

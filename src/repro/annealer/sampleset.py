@@ -9,7 +9,7 @@ with the device-time accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterator, List, Mapping, Sequence
+from typing import Dict, Hashable, Iterator, List
 
 from repro.exceptions import DeviceError
 

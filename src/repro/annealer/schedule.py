@@ -9,7 +9,6 @@ schedule is provided for the schedule-sensitivity ablation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import numpy as np
 

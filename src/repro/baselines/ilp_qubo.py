@@ -20,7 +20,7 @@ slower of the two ILP variants.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -29,7 +29,7 @@ from repro.baselines.greedy import GreedyConstructiveSolver
 from repro.baselines.milp.branch_and_bound import BranchAndBoundSolver, MilpResult
 from repro.baselines.milp.model import BinaryLinearProgram
 from repro.core.logical import LogicalMapping, LogicalMappingConfig
-from repro.mqo.problem import MQOProblem, MQOSolution
+from repro.mqo.problem import MQOProblem
 from repro.qubo.model import QUBOModel
 from repro.utils.rng import SeedLike
 

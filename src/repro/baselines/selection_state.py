@@ -8,7 +8,7 @@ and application of single-query plan swaps.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.exceptions import InvalidSolutionError
 from repro.mqo.problem import MQOProblem, MQOSolution

@@ -1,0 +1,53 @@
+"""repro.bench — the unified benchmark orchestrator and BENCH schema.
+
+Every benchmark in this repository emits one schema-validated
+``benchmark_results/BENCH_<suite>.json`` (see ``docs/benchmarks.md``):
+
+* :mod:`repro.bench.schema` — the document shape, validator, and
+  build/save/load helpers,
+* :mod:`repro.bench.stats` — the shared nearest-rank latency estimator,
+* :mod:`repro.bench.env` — the environment fingerprint embedded in
+  every document,
+* :mod:`repro.bench.orchestrator` — :class:`BenchOrchestrator`, which
+  runs any registered workload suite (:mod:`repro.workloads`) against
+  the service frontend or a live server and aggregates latency,
+  throughput and solution quality.
+
+``repro-mqo bench --suite <name>`` is the CLI entry point;
+``tools/check_bench_regression.py`` gates CI on these documents.
+"""
+
+from repro.bench.env import environment_fingerprint
+from repro.bench.orchestrator import (
+    BenchOrchestrator,
+    BenchRunConfig,
+    emit_workload_jsonl,
+    render_summary,
+)
+from repro.bench.schema import (
+    BENCH_FORMAT_VERSION,
+    BENCH_KIND,
+    BenchSchemaError,
+    build_bench_document,
+    load_bench_document,
+    save_bench_document,
+    validate_bench_document,
+)
+from repro.bench.stats import percentile, summarize_latencies
+
+__all__ = [
+    "BENCH_FORMAT_VERSION",
+    "BENCH_KIND",
+    "BenchOrchestrator",
+    "BenchRunConfig",
+    "BenchSchemaError",
+    "build_bench_document",
+    "emit_workload_jsonl",
+    "environment_fingerprint",
+    "load_bench_document",
+    "percentile",
+    "render_summary",
+    "save_bench_document",
+    "summarize_latencies",
+    "validate_bench_document",
+]

@@ -1,0 +1,62 @@
+"""Environment fingerprinting for benchmark documents.
+
+Every BENCH document embeds a snapshot of the machine and software
+stack that produced it, so two numbers are never compared without
+knowing whether they came from comparable environments (the perf
+regression gate prints both fingerprints on failure).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+from typing import Any, Dict
+
+__all__ = ["environment_fingerprint"]
+
+
+def _git_commit() -> str:
+    """The current git commit hash, or ``"unknown"`` outside a checkout."""
+    try:
+        output = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    commit = output.stdout.strip()
+    return commit if output.returncode == 0 and commit else "unknown"
+
+
+def environment_fingerprint() -> Dict[str, Any]:
+    """A JSON-friendly snapshot of the benchmarking environment.
+
+    Captures the interpreter, platform, CPU count, the versions of the
+    numeric stack, the git commit and whether CI is detected (the ``CI``
+    environment variable convention).
+    """
+    import numpy
+
+    try:
+        import scipy
+
+        scipy_version = scipy.__version__
+    except ImportError:  # pragma: no cover - scipy is a hard dep today
+        scipy_version = "unavailable"
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "numpy": numpy.__version__,
+        "scipy": scipy_version,
+        "git_commit": _git_commit(),
+        "ci": bool(os.environ.get("CI")),
+        "argv0": os.path.basename(sys.argv[0]) if sys.argv else "",
+    }

@@ -1,0 +1,218 @@
+"""The BENCH document schema: one JSON shape for every benchmark.
+
+Every benchmark in this repository — the suite orchestrator, the server
+load test, the service speedup exhibit — emits a
+``benchmark_results/BENCH_<suite>.json`` conforming to the shape below
+(documented in ``docs/benchmarks.md``), and the perf regression gate
+(``tools/check_bench_regression.py``) refuses documents that do not
+validate.  The validator is hand-rolled (no jsonschema dependency) but
+strict: unknown *required-section* types, missing keys and non-numeric
+metrics all fail.
+
+Document shape (format_version 1)::
+
+    {
+      "format_version": 1,
+      "kind": "repro-mqo-bench",
+      "suite": "<suite name>",
+      "mode": "service" | "server",
+      "created_unix": <float>,
+      "env": {...},                      # environment_fingerprint()
+      "config": {...},                   # free-form run configuration
+      "scenarios": [
+        {
+          "name": "<scenario>", "family": "<family>",
+          "jobs": <int>, "failures": <int>,
+          "duration_s": <float>,
+          "throughput_jobs_per_s": <float>,
+          "latency_ms": {"p50":, "p99":, "max":, "mean":},
+          "quality": {"mean_gap_to_best_known":, "worst_gap_to_best_known":,
+                      "best_known_matches": <int>},
+          ...                            # extra keys allowed
+        }, ...
+      ],
+      "totals": {
+        "jobs": <int>, "failures": <int>, "duration_s": <float>,
+        "throughput_jobs_per_s": <float>,
+        "latency_ms": {"p50":, "p99":, "max":, "mean":}
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.bench.env import environment_fingerprint
+from repro.bench.stats import LATENCY_KEYS
+from repro.exceptions import ReproError
+
+__all__ = [
+    "BENCH_FORMAT_VERSION",
+    "BENCH_KIND",
+    "BenchSchemaError",
+    "build_bench_document",
+    "validate_bench_document",
+    "load_bench_document",
+    "save_bench_document",
+]
+
+BENCH_FORMAT_VERSION = 1
+BENCH_KIND = "repro-mqo-bench"
+
+_ENV_REQUIRED_KEYS = ("python", "platform", "cpu_count", "numpy", "git_commit")
+_SCENARIO_REQUIRED_NUMBERS = ("duration_s", "throughput_jobs_per_s")
+_TOTALS_REQUIRED_NUMBERS = ("duration_s", "throughput_jobs_per_s")
+
+
+class BenchSchemaError(ReproError):
+    """Raised when a BENCH document does not conform to the schema."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise BenchSchemaError(message)
+
+
+def _check_number(container: Mapping[str, Any], key: str, where: str) -> None:
+    value = container.get(key)
+    _require(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        f"{where}.{key} must be a number, got {value!r}",
+    )
+
+
+def _check_latency_block(container: Mapping[str, Any], where: str) -> None:
+    block = container.get("latency_ms")
+    _require(isinstance(block, Mapping), f"{where}.latency_ms must be an object")
+    for key in LATENCY_KEYS:
+        _check_number(block, key, f"{where}.latency_ms")
+    _require(
+        block["p50"] <= block["p99"] <= block["max"],
+        f"{where}.latency_ms percentiles must be ordered p50 <= p99 <= max",
+    )
+
+
+def validate_bench_document(document: Mapping[str, Any]) -> None:
+    """Validate ``document`` against the BENCH schema; raises on failure."""
+    _require(isinstance(document, Mapping), "BENCH document must be a JSON object")
+    _require(
+        document.get("format_version") == BENCH_FORMAT_VERSION,
+        f"format_version must be {BENCH_FORMAT_VERSION}, "
+        f"got {document.get('format_version')!r}",
+    )
+    _require(
+        document.get("kind") == BENCH_KIND,
+        f"kind must be {BENCH_KIND!r}, got {document.get('kind')!r}",
+    )
+    _require(
+        isinstance(document.get("suite"), str) and document["suite"] != "",
+        "suite must be a non-empty string",
+    )
+    _require(
+        document.get("mode") in ("service", "server"),
+        f"mode must be 'service' or 'server', got {document.get('mode')!r}",
+    )
+    _check_number(document, "created_unix", "document")
+
+    env = document.get("env")
+    _require(isinstance(env, Mapping), "env must be an object")
+    for key in _ENV_REQUIRED_KEYS:
+        _require(key in env, f"env is missing the {key!r} key")
+
+    _require(isinstance(document.get("config"), Mapping), "config must be an object")
+
+    scenarios = document.get("scenarios")
+    _require(
+        isinstance(scenarios, Sequence) and not isinstance(scenarios, (str, bytes)),
+        "scenarios must be an array",
+    )
+    _require(len(scenarios) > 0, "scenarios must not be empty")
+    seen_names = set()
+    for position, scenario in enumerate(scenarios):
+        where = f"scenarios[{position}]"
+        _require(isinstance(scenario, Mapping), f"{where} must be an object")
+        for key in ("name", "family"):
+            _require(
+                isinstance(scenario.get(key), str) and scenario[key] != "",
+                f"{where}.{key} must be a non-empty string",
+            )
+        _require(
+            scenario["name"] not in seen_names,
+            f"duplicate scenario name {scenario['name']!r}",
+        )
+        seen_names.add(scenario["name"])
+        for key in ("jobs", "failures"):
+            value = scenario.get(key)
+            _require(
+                isinstance(value, int) and not isinstance(value, bool) and value >= 0,
+                f"{where}.{key} must be a non-negative integer, got {value!r}",
+            )
+        for key in _SCENARIO_REQUIRED_NUMBERS:
+            _check_number(scenario, key, where)
+        _check_latency_block(scenario, where)
+
+    totals = document.get("totals")
+    _require(isinstance(totals, Mapping), "totals must be an object")
+    for key in ("jobs", "failures"):
+        value = totals.get(key)
+        _require(
+            isinstance(value, int) and not isinstance(value, bool) and value >= 0,
+            f"totals.{key} must be a non-negative integer, got {value!r}",
+        )
+    for key in _TOTALS_REQUIRED_NUMBERS:
+        _check_number(totals, key, "totals")
+    _check_latency_block(totals, "totals")
+    _require(
+        totals["jobs"] == sum(s["jobs"] for s in scenarios),
+        "totals.jobs must equal the sum of per-scenario jobs",
+    )
+
+
+def build_bench_document(
+    suite: str,
+    mode: str,
+    scenarios: List[Dict[str, Any]],
+    totals: Dict[str, Any],
+    config: Optional[Dict[str, Any]] = None,
+    env: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble and validate a BENCH document from its parts."""
+    document = {
+        "format_version": BENCH_FORMAT_VERSION,
+        "kind": BENCH_KIND,
+        "suite": suite,
+        "mode": mode,
+        "created_unix": round(time.time(), 3),
+        "env": env if env is not None else environment_fingerprint(),
+        "config": dict(config or {}),
+        "scenarios": scenarios,
+        "totals": totals,
+    }
+    validate_bench_document(document)
+    return document
+
+
+def save_bench_document(document: Mapping[str, Any], path: str | Path) -> Path:
+    """Validate and write ``document`` to ``path`` (pretty-printed)."""
+    validate_bench_document(document)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_bench_document(path: str | Path) -> Dict[str, Any]:
+    """Read and validate a BENCH document from ``path``."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text())
+    except OSError as exc:
+        raise BenchSchemaError(f"cannot read BENCH document {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BenchSchemaError(f"{path} is not valid JSON: {exc}") from exc
+    validate_bench_document(document)
+    return document

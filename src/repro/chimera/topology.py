@@ -24,7 +24,7 @@ or equivalently by :class:`ChimeraCoordinate` tuples
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
 
 import networkx as nx
 

@@ -1,6 +1,6 @@
 """Command-line interface: ``repro-mqo``.
 
-Six subcommands cover the common workflows:
+Seven subcommands cover the common workflows:
 
 * ``solve``    — generate (or load) an instance and solve it on the
   simulated annealer plus selected classical baselines (``--json`` for
@@ -10,6 +10,9 @@ Six subcommands cover the common workflows:
 * ``serve``    — run the async solver server (see ``docs/server.md``),
 * ``submit``   — send a JSONL workload to a running server and stream
   the results back as JSONL,
+* ``bench``    — run a registered workload suite through the benchmark
+  orchestrator and write a schema-validated ``BENCH_<suite>.json``
+  (see ``docs/benchmarks.md`` and ``docs/workloads.md``),
 * ``capacity`` — print the Figure 7 capacity frontier for a qubit budget,
 * ``info``     — print the device model and profile configuration.
 """
@@ -21,7 +24,6 @@ import asyncio
 import json
 import sys
 from collections import OrderedDict, deque
-from pathlib import Path
 from typing import Iterator, Optional, Sequence, Tuple
 
 from repro.baselines.genetic import GeneticAlgorithmSolver
@@ -230,6 +232,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument(
         "--output", type=str, default=None, help="write result JSONL here instead of stdout"
+    )
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run a workload suite through the benchmark orchestrator",
+        description=(
+            "Run every scenario of a registered workload suite against a "
+            "solver (in-process service or a real server on an ephemeral "
+            "port) and write one schema-validated BENCH_<suite>.json with "
+            "per-scenario latency, throughput and solution quality. "
+            "See docs/benchmarks.md."
+        ),
+    )
+    bench.add_argument(
+        "--suite", type=str, default="smoke", help="registered workload suite name"
+    )
+    bench.add_argument(
+        "--list",
+        action="store_true",
+        help="list registered suites and scenario families, then exit",
+    )
+    bench.add_argument(
+        "--mode",
+        choices=["service", "server"],
+        default="service",
+        help="run through the in-process service or a real TCP server",
+    )
+    bench.add_argument(
+        "--solver",
+        type=str,
+        default="CLIMB",
+        help="registered solver name, or 'portfolio' to race",
+    )
+    bench.add_argument(
+        "--budget-ms",
+        type=float,
+        default=None,
+        help="per-job budget override (default: the suite's)",
+    )
+    bench.add_argument(
+        "--instances",
+        type=int,
+        default=None,
+        help="instances per scenario override (default: the suite's)",
+    )
+    bench.add_argument(
+        "--seed", type=int, default=0, help="base seed for per-job solve seeds"
+    )
+    bench.add_argument(
+        "--workers", type=int, default=0, help="server worker slots (server mode)"
+    )
+    bench.add_argument(
+        "--quality-reference",
+        type=str,
+        default="GREEDY",
+        help="reference solver for the quality gap ('' disables)",
+    )
+    bench.add_argument(
+        "--output-dir",
+        type=str,
+        default="benchmark_results",
+        help="directory receiving BENCH_<suite>.json",
+    )
+    bench.add_argument(
+        "--no-save",
+        action="store_true",
+        help="print the summary without writing the BENCH document",
+    )
+    bench.add_argument(
+        "--emit-workload",
+        type=str,
+        metavar="PATH",
+        default=None,
+        help="write the suite as a JSONL workload for batch/submit, then exit",
     )
 
     capacity = subparsers.add_parser(
@@ -680,6 +756,61 @@ def _run_submit(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    """Run a workload suite through the benchmark orchestrator."""
+    from repro.bench import BenchOrchestrator, BenchRunConfig, emit_workload_jsonl, render_summary
+    from repro.workloads import list_families, list_suites
+
+    if args.list:
+        print("Workload suites:")
+        for suite in list_suites():
+            arrival = f", {suite.arrival.kind} arrivals" if suite.arrival else ""
+            print(
+                f"  {suite.name:16s} {len(suite.scenarios):2d} scenarios, "
+                f"budget {suite.default_budget_ms:g} ms{arrival} — {suite.description}"
+            )
+            for spec in suite.scenarios:
+                print(f"      {spec.name:22s} [{spec.family}] seed={spec.seed}")
+        print("\nScenario families:")
+        for family in list_families():
+            print(f"  {family.name:16s} {family.description}")
+        return 0
+
+    if args.emit_workload:
+        path = emit_workload_jsonl(
+            args.suite,
+            args.emit_workload,
+            solver=args.solver,
+            budget_ms=args.budget_ms,
+            instances=args.instances,
+        )
+        print(f"wrote workload JSONL to {path}", file=sys.stderr)
+        return 0
+
+    config = BenchRunConfig(
+        suite=args.suite,
+        mode=args.mode,
+        solver=args.solver,
+        budget_ms=args.budget_ms,
+        instances=args.instances,
+        seed=args.seed,
+        workers=args.workers,
+        quality_reference=args.quality_reference,
+    )
+    orchestrator = BenchOrchestrator(config)
+    if args.no_save:
+        document = orchestrator.run()
+    else:
+        document, path = orchestrator.run_and_save(args.output_dir)
+        print(f"wrote {path}", file=sys.stderr)
+    print(render_summary(document))
+    failures = document["totals"]["failures"]
+    if failures:
+        print(f"error: {failures} job(s) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_capacity(args: argparse.Namespace) -> int:
     print(figure7_table(qubit_budgets=tuple(args.qubits), pattern=args.pattern))
     return 0
@@ -717,6 +848,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_serve(args)
         if args.command == "submit":
             return _run_submit(args)
+        if args.command == "bench":
+            return _run_bench(args)
         if args.command == "capacity":
             return _run_capacity(args)
         if args.command == "info":

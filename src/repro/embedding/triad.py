@@ -26,7 +26,7 @@ intact chains remain.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Hashable, List, Sequence
 
 from repro.chimera.topology import ChimeraCoordinate, ChimeraGraph
 from repro.embedding.base import Embedding

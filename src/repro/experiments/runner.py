@@ -14,8 +14,8 @@ and timing information.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from repro.annealer.device import DWaveSamplerSimulator
 from repro.baselines.anytime import AnytimeSolver, SolverTrajectory

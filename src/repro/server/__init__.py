@@ -20,7 +20,9 @@ bounded worker pool) instead of paying cold-start per invocation.
 * :mod:`repro.server.app` — :class:`SolverServer` (connections,
   dispatch, graceful drain) and :func:`run_server_in_thread`,
 * :mod:`repro.server.client` — :class:`SolverClient`, the blocking
-  Python client.
+  Python client,
+* :mod:`repro.server.readiness` — :func:`wait_for_server`, the
+  poll-until-ping readiness probe shared by CI and the test fixtures.
 
 Quick start::
 
@@ -37,6 +39,11 @@ Or from a shell: ``repro-mqo serve`` / ``repro-mqo submit``.
 """
 
 from repro.server.app import ServerConfig, ServerHandle, SolverServer, run_server_in_thread
+# NOTE: repro.server.readiness is deliberately NOT imported here: it is
+# run as `python -m repro.server.readiness` (the CI readiness poll), and
+# importing it from the package __init__ would trigger Python's
+# found-in-sys.modules RuntimeWarning on every such invocation.  Import
+# it directly: `from repro.server.readiness import wait_for_server`.
 from repro.server.client import SolverClient
 from repro.server.metrics import EndpointStats, LatencyStats, ServerMetrics
 from repro.server.protocol import (

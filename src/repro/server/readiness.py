@@ -1,0 +1,94 @@
+"""Readiness polling for solver servers.
+
+``sleep N`` before talking to a freshly started server is timing-flaky:
+on a loaded CI runner N seconds may not be enough, and on a fast laptop
+it wastes N seconds.  :func:`wait_for_server` polls instead — first a
+raw TCP connect, then a full ``ping`` round-trip over the NDJSON
+protocol — and returns as soon as the server actually answers.
+
+Used by the CI server-smoke step (``python -m repro.server.readiness``)
+and by the server test fixtures (``tests/server/conftest.py``), so both
+share one definition of "the server is up".
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import sys
+import time
+from typing import List, Optional
+
+from repro.exceptions import ReproError, ServerError
+from repro.server.client import SolverClient
+
+__all__ = ["wait_for_server"]
+
+#: Default gap between connection attempts, in seconds.
+_POLL_INTERVAL_S = 0.05
+
+
+def wait_for_server(
+    host: str = "127.0.0.1",
+    port: int = 7337,
+    timeout_s: float = 15.0,
+    poll_interval_s: float = _POLL_INTERVAL_S,
+) -> float:
+    """Block until a solver server answers a ping at ``host:port``.
+
+    Returns the seconds spent waiting.  Raises
+    :class:`~repro.exceptions.ServerError` when the deadline passes
+    without a successful ping round-trip (the last connection error is
+    included in the message).
+    """
+    if timeout_s <= 0:
+        raise ReproError(f"timeout_s must be positive, got {timeout_s}")
+    start = time.perf_counter()
+    deadline = start + timeout_s
+    last_error: Optional[Exception] = None
+    while time.perf_counter() < deadline:
+        # Cheap TCP probe first: most of the waiting happens before the
+        # socket is even listening, and a failed connect is far cheaper
+        # than building a client.
+        try:
+            probe = socket.create_connection((host, port), timeout=poll_interval_s * 4)
+            probe.close()
+        except OSError as exc:
+            last_error = exc
+            time.sleep(poll_interval_s)
+            continue
+        try:
+            with SolverClient(host=host, port=port, timeout_s=2.0) as client:
+                if client.ping():
+                    return time.perf_counter() - start
+        except ReproError as exc:
+            # Listening but not answering yet (or a stale socket from a
+            # dying server): keep polling until the deadline.
+            last_error = exc
+        time.sleep(poll_interval_s)
+    detail = f": {last_error}" if last_error is not None else ""
+    raise ServerError(
+        f"server at {host}:{port} not ready after {timeout_s:.1f}s{detail}"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI wrapper: exit 0 once the server is ready, 1 on timeout."""
+    parser = argparse.ArgumentParser(description=wait_for_server.__doc__)
+    parser.add_argument("--host", type=str, default="127.0.0.1", help="server address")
+    parser.add_argument("--port", type=int, default=7337, help="server port")
+    parser.add_argument(
+        "--timeout-s", type=float, default=15.0, help="give up after this many seconds"
+    )
+    args = parser.parse_args(argv)
+    try:
+        waited = wait_for_server(args.host, args.port, timeout_s=args.timeout_s)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"server at {args.host}:{args.port} ready after {waited:.2f}s", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

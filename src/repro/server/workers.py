@@ -31,7 +31,7 @@ from __future__ import annotations
 import asyncio
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.baselines.anytime import observe_improvements
 from repro.exceptions import AdmissionError

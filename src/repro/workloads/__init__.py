@@ -1,0 +1,66 @@
+"""repro.workloads — scenario-diverse MQO workload suites.
+
+The workload subsystem turns "generate me an instance" into a
+first-class, registry-driven affair (see ``docs/workloads.md``):
+
+* :mod:`repro.workloads.base` — the :class:`ScenarioSpec` model and the
+  family registry (:func:`workload_family` decorator),
+* :mod:`repro.workloads.families` — the built-in families: query-graph
+  topologies (star/chain/clique/bipartite), skewed and correlated cost
+  distributions, a TPC-H inspired template mix, beyond-capacity
+  instances, plus the paper's original shapes,
+* :mod:`repro.workloads.arrivals` — deterministic open-loop arrival
+  schedules (Poisson / bursty),
+* :mod:`repro.workloads.suites` — named suites (``smoke``,
+  ``standard``, ``stress``, ``stream-*``) consumed by ``repro-mqo
+  bench`` and the bench orchestrator.
+
+Importing this package registers every built-in family and suite.
+"""
+
+from repro.workloads import families as _families  # registers the families
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    arrival_times,
+    bursty_arrivals,
+    poisson_arrivals,
+    schedule_jobs,
+)
+from repro.workloads.base import (
+    ScenarioSpec,
+    WorkloadError,
+    WorkloadFamily,
+    build_scenario,
+    get_family,
+    list_families,
+    register_family,
+    workload_family,
+)
+from repro.workloads.suites import (
+    WorkloadSuite,
+    get_suite,
+    list_suites,
+    register_suite,
+)
+
+del _families
+
+__all__ = [
+    "ArrivalProcess",
+    "ScenarioSpec",
+    "WorkloadError",
+    "WorkloadFamily",
+    "WorkloadSuite",
+    "arrival_times",
+    "build_scenario",
+    "bursty_arrivals",
+    "get_family",
+    "get_suite",
+    "list_families",
+    "list_suites",
+    "poisson_arrivals",
+    "register_family",
+    "register_suite",
+    "schedule_jobs",
+    "workload_family",
+]

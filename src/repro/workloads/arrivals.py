@@ -1,0 +1,182 @@
+"""Deterministic open-loop arrival processes for dynamic workloads.
+
+Closed-loop load (the throughput benchmarks' default) submits the next
+job when the previous result returns, which can never overload the
+system under test.  Open-loop load submits on a *schedule* regardless of
+completions — the regime where queues actually grow.  This module
+generates such schedules deterministically from a seed:
+
+* :func:`poisson_arrivals` — memoryless traffic at a target rate,
+* :func:`bursty_arrivals` — Poisson background plus periodic bursts of
+  back-to-back arrivals (the "everyone refreshes the dashboard at 9am"
+  shape).
+
+An :class:`ArrivalProcess` bundles the knobs into a serialisable record
+so suites can carry their traffic shape, and :func:`schedule_jobs`
+zips a schedule with scenario specs into concrete ``(due_s, spec,
+instance)`` submissions for the bench orchestrator, ``repro-mqo serve``
+load generators, or JSONL workload emission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.utils.rng import ensure_rng
+from repro.workloads.base import ScenarioSpec, WorkloadError
+
+__all__ = [
+    "ArrivalProcess",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "arrival_times",
+    "schedule_jobs",
+]
+
+
+def poisson_arrivals(rate_per_s: float, duration_s: float, seed: int) -> List[float]:
+    """Arrival offsets (seconds) of a Poisson process, sorted ascending.
+
+    Inter-arrival gaps are exponential with mean ``1 / rate_per_s``;
+    offsets beyond ``duration_s`` are dropped.
+    """
+    if rate_per_s <= 0:
+        raise WorkloadError(f"rate_per_s must be positive, got {rate_per_s}")
+    if duration_s <= 0:
+        raise WorkloadError(f"duration_s must be positive, got {duration_s}")
+    rng = ensure_rng(seed)
+    times: List[float] = []
+    clock = 0.0
+    while True:
+        clock += float(rng.exponential(1.0 / rate_per_s))
+        if clock >= duration_s:
+            return times
+        times.append(round(clock, 9))
+
+
+def bursty_arrivals(
+    rate_per_s: float,
+    duration_s: float,
+    seed: int,
+    burst_every_s: float = 1.0,
+    burst_size: int = 5,
+    burst_spread_s: float = 0.01,
+) -> List[float]:
+    """Poisson background traffic plus periodic arrival bursts.
+
+    Every ``burst_every_s`` seconds, ``burst_size`` extra jobs arrive
+    nearly simultaneously (uniformly spread over ``burst_spread_s``).
+    The merged schedule is sorted ascending.
+    """
+    if burst_every_s <= 0:
+        raise WorkloadError(f"burst_every_s must be positive, got {burst_every_s}")
+    if burst_size < 0:
+        raise WorkloadError(f"burst_size must be non-negative, got {burst_size}")
+    if burst_spread_s < 0:
+        raise WorkloadError(f"burst_spread_s must be non-negative, got {burst_spread_s}")
+    background = poisson_arrivals(rate_per_s, duration_s, seed)
+    rng = ensure_rng(seed + 1)  # independent stream for the burst jitter
+    bursts: List[float] = []
+    epoch = burst_every_s
+    while epoch < duration_s:
+        for _ in range(burst_size):
+            offset = epoch + float(rng.uniform(0.0, burst_spread_s)) if burst_spread_s else epoch
+            if offset < duration_s:
+                bursts.append(round(offset, 9))
+        epoch += burst_every_s
+    return sorted(background + bursts)
+
+
+@dataclass(frozen=True)
+class ArrivalProcess:
+    """A serialisable traffic shape attached to a workload suite.
+
+    Attributes
+    ----------
+    kind:
+        ``"poisson"`` or ``"bursty"``.
+    rate_per_s / duration_s:
+        Background arrival rate and open-loop window length.
+    burst_every_s / burst_size / burst_spread_s:
+        Burst parameters (``bursty`` only; ignored for ``poisson``).
+    """
+
+    kind: str
+    rate_per_s: float
+    duration_s: float
+    burst_every_s: float = 1.0
+    burst_size: int = 5
+    burst_spread_s: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("poisson", "bursty"):
+            raise WorkloadError(
+                f"arrival kind must be 'poisson' or 'bursty', got {self.kind!r}"
+            )
+
+    def times(self, seed: int) -> List[float]:
+        """The arrival offsets of this process for ``seed``."""
+        return arrival_times(self, seed)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form carried inside BENCH documents."""
+        return {
+            "kind": self.kind,
+            "rate_per_s": self.rate_per_s,
+            "duration_s": self.duration_s,
+            "burst_every_s": self.burst_every_s,
+            "burst_size": self.burst_size,
+            "burst_spread_s": self.burst_spread_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ArrivalProcess":
+        """Rebuild a process from :meth:`to_dict` output."""
+        try:
+            return cls(
+                kind=str(data["kind"]),
+                rate_per_s=float(data["rate_per_s"]),
+                duration_s=float(data["duration_s"]),
+                burst_every_s=float(data.get("burst_every_s", 1.0)),
+                burst_size=int(data.get("burst_size", 5)),
+                burst_spread_s=float(data.get("burst_spread_s", 0.01)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WorkloadError(f"invalid arrival process {data!r}: {exc}") from exc
+
+
+def arrival_times(process: ArrivalProcess, seed: int) -> List[float]:
+    """Dispatch to the schedule generator matching ``process.kind``."""
+    if process.kind == "poisson":
+        return poisson_arrivals(process.rate_per_s, process.duration_s, seed)
+    return bursty_arrivals(
+        process.rate_per_s,
+        process.duration_s,
+        seed,
+        burst_every_s=process.burst_every_s,
+        burst_size=process.burst_size,
+        burst_spread_s=process.burst_spread_s,
+    )
+
+
+def schedule_jobs(
+    specs: Sequence[ScenarioSpec],
+    process: ArrivalProcess,
+    seed: int,
+) -> List[Tuple[float, ScenarioSpec, int]]:
+    """Zip an arrival schedule with scenario specs into submissions.
+
+    Arrivals cycle round-robin over ``specs``; the third tuple element
+    is the per-scenario instance counter, so every submission builds a
+    distinct deterministic problem (``spec.build(instance)``).
+    """
+    if not specs:
+        raise WorkloadError("schedule_jobs needs at least one scenario spec")
+    submissions: List[Tuple[float, ScenarioSpec, int]] = []
+    counters = [0] * len(specs)
+    for position, due_s in enumerate(arrival_times(process, seed)):
+        slot = position % len(specs)
+        submissions.append((due_s, specs[slot], counters[slot]))
+        counters[slot] += 1
+    return submissions

@@ -1,0 +1,191 @@
+"""Scenario model and family registry of the workload subsystem.
+
+A *family* is a deterministic, seed-parameterized generator of MQO
+instances (registered under a stable name via :func:`workload_family`);
+a :class:`ScenarioSpec` pins one family down to a concrete, replayable
+scenario (name, seed, parameter values).  Suites
+(:mod:`repro.workloads.suites`) are ordered collections of scenario
+specs that the bench orchestrator (:mod:`repro.bench`) runs against any
+registered solver.
+
+Determinism contract: building the same spec twice MUST yield
+byte-identical problems (asserted by the test suite through the JSON
+serialization), so families may only draw randomness from the
+:class:`numpy.random.Generator` derived from the spec's seed.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Tuple
+
+from repro.exceptions import ReproError
+from repro.mqo.problem import MQOProblem
+
+__all__ = [
+    "WorkloadError",
+    "ScenarioSpec",
+    "WorkloadFamily",
+    "workload_family",
+    "register_family",
+    "get_family",
+    "list_families",
+    "build_scenario",
+]
+
+
+class WorkloadError(ReproError):
+    """Raised for unknown families/suites and invalid scenario specs."""
+
+
+#: Signature of a family builder: ``(seed, **params) -> MQOProblem``.
+FamilyBuilder = Callable[..., MQOProblem]
+
+
+@dataclass(frozen=True)
+class WorkloadFamily:
+    """One registered scenario family.
+
+    Attributes
+    ----------
+    name:
+        Stable registry name (``star``, ``zipf``, ...).
+    description:
+        One-line summary shown by ``repro-mqo bench --list``.
+    builder:
+        Deterministic instance builder ``(seed, **params) -> MQOProblem``.
+    tags:
+        Free-form labels (``topology``, ``skew``, ``stream``, ...).
+    """
+
+    name: str
+    description: str
+    builder: FamilyBuilder
+    tags: Tuple[str, ...] = ()
+
+    def build(self, seed: int, **params: Any) -> MQOProblem:
+        """Build one instance of this family for ``seed`` and ``params``."""
+        return self.builder(seed, **params)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One concrete, replayable scenario: a family pinned to parameters.
+
+    Attributes
+    ----------
+    name:
+        Scenario name, unique within its suite (used in BENCH reports).
+    family:
+        Name of a registered :class:`WorkloadFamily`.
+    seed:
+        Base seed; instance ``i`` of the scenario is built with
+        ``seed + i`` so multi-instance runs stay deterministic.
+    params:
+        Family-specific keyword arguments.
+    """
+
+    name: str
+    family: str
+    seed: int = 0
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("scenario name must be non-empty")
+        object.__setattr__(self, "params", dict(self.params))
+
+    def build(self, instance: int = 0) -> MQOProblem:
+        """Build instance number ``instance`` of this scenario.
+
+        The problem's name is rewritten to
+        ``<scenario>#<instance>`` so bench reports and JSONL workloads
+        carry the scenario provenance.
+        """
+        if instance < 0:
+            raise WorkloadError(f"instance must be non-negative, got {instance}")
+        family = get_family(self.family)
+        problem = family.build(self.seed + instance, **self.params)
+        problem.name = f"{self.name}#{instance}"
+        return problem
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form (documented in docs/workloads.md)."""
+        return {
+            "name": self.name,
+            "family": self.family,
+            "seed": self.seed,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        try:
+            return cls(
+                name=str(data["name"]),
+                family=str(data["family"]),
+                seed=int(data.get("seed", 0)),
+                params=dict(data.get("params", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WorkloadError(f"invalid scenario spec {data!r}: {exc}") from exc
+
+
+_FAMILIES: Dict[str, WorkloadFamily] = {}
+_FAMILIES_LOCK = threading.Lock()
+
+
+def register_family(family: WorkloadFamily, replace: bool = False) -> WorkloadFamily:
+    """Register ``family`` under its name; duplicate names raise."""
+    with _FAMILIES_LOCK:
+        if family.name in _FAMILIES and not replace:
+            raise WorkloadError(
+                f"workload family {family.name!r} is already registered"
+            )
+        _FAMILIES[family.name] = family
+    return family
+
+
+def workload_family(
+    name: str, description: str, tags: Tuple[str, ...] = ()
+) -> Callable[[FamilyBuilder], FamilyBuilder]:
+    """Decorator registering a builder function as a workload family.
+
+    Usage::
+
+        @workload_family("star", "hub-and-spoke sharing")
+        def build_star(seed, num_queries=8, ...):
+            ...
+    """
+
+    def decorate(builder: FamilyBuilder) -> FamilyBuilder:
+        register_family(
+            WorkloadFamily(name=name, description=description, builder=builder, tags=tags)
+        )
+        return builder
+
+    return decorate
+
+
+def get_family(name: str) -> WorkloadFamily:
+    """The family registered under ``name`` (raises on unknown names)."""
+    with _FAMILIES_LOCK:
+        try:
+            return _FAMILIES[name]
+        except KeyError:
+            raise WorkloadError(
+                f"unknown workload family {name!r}; registered: {sorted(_FAMILIES)}"
+            ) from None
+
+
+def list_families() -> List[WorkloadFamily]:
+    """Every registered family, sorted by name."""
+    with _FAMILIES_LOCK:
+        return sorted(_FAMILIES.values(), key=lambda family: family.name)
+
+
+def build_scenario(spec: ScenarioSpec, instance: int = 0) -> MQOProblem:
+    """Convenience wrapper for :meth:`ScenarioSpec.build`."""
+    return spec.build(instance)

@@ -1,0 +1,532 @@
+"""The built-in scenario families.
+
+Every family is a deterministic, seed-parameterized MQO instance
+generator registered through :func:`~repro.workloads.base.workload_family`.
+The catalog deliberately goes far beyond the paper's evaluation shapes
+(which survive as the ``paper``/``random``/``clustered`` wrappers):
+
+* **query-graph topologies** — ``star``, ``chain``, ``clique``,
+  ``bipartite`` control *which* queries can share work,
+* **cost distributions** — ``zipf`` (heavy-tailed plan costs and
+  savings) and ``correlated`` (plan costs clustered around a per-query
+  base, savings proportional to the cheaper plan) control *how much*,
+* **traffic mixes** — ``tpch_mix`` draws queries from a bank of TPC-H
+  inspired templates with shared-scan groups,
+* **capacity stress** — ``oversubscribed`` sizes the instance *past*
+  the embedding capacity of a configurable Chimera device, exercising
+  the decomposition/classical paths instead of the native embedding.
+
+All randomness flows through :func:`repro.utils.rng.ensure_rng`, so a
+fixed seed reproduces instances byte-for-byte (asserted by the tests).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from repro.chimera.topology import ChimeraGraph
+from repro.embedding.native import NativeClusteredEmbedder
+from repro.mqo.generator import (
+    MQOGeneratorConfig,
+    generate_chimera_native_problem,
+    generate_clustered_problem,
+    generate_paper_testcase,
+    generate_random_problem,
+)
+from repro.mqo.problem import MQOProblem
+from repro.utils.rng import ensure_rng
+from repro.workloads.base import WorkloadError, workload_family
+
+__all__ = [
+    "build_star",
+    "build_chain",
+    "build_clique",
+    "build_bipartite",
+    "build_zipf",
+    "build_correlated",
+    "build_tpch_mix",
+    "build_oversubscribed",
+    "build_paper",
+    "build_random",
+    "build_clustered",
+]
+
+
+def _check_dimensions(num_queries: int, plans_per_query: int) -> None:
+    """Shared validation of the two universal size knobs."""
+    if num_queries <= 0 or plans_per_query <= 0:
+        raise WorkloadError(
+            f"num_queries and plans_per_query must be positive, got "
+            f"{num_queries} and {plans_per_query}"
+        )
+
+
+def _check_density(value: float, label: str) -> None:
+    """Validate a probability-typed parameter."""
+    if not 0.0 <= value <= 1.0:
+        raise WorkloadError(f"{label} must be in [0, 1], got {value}")
+
+
+@workload_family(
+    "star",
+    "hub-and-spoke sharing: every spoke query shares only with the hub",
+    tags=("topology",),
+)
+def build_star(
+    seed: int,
+    num_queries: int = 8,
+    plans_per_query: int = 2,
+    hub_density: float = 0.8,
+) -> MQOProblem:
+    """Star query graph: query 0 is the hub, all sharing passes through it.
+
+    Models one hot shared sub-expression (a popular materialised view or
+    scan) that many otherwise-independent queries can reuse.  Savings
+    exist only between hub plans and spoke plans, each pair sharing with
+    probability ``hub_density``.
+    """
+    _check_dimensions(num_queries, plans_per_query)
+    if num_queries < 2:
+        raise WorkloadError("a star needs at least 2 queries (hub + 1 spoke)")
+    _check_density(hub_density, "hub_density")
+    config = MQOGeneratorConfig()
+    rng = ensure_rng(seed)
+
+    plan_costs = [
+        [float(rng.integers(config.cost_low, config.cost_high + 1)) for _ in range(plans_per_query)]
+        for _ in range(num_queries)
+    ]
+    savings: Dict[Tuple[int, int], float] = {}
+    choices = config.saving_choices
+    for spoke in range(1, num_queries):
+        for hub_plan in range(plans_per_query):
+            for spoke_plan in range(plans_per_query):
+                if rng.random() >= hub_density:
+                    continue
+                pair = (hub_plan, spoke * plans_per_query + spoke_plan)
+                savings[pair] = float(choices[int(rng.integers(0, len(choices)))])
+    return MQOProblem(plan_costs, savings, name=f"star-q{num_queries}-l{plans_per_query}")
+
+
+@workload_family(
+    "chain",
+    "pipeline sharing: queries share only within a sliding neighbour window",
+    tags=("topology", "paper"),
+)
+def build_chain(
+    seed: int,
+    num_queries: int = 10,
+    plans_per_query: int = 2,
+    window: int = 1,
+    density: float = 0.75,
+) -> MQOProblem:
+    """Chain query graph (the paper's embedding-friendly shape, generalised).
+
+    Sharing links exist only between queries whose indices differ by at
+    most ``window``; each couplable cross plan pair shares with
+    probability ``density``.
+    """
+    _check_dimensions(num_queries, plans_per_query)
+    return generate_chimera_native_problem(
+        num_queries=num_queries,
+        plans_per_query=plans_per_query,
+        neighbor_window=window,
+        cross_pair_density=density,
+        seed=seed,
+        name=f"chain-q{num_queries}-l{plans_per_query}-w{window}",
+    )
+
+
+@workload_family(
+    "clique",
+    "dense all-pairs sharing: every query pair can reuse work",
+    tags=("topology", "dense"),
+)
+def build_clique(
+    seed: int,
+    num_queries: int = 8,
+    plans_per_query: int = 2,
+    density: float = 0.9,
+) -> MQOProblem:
+    """Clique query graph: (almost) every cross-query plan pair shares.
+
+    The densest sharing structure — the worst case for embedding (chain
+    lengths grow with degree) and the best case for MQO gains.
+    """
+    _check_dimensions(num_queries, plans_per_query)
+    _check_density(density, "density")
+    return generate_random_problem(
+        num_queries=num_queries,
+        plans_per_query=plans_per_query,
+        sharing_density=density,
+        seed=seed,
+        name=f"clique-q{num_queries}-l{plans_per_query}",
+    )
+
+
+@workload_family(
+    "bipartite",
+    "two-tier sharing: producers and consumers share only across tiers",
+    tags=("topology",),
+)
+def build_bipartite(
+    seed: int,
+    num_producers: int = 4,
+    num_consumers: int = 6,
+    plans_per_query: int = 2,
+    density: float = 0.6,
+) -> MQOProblem:
+    """Bipartite query graph: ETL-style producer/consumer plan sharing.
+
+    Queries split into a producer tier (building intermediates) and a
+    consumer tier (reading them); savings exist only between tiers, each
+    cross-tier plan pair sharing with probability ``density``.
+    """
+    if num_producers <= 0 or num_consumers <= 0:
+        raise WorkloadError("both tiers need at least one query")
+    _check_dimensions(num_producers + num_consumers, plans_per_query)
+    _check_density(density, "density")
+    config = MQOGeneratorConfig()
+    rng = ensure_rng(seed)
+    num_queries = num_producers + num_consumers
+
+    plan_costs = [
+        [float(rng.integers(config.cost_low, config.cost_high + 1)) for _ in range(plans_per_query)]
+        for _ in range(num_queries)
+    ]
+    savings: Dict[Tuple[int, int], float] = {}
+    choices = config.saving_choices
+    for producer in range(num_producers):
+        for consumer in range(num_producers, num_queries):
+            for a in range(plans_per_query):
+                for b in range(plans_per_query):
+                    if rng.random() >= density:
+                        continue
+                    pair = (
+                        producer * plans_per_query + a,
+                        consumer * plans_per_query + b,
+                    )
+                    savings[pair] = float(choices[int(rng.integers(0, len(choices)))])
+    return MQOProblem(
+        plan_costs,
+        savings,
+        name=f"bipartite-p{num_producers}-c{num_consumers}-l{plans_per_query}",
+    )
+
+
+@workload_family(
+    "zipf",
+    "heavy-tailed plan costs and savings (Zipf-distributed)",
+    tags=("skew",),
+)
+def build_zipf(
+    seed: int,
+    num_queries: int = 10,
+    plans_per_query: int = 3,
+    alpha: float = 1.8,
+    density: float = 0.2,
+    cost_cap: float = 1000.0,
+) -> MQOProblem:
+    """Zipf-skewed instance: a few very expensive plans and savings.
+
+    Plan costs and savings are drawn from a Zipf(``alpha``) distribution
+    capped at ``cost_cap`` — the classic web/OLAP skew where most work
+    is cheap but the tail dominates the total.  Sharing pairs are chosen
+    uniformly with probability ``density``; each saving is capped by the
+    cheaper plan of the pair so solutions keep non-trivial structure.
+    """
+    _check_dimensions(num_queries, plans_per_query)
+    _check_density(density, "density")
+    if alpha <= 1.0:
+        raise WorkloadError(f"alpha must be > 1 for a Zipf distribution, got {alpha}")
+    if cost_cap <= 0:
+        raise WorkloadError(f"cost_cap must be positive, got {cost_cap}")
+    rng = ensure_rng(seed)
+
+    plan_costs = [
+        [min(float(rng.zipf(alpha)), cost_cap) for _ in range(plans_per_query)]
+        for _ in range(num_queries)
+    ]
+    savings: Dict[Tuple[int, int], float] = {}
+    num_plans = num_queries * plans_per_query
+    for p1 in range(num_plans):
+        for p2 in range(p1 + 1, num_plans):
+            if p1 // plans_per_query == p2 // plans_per_query:
+                continue
+            if rng.random() >= density:
+                continue
+            cheaper = min(
+                plan_costs[p1 // plans_per_query][p1 % plans_per_query],
+                plan_costs[p2 // plans_per_query][p2 % plans_per_query],
+            )
+            draw = min(float(rng.zipf(alpha)), cost_cap)
+            value = min(draw, cheaper)
+            if value > 0:
+                savings[(p1, p2)] = value
+    return MQOProblem(plan_costs, savings, name=f"zipf-q{num_queries}-l{plans_per_query}")
+
+
+@workload_family(
+    "correlated",
+    "per-query base costs with correlated plan costs and savings",
+    tags=("skew",),
+)
+def build_correlated(
+    seed: int,
+    num_queries: int = 10,
+    plans_per_query: int = 3,
+    jitter: float = 0.25,
+    density: float = 0.25,
+    share_fraction: float = 0.5,
+) -> MQOProblem:
+    """Correlated costs: plans of one query cluster around a base cost.
+
+    Each query draws a base cost; its plans deviate by at most
+    ``jitter`` (relative).  A sharing pair saves ``share_fraction`` of
+    the cheaper plan's cost — expensive queries both cost and save more,
+    the correlation real optimizers face.
+    """
+    _check_dimensions(num_queries, plans_per_query)
+    _check_density(density, "density")
+    if not 0.0 <= jitter <= 1.0:
+        raise WorkloadError(f"jitter must be in [0, 1], got {jitter}")
+    if not 0.0 < share_fraction < 1.0:
+        raise WorkloadError(f"share_fraction must be in (0, 1), got {share_fraction}")
+    rng = ensure_rng(seed)
+
+    base_costs = [float(rng.uniform(2.0, 20.0)) for _ in range(num_queries)]
+    plan_costs = [
+        [
+            round(base * (1.0 + jitter * float(rng.uniform(-1.0, 1.0))), 6)
+            for _ in range(plans_per_query)
+        ]
+        for base in base_costs
+    ]
+    savings: Dict[Tuple[int, int], float] = {}
+    num_plans = num_queries * plans_per_query
+    for p1 in range(num_plans):
+        for p2 in range(p1 + 1, num_plans):
+            if p1 // plans_per_query == p2 // plans_per_query:
+                continue
+            if rng.random() >= density:
+                continue
+            cheaper = min(
+                plan_costs[p1 // plans_per_query][p1 % plans_per_query],
+                plan_costs[p2 // plans_per_query][p2 % plans_per_query],
+            )
+            value = round(share_fraction * cheaper, 6)
+            if value > 0:
+                savings[(p1, p2)] = value
+    return MQOProblem(
+        plan_costs, savings, name=f"correlated-q{num_queries}-l{plans_per_query}"
+    )
+
+
+#: TPC-H inspired template bank: (plans, base_cost, scan_group).  The 22
+#: entries mirror the spirit of TPC-H Q1..Q22 — a few heavy aggregation
+#: queries, many mid-weight joins, light lookups — partitioned into scan
+#: groups of queries touching the same large tables (lineitem, orders,
+#: ...); only queries in one group can share work.
+_TPCH_TEMPLATES: Tuple[Tuple[int, float, int], ...] = (
+    (2, 95.0, 0),  # Q1: lineitem full-scan aggregation
+    (3, 12.0, 1),  # Q2: part/supplier lookup
+    (3, 55.0, 0),  # Q3: lineitem + orders join
+    (2, 35.0, 2),  # Q4: orders semi-join
+    (4, 60.0, 0),  # Q5: 6-way join over lineitem
+    (2, 40.0, 0),  # Q6: lineitem range filter
+    (4, 58.0, 0),  # Q7: volume shipping join
+    (4, 62.0, 0),  # Q8: national market share
+    (4, 70.0, 1),  # Q9: product profit (part-driven)
+    (3, 45.0, 2),  # Q10: returned items
+    (3, 15.0, 1),  # Q11: important stock
+    (2, 38.0, 2),  # Q12: shipping modes
+    (2, 25.0, 3),  # Q13: customer distribution
+    (2, 42.0, 0),  # Q14: promotion effect
+    (2, 44.0, 0),  # Q15: top supplier (revenue view)
+    (3, 14.0, 1),  # Q16: parts/supplier counts
+    (3, 48.0, 0),  # Q17: small-quantity orders
+    (3, 52.0, 2),  # Q18: large-volume customers
+    (2, 46.0, 0),  # Q19: discounted revenue
+    (3, 18.0, 1),  # Q20: potential part promotion
+    (4, 56.0, 0),  # Q21: suppliers who kept orders waiting
+    (2, 22.0, 3),  # Q22: global sales opportunity
+)
+
+
+@workload_family(
+    "tpch_mix",
+    "TPC-H inspired template mix with shared-scan groups",
+    tags=("mix",),
+)
+def build_tpch_mix(
+    seed: int,
+    num_queries: int = 12,
+    density: float = 0.5,
+    share_fraction: float = 0.3,
+    heavy_bias: float = 0.0,
+) -> MQOProblem:
+    """A template-mix instance in the spirit of TPC-H.
+
+    Each query instantiates one of 22 templates (plans-per-query, base
+    cost and *scan group* — which big table dominates it).  Queries from
+    the same scan group can share scans: each cross plan pair shares
+    with probability ``density``, saving ``share_fraction`` of the
+    cheaper plan.  ``heavy_bias`` in [0, 1) skews the template draw
+    toward the expensive templates (0 = uniform).
+    """
+    if num_queries <= 0:
+        raise WorkloadError(f"num_queries must be positive, got {num_queries}")
+    _check_density(density, "density")
+    if not 0.0 < share_fraction < 1.0:
+        raise WorkloadError(f"share_fraction must be in (0, 1), got {share_fraction}")
+    if not 0.0 <= heavy_bias < 1.0:
+        raise WorkloadError(f"heavy_bias must be in [0, 1), got {heavy_bias}")
+    rng = ensure_rng(seed)
+
+    weights = [1.0 + heavy_bias * (cost / 100.0) for _, cost, _ in _TPCH_TEMPLATES]
+    total_weight = sum(weights)
+    probabilities = [w / total_weight for w in weights]
+    template_ids = [
+        int(rng.choice(len(_TPCH_TEMPLATES), p=probabilities)) for _ in range(num_queries)
+    ]
+
+    plan_costs = []
+    groups = []
+    for template_id in template_ids:
+        plans, base_cost, group = _TPCH_TEMPLATES[template_id]
+        # Alternative plans of one template spread around its base cost
+        # (index/hash/merge variants of the same logical query).
+        plan_costs.append(
+            [round(base_cost * (1.0 + 0.2 * float(rng.uniform(-1.0, 1.0))), 6) for _ in range(plans)]
+        )
+        groups.append(group)
+
+    plan_offsets = []
+    cursor = 0
+    for costs in plan_costs:
+        plan_offsets.append(cursor)
+        cursor += len(costs)
+
+    savings: Dict[Tuple[int, int], float] = {}
+    for q1 in range(num_queries):
+        for q2 in range(q1 + 1, num_queries):
+            if groups[q1] != groups[q2]:
+                continue
+            for a in range(len(plan_costs[q1])):
+                for b in range(len(plan_costs[q2])):
+                    if rng.random() >= density:
+                        continue
+                    cheaper = min(plan_costs[q1][a], plan_costs[q2][b])
+                    value = round(share_fraction * cheaper, 6)
+                    if value > 0:
+                        savings[(plan_offsets[q1] + a, plan_offsets[q2] + b)] = value
+    return MQOProblem(plan_costs, savings, name=f"tpch-mix-q{num_queries}")
+
+
+@workload_family(
+    "oversubscribed",
+    "chain instance sized beyond a device's embedding capacity",
+    tags=("capacity", "stress"),
+)
+def build_oversubscribed(
+    seed: int,
+    plans_per_query: int = 2,
+    capacity_factor: float = 1.5,
+    cell_rows: int = 4,
+    cell_cols: int = 4,
+    density: float = 0.75,
+) -> MQOProblem:
+    """An instance that does NOT fit the given Chimera device.
+
+    The query count is the native clustered-embedding capacity of a
+    ``cell_rows`` x ``cell_cols`` Chimera graph multiplied by
+    ``capacity_factor`` (> 1), so the native pipeline must decompose or
+    fall back to classical solvers — the beyond-hardware-capacity regime
+    of Figure 7.
+    """
+    _check_dimensions(1, plans_per_query)
+    if capacity_factor <= 1.0:
+        raise WorkloadError(
+            f"capacity_factor must exceed 1 to oversubscribe, got {capacity_factor}"
+        )
+    if cell_rows <= 0 or cell_cols <= 0:
+        raise WorkloadError("cell_rows and cell_cols must be positive")
+    topology = ChimeraGraph(cell_rows, cell_cols)
+    capacity = NativeClusteredEmbedder(topology).capacity(plans_per_query)
+    if capacity <= 0:
+        raise WorkloadError(
+            f"a {cell_rows}x{cell_cols} Chimera graph cannot host any query "
+            f"with {plans_per_query} plans"
+        )
+    num_queries = max(capacity + 1, int(math.ceil(capacity * capacity_factor)))
+    return generate_chimera_native_problem(
+        num_queries=num_queries,
+        plans_per_query=plans_per_query,
+        neighbor_window=1,
+        cross_pair_density=density,
+        seed=seed,
+        name=(
+            f"oversub-q{num_queries}-l{plans_per_query}"
+            f"-cap{capacity}-{cell_rows}x{cell_cols}"
+        ),
+    )
+
+
+@workload_family(
+    "paper",
+    "the paper's Section 7.1 evaluation instances",
+    tags=("paper",),
+)
+def build_paper(
+    seed: int, num_queries: int = 10, plans_per_query: int = 2
+) -> MQOProblem:
+    """The paper's evaluation shape (chain, savings uniform from {1, 2})."""
+    _check_dimensions(num_queries, plans_per_query)
+    return generate_paper_testcase(num_queries, plans_per_query, seed=seed)
+
+
+@workload_family(
+    "random",
+    "fully random sharing structure (uniform density)",
+    tags=("baseline",),
+)
+def build_random(
+    seed: int,
+    num_queries: int = 10,
+    plans_per_query: int = 2,
+    density: float = 0.1,
+) -> MQOProblem:
+    """Uniformly random sharing — the unstructured control family."""
+    _check_dimensions(num_queries, plans_per_query)
+    return generate_random_problem(
+        num_queries=num_queries,
+        plans_per_query=plans_per_query,
+        sharing_density=density,
+        seed=seed,
+    )
+
+
+@workload_family(
+    "clustered",
+    "independent dense clusters (the Section 6 decomposition shape)",
+    tags=("topology", "paper"),
+)
+def build_clustered(
+    seed: int,
+    num_clusters: int = 3,
+    queries_per_cluster: int = 3,
+    plans_per_query: int = 2,
+    intra_density: float = 0.8,
+    inter_density: float = 0.0,
+) -> MQOProblem:
+    """Dense clusters with little or no cross-cluster sharing."""
+    _check_dimensions(num_clusters * queries_per_cluster, plans_per_query)
+    return generate_clustered_problem(
+        num_clusters=num_clusters,
+        queries_per_cluster=queries_per_cluster,
+        plans_per_query=plans_per_query,
+        intra_cluster_density=intra_density,
+        inter_cluster_density=inter_density,
+        seed=seed,
+    )

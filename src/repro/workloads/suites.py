@@ -1,0 +1,297 @@
+"""Workload suites: named, versioned bundles of scenarios.
+
+A :class:`WorkloadSuite` is what the bench orchestrator runs: an ordered
+tuple of :class:`~repro.workloads.base.ScenarioSpec` plus run defaults
+(time budget, instances per scenario) and an optional open-loop
+:class:`~repro.workloads.arrivals.ArrivalProcess`.  Suites register
+under stable names; ``repro-mqo bench --suite <name>`` looks them up
+here.
+
+Built-in suites:
+
+* ``smoke`` — one small scenario per family; finishes in seconds and is
+  the suite CI runs on every PR.
+* ``standard`` — mid-sized instances across every family, the default
+  for local comparisons.
+* ``stress`` — dense/oversubscribed instances at larger budgets.
+* ``stream-poisson`` / ``stream-bursty`` — open-loop traffic against a
+  live server (arrival schedules from :mod:`repro.workloads.arrivals`).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.workloads.arrivals import ArrivalProcess
+from repro.workloads.base import ScenarioSpec, WorkloadError, get_family
+
+__all__ = [
+    "WorkloadSuite",
+    "register_suite",
+    "get_suite",
+    "list_suites",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSuite:
+    """One named bundle of scenarios with run defaults.
+
+    Attributes
+    ----------
+    name / description:
+        Registry identity and the one-liner shown by ``bench --list``.
+    scenarios:
+        Ordered scenario specs; names must be unique within the suite.
+    default_budget_ms:
+        Per-job solve budget the orchestrator uses unless overridden.
+    instances_per_scenario:
+        Distinct instances built per scenario (seeds ``seed + i``).
+    arrival:
+        Optional open-loop traffic shape; when set, the orchestrator's
+        server mode submits on this schedule instead of closed-loop.
+    """
+
+    name: str
+    description: str
+    scenarios: Tuple[ScenarioSpec, ...]
+    default_budget_ms: float = 100.0
+    instances_per_scenario: int = 2
+    arrival: Optional[ArrivalProcess] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("suite name must be non-empty")
+        if not self.scenarios:
+            raise WorkloadError(f"suite {self.name!r} has no scenarios")
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        names = [spec.name for spec in self.scenarios]
+        if len(set(names)) != len(names):
+            raise WorkloadError(f"suite {self.name!r} has duplicate scenario names")
+        if self.default_budget_ms <= 0:
+            raise WorkloadError(
+                f"default_budget_ms must be positive, got {self.default_budget_ms}"
+            )
+        if self.instances_per_scenario <= 0:
+            raise WorkloadError(
+                f"instances_per_scenario must be positive, got {self.instances_per_scenario}"
+            )
+        for spec in self.scenarios:
+            get_family(spec.family)  # fail fast on unknown families
+
+    @property
+    def families(self) -> Tuple[str, ...]:
+        """The distinct families this suite covers, sorted."""
+        return tuple(sorted({spec.family for spec in self.scenarios}))
+
+
+_SUITES: Dict[str, WorkloadSuite] = {}
+_SUITES_LOCK = threading.Lock()
+
+
+def register_suite(suite: WorkloadSuite, replace: bool = False) -> WorkloadSuite:
+    """Register ``suite`` under its name; duplicate names raise."""
+    with _SUITES_LOCK:
+        if suite.name in _SUITES and not replace:
+            raise WorkloadError(f"workload suite {suite.name!r} is already registered")
+        _SUITES[suite.name] = suite
+    return suite
+
+
+def get_suite(name: str) -> WorkloadSuite:
+    """The suite registered under ``name`` (raises on unknown names)."""
+    with _SUITES_LOCK:
+        try:
+            return _SUITES[name]
+        except KeyError:
+            raise WorkloadError(
+                f"unknown workload suite {name!r}; registered: {sorted(_SUITES)}"
+            ) from None
+
+
+def list_suites() -> List[WorkloadSuite]:
+    """Every registered suite, sorted by name."""
+    with _SUITES_LOCK:
+        return sorted(_SUITES.values(), key=lambda suite: suite.name)
+
+
+def _smoke_scenarios() -> Tuple[ScenarioSpec, ...]:
+    """One small scenario per family — the CI suite."""
+    return (
+        ScenarioSpec("star-small", "star", seed=11, params={"num_queries": 6, "plans_per_query": 2}),
+        ScenarioSpec("chain-small", "chain", seed=12, params={"num_queries": 8, "plans_per_query": 2}),
+        ScenarioSpec("clique-small", "clique", seed=13, params={"num_queries": 6, "plans_per_query": 2}),
+        ScenarioSpec(
+            "bipartite-small",
+            "bipartite",
+            seed=14,
+            params={"num_producers": 3, "num_consumers": 4, "plans_per_query": 2},
+        ),
+        ScenarioSpec("zipf-small", "zipf", seed=15, params={"num_queries": 8, "plans_per_query": 2}),
+        ScenarioSpec(
+            "correlated-small",
+            "correlated",
+            seed=16,
+            params={"num_queries": 8, "plans_per_query": 2},
+        ),
+        ScenarioSpec("tpch-small", "tpch_mix", seed=17, params={"num_queries": 8}),
+        ScenarioSpec(
+            "oversub-small",
+            "oversubscribed",
+            seed=18,
+            params={"plans_per_query": 2, "capacity_factor": 1.5, "cell_rows": 2, "cell_cols": 2},
+        ),
+        ScenarioSpec("paper-small", "paper", seed=19, params={"num_queries": 8, "plans_per_query": 2}),
+        ScenarioSpec("random-small", "random", seed=20, params={"num_queries": 8, "plans_per_query": 2}),
+        ScenarioSpec(
+            "clustered-small",
+            "clustered",
+            seed=21,
+            params={"num_clusters": 2, "queries_per_cluster": 3, "plans_per_query": 2},
+        ),
+    )
+
+
+def _standard_scenarios() -> Tuple[ScenarioSpec, ...]:
+    """Mid-sized instances across every family."""
+    return (
+        ScenarioSpec("star", "star", seed=111, params={"num_queries": 16, "plans_per_query": 3}),
+        ScenarioSpec(
+            "chain-window2",
+            "chain",
+            seed=112,
+            params={"num_queries": 24, "plans_per_query": 3, "window": 2},
+        ),
+        ScenarioSpec("clique", "clique", seed=113, params={"num_queries": 12, "plans_per_query": 3}),
+        ScenarioSpec(
+            "bipartite",
+            "bipartite",
+            seed=114,
+            params={"num_producers": 6, "num_consumers": 10, "plans_per_query": 3},
+        ),
+        ScenarioSpec("zipf", "zipf", seed=115, params={"num_queries": 20, "plans_per_query": 3}),
+        ScenarioSpec(
+            "correlated", "correlated", seed=116, params={"num_queries": 20, "plans_per_query": 3}
+        ),
+        ScenarioSpec("tpch", "tpch_mix", seed=117, params={"num_queries": 22}),
+        ScenarioSpec(
+            "oversub",
+            "oversubscribed",
+            seed=118,
+            params={"plans_per_query": 2, "capacity_factor": 1.5, "cell_rows": 3, "cell_cols": 3},
+        ),
+        ScenarioSpec("paper", "paper", seed=119, params={"num_queries": 20, "plans_per_query": 2}),
+        ScenarioSpec("random", "random", seed=120, params={"num_queries": 20, "plans_per_query": 3}),
+        ScenarioSpec(
+            "clustered",
+            "clustered",
+            seed=121,
+            params={"num_clusters": 4, "queries_per_cluster": 4, "plans_per_query": 3},
+        ),
+    )
+
+
+def _stress_scenarios() -> Tuple[ScenarioSpec, ...]:
+    """Dense and beyond-capacity instances."""
+    return (
+        ScenarioSpec(
+            "clique-dense",
+            "clique",
+            seed=211,
+            params={"num_queries": 24, "plans_per_query": 3, "density": 0.95},
+        ),
+        ScenarioSpec(
+            "zipf-heavy",
+            "zipf",
+            seed=212,
+            params={"num_queries": 40, "plans_per_query": 4, "alpha": 1.3, "density": 0.3},
+        ),
+        ScenarioSpec(
+            "tpch-heavy", "tpch_mix", seed=213, params={"num_queries": 44, "heavy_bias": 0.9}
+        ),
+        ScenarioSpec(
+            "oversub-2x",
+            "oversubscribed",
+            seed=214,
+            params={"plans_per_query": 2, "capacity_factor": 2.0, "cell_rows": 4, "cell_cols": 4},
+        ),
+        ScenarioSpec(
+            "star-wide", "star", seed=215, params={"num_queries": 48, "plans_per_query": 3}
+        ),
+    )
+
+
+def _stream_scenarios() -> Tuple[ScenarioSpec, ...]:
+    """Small instances suitable for high-rate open-loop submission."""
+    return (
+        ScenarioSpec("stream-chain", "chain", seed=311, params={"num_queries": 5, "plans_per_query": 2}),
+        ScenarioSpec("stream-star", "star", seed=312, params={"num_queries": 5, "plans_per_query": 2}),
+        ScenarioSpec("stream-tpch", "tpch_mix", seed=313, params={"num_queries": 5}),
+    )
+
+
+def _register_builtin_suites() -> None:
+    """Register the built-in suites (idempotent via replace)."""
+    register_suite(
+        WorkloadSuite(
+            name="smoke",
+            description="one small scenario per family; the CI gate suite",
+            scenarios=_smoke_scenarios(),
+            default_budget_ms=40.0,
+            instances_per_scenario=2,
+        ),
+        replace=True,
+    )
+    register_suite(
+        WorkloadSuite(
+            name="standard",
+            description="mid-sized instances across every family",
+            scenarios=_standard_scenarios(),
+            default_budget_ms=250.0,
+            instances_per_scenario=3,
+        ),
+        replace=True,
+    )
+    register_suite(
+        WorkloadSuite(
+            name="stress",
+            description="dense, skewed and beyond-capacity instances",
+            scenarios=_stress_scenarios(),
+            default_budget_ms=500.0,
+            instances_per_scenario=2,
+        ),
+        replace=True,
+    )
+    register_suite(
+        WorkloadSuite(
+            name="stream-poisson",
+            description="open-loop Poisson traffic against a live server",
+            scenarios=_stream_scenarios(),
+            default_budget_ms=30.0,
+            instances_per_scenario=1,
+            arrival=ArrivalProcess(kind="poisson", rate_per_s=10.0, duration_s=3.0),
+        ),
+        replace=True,
+    )
+    register_suite(
+        WorkloadSuite(
+            name="stream-bursty",
+            description="open-loop bursty traffic against a live server",
+            scenarios=_stream_scenarios(),
+            default_budget_ms=30.0,
+            instances_per_scenario=1,
+            arrival=ArrivalProcess(
+                kind="bursty",
+                rate_per_s=5.0,
+                duration_s=3.0,
+                burst_every_s=1.0,
+                burst_size=8,
+            ),
+        ),
+        replace=True,
+    )
+
+
+_register_builtin_suites()

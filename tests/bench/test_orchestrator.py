@@ -1,0 +1,144 @@
+"""Tests for the bench orchestrator (service + server modes)."""
+
+import json
+
+import pytest
+
+from repro.bench.orchestrator import (
+    BenchOrchestrator,
+    BenchRunConfig,
+    emit_workload_jsonl,
+    render_summary,
+)
+from repro.bench.schema import validate_bench_document
+from repro.exceptions import ReproError
+from repro.service.jobs import request_from_spec
+from repro.workloads import ScenarioSpec, WorkloadSuite, register_suite
+
+#: A two-scenario suite small enough for sub-second orchestrator runs.
+TINY_SUITE = register_suite(
+    WorkloadSuite(
+        name="unit-tiny",
+        description="orchestrator unit-test suite",
+        scenarios=(
+            ScenarioSpec("tiny-paper", "paper", seed=5, params={"num_queries": 3}),
+            ScenarioSpec("tiny-star", "star", seed=6, params={"num_queries": 3}),
+        ),
+        default_budget_ms=10.0,
+        instances_per_scenario=2,
+    ),
+    replace=True,
+)
+
+
+class TestConfig:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ReproError, match="mode"):
+            BenchRunConfig(suite="unit-tiny", mode="batch")
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ReproError, match="budget_ms"):
+            BenchRunConfig(suite="unit-tiny", budget_ms=0.0)
+
+    def test_suite_defaults_apply(self):
+        orchestrator = BenchOrchestrator(BenchRunConfig(suite="unit-tiny"))
+        assert orchestrator.budget_ms == 10.0
+        assert orchestrator.instances == 2
+        overridden = BenchOrchestrator(
+            BenchRunConfig(suite="unit-tiny", budget_ms=25.0, instances=1)
+        )
+        assert overridden.budget_ms == 25.0
+        assert overridden.instances == 1
+
+
+class TestServiceMode:
+    def test_produces_a_valid_document_with_quality(self):
+        document = BenchOrchestrator(
+            BenchRunConfig(suite="unit-tiny", solver="CLIMB", seed=3)
+        ).run()
+        validate_bench_document(document)
+        assert document["suite"] == "unit-tiny"
+        assert document["mode"] == "service"
+        assert document["totals"]["jobs"] == 4
+        assert document["totals"]["failures"] == 0
+        names = [scenario["name"] for scenario in document["scenarios"]]
+        assert names == ["tiny-paper", "tiny-star"]
+        for scenario in document["scenarios"]:
+            assert scenario["jobs"] == 2
+            assert scenario["quality"]["mean_gap_to_best_known"] >= 0.0
+            assert 0 <= scenario["quality"]["best_known_matches"] <= 2
+
+    def test_quality_pass_can_be_disabled(self):
+        document = BenchOrchestrator(
+            BenchRunConfig(suite="unit-tiny", quality_reference="")
+        ).run()
+        validate_bench_document(document)
+        for scenario in document["scenarios"]:
+            assert "quality" not in scenario
+
+    def test_unknown_solver_reports_failures_not_crashes(self):
+        document = BenchOrchestrator(
+            BenchRunConfig(suite="unit-tiny", solver="NO-SUCH-SOLVER")
+        ).run()
+        validate_bench_document(document)
+        assert document["totals"]["failures"] == document["totals"]["jobs"]
+
+    def test_run_and_save_writes_bench_json(self, tmp_path):
+        document, path = BenchOrchestrator(
+            BenchRunConfig(suite="unit-tiny")
+        ).run_and_save(tmp_path)
+        assert path.name == "BENCH_unit-tiny.json"
+        assert json.loads(path.read_text())["totals"] == document["totals"]
+
+    def test_render_summary_mentions_every_scenario(self):
+        document = BenchOrchestrator(BenchRunConfig(suite="unit-tiny")).run()
+        summary = render_summary(document)
+        assert "tiny-paper" in summary and "tiny-star" in summary
+        assert "suite=unit-tiny" in summary
+
+
+class TestServerMode:
+    def test_closed_loop_against_a_real_server(self):
+        document = BenchOrchestrator(
+            BenchRunConfig(suite="unit-tiny", mode="server", solver="CLIMB")
+        ).run()
+        validate_bench_document(document)
+        assert document["mode"] == "server"
+        assert document["totals"]["failures"] == 0
+        assert document["totals"]["jobs"] == 4
+
+
+class TestOpenLoopConfig:
+    def test_instances_override_rejected_for_open_loop_suites(self):
+        with pytest.raises(ReproError, match="arrival schedule"):
+            BenchOrchestrator(
+                BenchRunConfig(suite="stream-poisson", mode="server", instances=5)
+            )
+
+    def test_service_mode_run_of_a_stream_suite_reports_closed_loop(self):
+        document = BenchOrchestrator(
+            BenchRunConfig(
+                suite="stream-poisson", mode="service", budget_ms=5.0, instances=1
+            )
+        ).run()
+        validate_bench_document(document)
+        # The arrival schedule is ignored in service mode, and the
+        # document must not pretend otherwise.
+        assert "arrival" not in document["config"]
+        assert "open_loop" not in document["config"]
+        assert document["config"]["instances_per_scenario"] == 1
+
+
+class TestEmitWorkload:
+    def test_jsonl_lines_rebuild_the_exact_instances(self, tmp_path):
+        path = emit_workload_jsonl(
+            "unit-tiny", tmp_path / "suite.jsonl", solver="CLIMB"
+        )
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 4
+        expected = TINY_SUITE.scenarios[0].build(0)
+        request = request_from_spec(lines[0])
+        assert request.solver == "CLIMB"
+        assert request.time_budget_ms == 10.0
+        assert request.problem.canonical_hash() == expected.canonical_hash()
+        assert lines[0]["metadata"] == {"scenario": "tiny-paper", "family": "paper"}

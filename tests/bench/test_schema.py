@@ -1,0 +1,118 @@
+"""Tests for the BENCH document schema and validator."""
+
+import copy
+
+import pytest
+
+from repro.bench.schema import (
+    BENCH_FORMAT_VERSION,
+    BENCH_KIND,
+    BenchSchemaError,
+    build_bench_document,
+    load_bench_document,
+    save_bench_document,
+    validate_bench_document,
+)
+from repro.bench.stats import summarize_latencies
+
+
+def minimal_document() -> dict:
+    """A small, valid BENCH document used as the mutation baseline."""
+    latency = summarize_latencies([10.0, 12.0, 20.0])
+    scenario = {
+        "name": "s1",
+        "family": "paper",
+        "jobs": 3,
+        "failures": 0,
+        "duration_s": 0.042,
+        "throughput_jobs_per_s": 71.4,
+        "latency_ms": latency,
+    }
+    totals = {
+        "jobs": 3,
+        "failures": 0,
+        "duration_s": 0.042,
+        "throughput_jobs_per_s": 71.4,
+        "latency_ms": latency,
+    }
+    return build_bench_document(
+        suite="unit", mode="service", scenarios=[scenario], totals=totals
+    )
+
+
+class TestBuildAndValidate:
+    def test_build_produces_a_valid_document(self):
+        document = minimal_document()
+        validate_bench_document(document)
+        assert document["format_version"] == BENCH_FORMAT_VERSION
+        assert document["kind"] == BENCH_KIND
+        assert document["env"]["python"]
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda d: d.update(format_version=99), "format_version"),
+            (lambda d: d.update(kind="other"), "kind"),
+            (lambda d: d.update(suite=""), "suite"),
+            (lambda d: d.update(mode="batch"), "mode"),
+            (lambda d: d.pop("created_unix"), "created_unix"),
+            (lambda d: d.update(env=[]), "env"),
+            (lambda d: d["env"].pop("python"), "python"),
+            (lambda d: d.update(scenarios=[]), "scenarios"),
+            (lambda d: d["scenarios"][0].pop("family"), "family"),
+            (lambda d: d["scenarios"][0].update(jobs=-1), "jobs"),
+            (lambda d: d["scenarios"][0].update(jobs=True), "jobs"),
+            (lambda d: d["scenarios"][0]["latency_ms"].pop("p99"), "p99"),
+            (lambda d: d["totals"].update(jobs=7), "totals.jobs"),
+            (lambda d: d["totals"].pop("latency_ms"), "latency_ms"),
+        ],
+    )
+    def test_mutations_fail_validation(self, mutate, message):
+        document = minimal_document()
+        mutate(document)
+        with pytest.raises(BenchSchemaError, match=message):
+            validate_bench_document(document)
+
+    def test_unordered_percentiles_rejected(self):
+        document = minimal_document()
+        document["totals"]["latency_ms"]["p50"] = 999.0
+        with pytest.raises(BenchSchemaError, match="ordered"):
+            validate_bench_document(document)
+
+    def test_duplicate_scenario_names_rejected(self):
+        document = minimal_document()
+        twin = copy.deepcopy(document["scenarios"][0])
+        document["scenarios"].append(twin)
+        document["totals"]["jobs"] = 6
+        with pytest.raises(BenchSchemaError, match="duplicate"):
+            validate_bench_document(document)
+
+    def test_extra_keys_are_allowed(self):
+        document = minimal_document()
+        document["scenarios"][0]["server_stats"] = {"anything": 1}
+        document["config"]["speedup"] = 3.5
+        validate_bench_document(document)
+
+
+class TestSaveAndLoad:
+    def test_round_trip(self, tmp_path):
+        document = minimal_document()
+        path = save_bench_document(document, tmp_path / "BENCH_unit.json")
+        assert load_bench_document(path) == document
+
+    def test_save_refuses_invalid_documents(self, tmp_path):
+        document = minimal_document()
+        document["totals"]["jobs"] = 99
+        with pytest.raises(BenchSchemaError):
+            save_bench_document(document, tmp_path / "BENCH_bad.json")
+        assert not (tmp_path / "BENCH_bad.json").exists()
+
+    def test_load_rejects_malformed_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchSchemaError, match="not valid JSON"):
+            load_bench_document(path)
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(BenchSchemaError, match="cannot read"):
+            load_bench_document(tmp_path / "absent.json")

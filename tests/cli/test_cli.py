@@ -179,9 +179,9 @@ class TestBatchCommand:
         assert main(common) == 0
         warm = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
         assert all(line["from_cache"] for line in warm)
-        by_job = lambda lines: sorted(
-            (line["job_id"], line["best_cost"]) for line in lines
-        )
+        def by_job(lines):
+            return sorted((line["job_id"], line["best_cost"]) for line in lines)
+
         assert by_job(cold) == by_job(warm)
 
     def test_batch_output_file(self, tmp_path):

@@ -1,0 +1,104 @@
+"""Tests for the ``repro-mqo bench`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestBenchParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.suite == "smoke"
+        assert args.mode == "service"
+        assert args.solver == "CLIMB"
+        assert args.budget_ms is None
+        assert args.output_dir == "benchmark_results"
+        assert not args.list
+        assert not args.no_save
+
+    def test_mode_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--mode", "batch"])
+
+
+class TestBenchList:
+    def test_lists_suites_and_families(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "smoke" in output
+        assert "stream-poisson" in output
+        for family in ("star", "zipf", "tpch_mix", "oversubscribed"):
+            assert family in output
+
+
+class TestBenchRun:
+    def test_smoke_run_writes_validated_document(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "bench",
+                "--suite",
+                "smoke",
+                "--instances",
+                "1",
+                "--budget-ms",
+                "10",
+                "--output-dir",
+                str(tmp_path),
+            ]
+        )
+        assert exit_code == 0
+        path = tmp_path / "BENCH_smoke.json"
+        assert path.exists()
+        from repro.bench.schema import load_bench_document
+
+        document = load_bench_document(path)
+        assert document["suite"] == "smoke"
+        assert document["totals"]["failures"] == 0
+        # every registered smoke scenario ran
+        assert len(document["scenarios"]) == 11
+        assert "suite=smoke" in capsys.readouterr().out
+
+    def test_no_save_writes_nothing(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        exit_code = main(
+            ["bench", "--suite", "smoke", "--instances", "1", "--budget-ms", "10", "--no-save"]
+        )
+        assert exit_code == 0
+        assert not (tmp_path / "benchmark_results").exists()
+
+    def test_unknown_suite_is_a_clean_error(self, capsys):
+        assert main(["bench", "--suite", "missing"]) == 2
+        assert "unknown workload suite" in capsys.readouterr().err
+
+    def test_failing_jobs_exit_nonzero(self, capsys):
+        exit_code = main(
+            [
+                "bench",
+                "--suite",
+                "smoke",
+                "--instances",
+                "1",
+                "--budget-ms",
+                "10",
+                "--solver",
+                "NO-SUCH",
+                "--no-save",
+            ]
+        )
+        assert exit_code == 1
+        assert "failed" in capsys.readouterr().err
+
+    def test_emit_workload_round_trips_through_batch(self, tmp_path, capsys):
+        workload = tmp_path / "suite.jsonl"
+        assert main(["bench", "--suite", "smoke", "--emit-workload", str(workload)]) == 0
+        lines = [json.loads(line) for line in workload.read_text().splitlines()]
+        assert len(lines) == 22  # 11 scenarios x 2 instances
+        capsys.readouterr()
+        # The emitted JSONL is directly consumable by `repro-mqo batch`.
+        assert main(["batch", str(workload), "--solver", "CLIMB"]) == 0
+        results = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert len(results) == 22
+        assert all(result["error"] is None for result in results)
+        assert results[0]["metadata"]["scenario"] == "star-small"

@@ -1,7 +1,5 @@
 """Tests for the qubit-complexity analysis (paper Section 6, Figure 7)."""
 
-import math
-
 import pytest
 
 from repro.chimera.topology import ChimeraGraph

@@ -4,11 +4,9 @@ import itertools
 
 import pytest
 
-from repro.chimera.topology import ChimeraGraph
 from repro.core.logical import LogicalMapping
 from repro.core.physical import PhysicalMappingConfig, embed_logical_qubo
 from repro.embedding.base import Embedding
-from repro.embedding.native import NativeClusteredEmbedder
 from repro.embedding.triad import TriadEmbedder
 from repro.embedding.unembed import ChainReadout
 from repro.exceptions import EmbeddingError
@@ -103,7 +101,6 @@ class TestChainStrength:
         """The Choi bound guarantees the physical ground state has consistent chains."""
         mapping, embedding = _embedded_mapping(small_chimera)
         problem = mapping.problem
-        physical = embed_logical_qubo(mapping.qubo, embedding, small_chimera)
         # Restrict to the first two queries to keep brute force feasible.
         sub_vars = [p for q in problem.queries[:2] for p in q.plan_indices]
         sub_logical = mapping.qubo.subinteractions(sub_vars)

@@ -5,7 +5,6 @@ import pytest
 from repro.annealer.device import DWaveSamplerSimulator
 from repro.annealer.noise import NoiseModel
 from repro.core.pipeline import QuantumMQO
-from repro.embedding.base import Embedding
 from repro.embedding.native import NativeClusteredEmbedder
 from repro.exceptions import EmbeddingError
 from repro.mqo.generator import generate_paper_testcase

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.chimera.topology import ChimeraCoordinate, ChimeraGraph
+from repro.chimera.topology import ChimeraCoordinate
 from repro.embedding.cell_patterns import (
     intra_cell_clique_chains,
     max_clique_size_per_cell,

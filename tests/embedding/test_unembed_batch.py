@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.chimera.topology import ChimeraGraph
 from repro.embedding.base import Embedding
 from repro.embedding.unembed import (
     ChainGather,

@@ -20,7 +20,6 @@ from repro.experiments.figures import (
 )
 from repro.experiments.profiles import ExperimentProfile
 from repro.experiments.runner import QA_SOLVER_NAME, ExperimentRunner
-from repro.experiments.scenarios import TestCaseClass
 from repro.experiments.tables import table1_rows, table1_table
 
 

@@ -52,3 +52,29 @@ class TestPaperTestClasses:
         classes = paper_test_classes(topology, PROFILES["default"])
         counts = [c.num_queries for c in classes]
         assert counts == sorted(counts, reverse=True)
+
+
+class TestScenarioDeterminism:
+    """PR 4 hardening: class derivation is a pure function of its inputs."""
+
+    def test_same_topology_and_profile_give_identical_classes(self):
+        topology = ChimeraGraph(6, 6)
+        first = paper_test_classes(topology, PROFILES["smoke"])
+        second = paper_test_classes(topology, PROFILES["smoke"])
+        assert first == second
+
+    def test_classes_feed_the_workload_registry_shapes(self):
+        """The paper family accepts every derived class size unchanged."""
+        from repro.workloads import get_family
+
+        topology = ChimeraGraph(4, 4)
+        for case in paper_test_classes(topology, PROFILES["smoke"], plans_range=(2, 3)):
+            problem = get_family("paper").build(
+                0,
+                num_queries=case.num_queries,
+                plans_per_query=case.plans_per_query,
+            )
+            assert problem.num_queries == case.num_queries
+            assert all(
+                query.num_plans == case.plans_per_query for query in problem.queries
+            )

@@ -68,3 +68,48 @@ class TestGenerateEmbeddedTestcase:
         testcase = generate_embedded_testcase(10, 2, topology, seed=11)
         testcase.embedding.validate(topology)
         assert not (testcase.embedding.used_qubits() & set(topology.broken_qubits))
+
+
+class TestDeterminismAndRoundTrip:
+    """PR 4 hardening: byte-determinism and serialization round-trips."""
+
+    def test_byte_deterministic_through_serialization(self, small_chimera):
+        import json
+
+        from repro.mqo.serialization import problem_to_dict
+
+        a = generate_embedded_testcase(8, 2, small_chimera, seed=13)
+        b = generate_embedded_testcase(8, 2, small_chimera, seed=13)
+        assert json.dumps(problem_to_dict(a.problem), sort_keys=True) == json.dumps(
+            problem_to_dict(b.problem), sort_keys=True
+        )
+
+    def test_schema_round_trip(self, small_chimera):
+        from repro.mqo.serialization import problem_from_dict, problem_to_dict
+
+        testcase = generate_embedded_testcase(9, 3, small_chimera, seed=14)
+        data = problem_to_dict(testcase.problem)
+        rebuilt = problem_from_dict(data)
+        assert problem_to_dict(rebuilt) == data
+        assert rebuilt.num_queries == testcase.num_queries
+
+
+class TestEmbeddedTestcaseProperties:
+    """Hypothesis: every generated problem has >= 1 plan per query."""
+
+    def test_at_least_one_plan_per_query(self, small_chimera):
+        import hypothesis.strategies as st
+        from hypothesis import given, settings
+
+        @settings(max_examples=20, deadline=None)
+        @given(
+            num_queries=st.integers(min_value=1, max_value=12),
+            plans=st.integers(min_value=2, max_value=4),
+            seed=st.integers(min_value=0, max_value=2**31 - 1),
+        )
+        def check(num_queries, plans, seed):
+            testcase = generate_embedded_testcase(num_queries, plans, small_chimera, seed=seed)
+            assert testcase.problem.num_queries == num_queries
+            assert all(q.num_plans >= 1 for q in testcase.problem.queries)
+
+        check()

@@ -9,7 +9,6 @@ The service-layer cache keys problems by
 * sensitive to every structural ingredient (costs, savings, topology).
 """
 
-import pytest
 
 from repro.mqo.generator import generate_paper_testcase, generate_random_problem
 from repro.mqo.problem import MQOProblem

@@ -20,6 +20,7 @@ import pytest
 from repro.baselines.anytime import AnytimeSolver, TrajectoryRecorder
 from repro.mqo.problem import MQOProblem, MQOSolution
 from repro.server.app import ServerConfig, run_server_in_thread
+from repro.server.readiness import wait_for_server
 from repro.service.frontend import ServiceFrontend
 from repro.service.registry import SolverRegistry
 
@@ -117,6 +118,8 @@ def server_factory(scripted_frontend):
             frontend if frontend is not None else scripted_frontend,
         )
         handles.append(handle)
+        # Same readiness probe CI uses: a served ping, not a sleep.
+        wait_for_server(port=handle.port, timeout_s=10.0)
         return handle
 
     yield start

@@ -1,0 +1,52 @@
+"""Tests for the server readiness probe (repro.server.readiness)."""
+
+import socket
+
+import pytest
+
+from repro.exceptions import ReproError, ServerError
+from repro.server.readiness import main, wait_for_server
+
+
+def _free_port() -> int:
+    """A port that was just free (nothing listens on it afterwards)."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestWaitForServer:
+    def test_returns_promptly_for_a_live_server(self, server_factory):
+        handle = server_factory()
+        waited = wait_for_server(port=handle.port, timeout_s=5.0)
+        assert 0.0 <= waited < 5.0
+
+    def test_times_out_against_a_dead_port(self):
+        with pytest.raises(ServerError, match="not ready"):
+            wait_for_server(port=_free_port(), timeout_s=0.3)
+
+    def test_rejects_non_positive_timeout(self):
+        with pytest.raises(ReproError, match="timeout_s"):
+            wait_for_server(port=_free_port(), timeout_s=0.0)
+
+    def test_listening_but_silent_socket_keeps_polling_until_timeout(self):
+        # A raw TCP listener that never speaks the protocol: the TCP
+        # probe succeeds but the ping never answers, so the probe must
+        # keep polling and time out instead of reporting readiness.
+        with socket.socket() as listener:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(1)
+            port = listener.getsockname()[1]
+            with pytest.raises(ServerError, match="not ready"):
+                wait_for_server(port=port, timeout_s=0.5)
+
+
+class TestMain:
+    def test_exit_zero_when_ready(self, server_factory, capsys):
+        handle = server_factory()
+        assert main(["--port", str(handle.port), "--timeout-s", "5"]) == 0
+        assert "ready" in capsys.readouterr().err
+
+    def test_exit_one_on_timeout(self, capsys):
+        assert main(["--port", str(_free_port()), "--timeout-s", "0.3"]) == 1
+        assert "error" in capsys.readouterr().err

@@ -225,11 +225,15 @@ class TestStatsEndpoint:
             client.ping()
             client.solve(tiny_problem(), solver="STEP", budget_ms=500.0)
             stats = client.stats()
-        assert stats["endpoints"]["ping"]["requests"] == 1
+        # The server_factory readiness probe polls with a raw TCP
+        # connect plus a pinging client of its own before the test
+        # client connects, so ping/connection counters carry an
+        # unknown (>= 1) probe contribution on top of this test's.
+        assert stats["endpoints"]["ping"]["requests"] >= 2
         assert stats["endpoints"]["solve"]["requests"] == 1
         assert stats["endpoints"]["solve"]["p50_ms"] >= 0.0
         assert stats["counters"]["jobs_completed"] == 1
-        assert stats["counters"]["connections_opened"] == 1
+        assert stats["counters"]["connections_opened"] >= 2
         assert stats["queue_depth"] == 0
         assert stats["inflight"] == 0
         assert stats["jobs_per_second"] > 0

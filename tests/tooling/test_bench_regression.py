@@ -1,0 +1,142 @@
+"""Tests for the perf regression gate (tools/check_bench_regression.py)."""
+
+import copy
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.schema import build_bench_document
+from repro.bench.stats import summarize_latencies
+
+TOOL_PATH = Path(__file__).resolve().parents[2] / "tools" / "check_bench_regression.py"
+
+
+@pytest.fixture(scope="module")
+def gate():
+    """The tool imported as a module (so exit codes are testable)."""
+    spec = importlib.util.spec_from_file_location("check_bench_regression", TOOL_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["check_bench_regression"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def document(throughput: float, p99: float, failures: int = 0) -> dict:
+    """A valid single-scenario BENCH document with the given totals."""
+    latency = summarize_latencies([p99 * 0.5, p99 * 0.8, p99])
+    scenario = {
+        "name": "load",
+        "family": "paper",
+        "jobs": 10,
+        "failures": failures,
+        "duration_s": 1.0,
+        "throughput_jobs_per_s": throughput,
+        "latency_ms": latency,
+    }
+    totals = dict(scenario)
+    for key in ("name", "family"):
+        totals.pop(key)
+    return build_bench_document(
+        suite="server", mode="server", scenarios=[scenario], totals=totals
+    )
+
+
+def write(tmp_path: Path, name: str, doc: dict) -> Path:
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return path
+
+
+class TestCompare:
+    def test_identical_documents_pass(self, gate):
+        doc = document(50.0, 120.0)
+        assert gate.compare_documents(doc, doc, tolerance=0.25) == []
+
+    def test_within_tolerance_passes(self, gate):
+        current = document(40.0, 145.0)  # -20% throughput, +21% p99
+        baseline = document(50.0, 120.0)
+        assert gate.compare_documents(current, baseline, tolerance=0.25) == []
+
+    def test_throughput_drop_fails(self, gate):
+        current = document(30.0, 120.0)  # -40%
+        baseline = document(50.0, 120.0)
+        failures = gate.compare_documents(current, baseline, tolerance=0.25)
+        assert any("throughput regressed" in failure for failure in failures)
+
+    def test_p99_growth_fails(self, gate):
+        current = document(50.0, 200.0)  # +66%
+        baseline = document(50.0, 120.0)
+        failures = gate.compare_documents(current, baseline, tolerance=0.25)
+        assert any("p99 latency regressed" in failure for failure in failures)
+
+    def test_job_failures_fail(self, gate):
+        current = document(50.0, 120.0, failures=2)
+        baseline = document(50.0, 120.0)
+        failures = gate.compare_documents(current, baseline, tolerance=0.25)
+        assert any("failed job" in failure for failure in failures)
+
+    def test_mode_mismatch_fails(self, gate):
+        current = document(50.0, 120.0)
+        baseline = copy.deepcopy(current)
+        baseline["mode"] = "service"
+        failures = gate.compare_documents(current, baseline, tolerance=0.25)
+        assert any("mode mismatch" in failure for failure in failures)
+
+    def test_suite_mismatch_fails(self, gate):
+        current = document(50.0, 120.0)
+        baseline = copy.deepcopy(current)
+        baseline["suite"] = "other"
+        failures = gate.compare_documents(current, baseline, tolerance=0.25)
+        assert any("suite mismatch" in failure for failure in failures)
+
+
+class TestMain:
+    def test_passing_run_exits_zero(self, gate, tmp_path, capsys):
+        current = write(tmp_path, "current.json", document(50.0, 120.0))
+        baseline = write(tmp_path, "baseline.json", document(48.0, 118.0))
+        assert gate.main([str(current), "--baseline", str(baseline)]) == 0
+        assert "OK: within" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, gate, tmp_path, capsys):
+        current = write(tmp_path, "current.json", document(20.0, 300.0))
+        baseline = write(tmp_path, "baseline.json", document(50.0, 120.0))
+        assert gate.main([str(current), "--baseline", str(baseline)]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.err
+        assert "env" in captured.err  # fingerprints printed on failure
+
+    def test_missing_baseline_exits_one(self, gate, tmp_path, capsys):
+        current = write(tmp_path, "current.json", document(50.0, 120.0))
+        assert gate.main([str(current), "--baseline", str(tmp_path / "no.json")]) == 1
+        assert "no baseline" in capsys.readouterr().err
+
+    def test_invalid_current_document_exits_one(self, gate, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert gate.main([str(bad)]) == 1
+        assert "current document invalid" in capsys.readouterr().err
+
+    def test_bad_tolerance_exits_two(self, gate, tmp_path):
+        current = write(tmp_path, "current.json", document(50.0, 120.0))
+        assert gate.main([str(current), "--tolerance", "2.0"]) == 2
+
+    def test_scenario_drift_is_advisory_only(self, gate, tmp_path, capsys):
+        current_doc = document(50.0, 120.0)
+        current_doc["scenarios"][0]["name"] = "renamed"
+        current = write(tmp_path, "current.json", current_doc)
+        baseline = write(tmp_path, "baseline.json", document(50.0, 120.0))
+        assert gate.main([str(current), "--baseline", str(baseline)]) == 0
+        assert "note:" in capsys.readouterr().out
+
+
+class TestCommittedBaseline:
+    def test_repo_baseline_exists_and_validates(self, gate):
+        baseline = gate.BASELINE_DIR / "BENCH_server.json"
+        assert baseline.exists(), "CI gates on this file; it must be committed"
+        from repro.bench.schema import load_bench_document
+
+        document = load_bench_document(baseline)
+        assert document["suite"] == "server"

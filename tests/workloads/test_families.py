@@ -1,0 +1,183 @@
+"""Tests for the workload family registry and the built-in families."""
+
+import json
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.chimera.topology import ChimeraGraph
+from repro.embedding.native import NativeClusteredEmbedder
+from repro.mqo.serialization import problem_from_dict, problem_to_dict
+from repro.workloads import (
+    ScenarioSpec,
+    WorkloadError,
+    get_family,
+    list_families,
+    register_family,
+    workload_family,
+)
+from repro.workloads.base import WorkloadFamily
+
+#: Families exercised with their default parameters throughout.
+ALL_FAMILY_NAMES = [family.name for family in list_families()]
+
+
+def canonical_bytes(problem) -> bytes:
+    """Byte-exact serialised form used by the determinism assertions."""
+    return json.dumps(problem_to_dict(problem), sort_keys=True).encode()
+
+
+class TestRegistry:
+    def test_at_least_six_distinct_families_registered(self):
+        assert len(ALL_FAMILY_NAMES) >= 6
+        assert len(set(ALL_FAMILY_NAMES)) == len(ALL_FAMILY_NAMES)
+
+    def test_expected_catalog_present(self):
+        for name in (
+            "star",
+            "chain",
+            "clique",
+            "bipartite",
+            "zipf",
+            "correlated",
+            "tpch_mix",
+            "oversubscribed",
+            "paper",
+            "random",
+            "clustered",
+        ):
+            assert get_family(name).name == name
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(WorkloadError, match="unknown workload family"):
+            get_family("definitely-not-registered")
+
+    def test_duplicate_registration_raises(self):
+        family = get_family("star")
+        with pytest.raises(WorkloadError, match="already registered"):
+            register_family(family)
+
+    def test_decorator_registers_and_replace_overrides(self):
+        @workload_family("testonly-family", "throwaway", tags=("test",))
+        def build(seed, num_queries=2):
+            return get_family("paper").build(seed, num_queries=num_queries)
+
+        assert get_family("testonly-family").tags == ("test",)
+        register_family(
+            WorkloadFamily("testonly-family", "replaced", build), replace=True
+        )
+        assert get_family("testonly-family").description == "replaced"
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ALL_FAMILY_NAMES)
+    def test_fixed_seed_is_byte_deterministic(self, name):
+        family = get_family(name)
+        assert canonical_bytes(family.build(123)) == canonical_bytes(family.build(123))
+
+    @pytest.mark.parametrize("name", ALL_FAMILY_NAMES)
+    def test_different_seeds_differ(self, name):
+        family = get_family(name)
+        assert canonical_bytes(family.build(1)) != canonical_bytes(family.build(2))
+
+    @pytest.mark.parametrize("name", ALL_FAMILY_NAMES)
+    def test_scenario_spec_build_is_deterministic(self, name):
+        spec = ScenarioSpec(name=f"{name}-spec", family=name, seed=7)
+        assert canonical_bytes(spec.build(0)) == canonical_bytes(spec.build(0))
+        # instance i uses seed + i: distinct instances, each reproducible
+        assert canonical_bytes(spec.build(0)) != canonical_bytes(spec.build(1))
+
+
+class TestStructure:
+    @pytest.mark.parametrize("name", ALL_FAMILY_NAMES)
+    def test_every_query_has_at_least_one_plan(self, name):
+        problem = get_family(name).build(5)
+        assert problem.num_queries >= 1
+        assert all(query.num_plans >= 1 for query in problem.queries)
+
+    @pytest.mark.parametrize("name", ALL_FAMILY_NAMES)
+    def test_serialization_round_trip(self, name):
+        problem = get_family(name).build(9)
+        data = problem_to_dict(problem)
+        rebuilt = problem_from_dict(json.loads(json.dumps(data)))
+        assert problem_to_dict(rebuilt) == data
+
+    def test_star_savings_all_touch_the_hub(self):
+        problem = get_family("star").build(3, num_queries=7, plans_per_query=3)
+        hub_plans = set(problem.queries[0].plan_indices)
+        for p1, p2 in problem.savings:
+            assert p1 in hub_plans or p2 in hub_plans
+
+    def test_bipartite_has_no_intra_tier_savings(self):
+        problem = get_family("bipartite").build(
+            4, num_producers=3, num_consumers=5, plans_per_query=2
+        )
+        producer_plans = {
+            p for q in problem.queries[:3] for p in q.plan_indices
+        }
+        for p1, p2 in problem.savings:
+            assert (p1 in producer_plans) != (p2 in producer_plans)
+
+    def test_chain_respects_the_window(self):
+        problem = get_family("chain").build(6, num_queries=10, plans_per_query=2, window=2)
+        for p1, p2 in problem.savings:
+            q1, q2 = p1 // 2, p2 // 2
+            assert abs(q1 - q2) <= 2
+
+    def test_oversubscribed_exceeds_the_device_capacity(self):
+        problem = get_family("oversubscribed").build(
+            8, plans_per_query=2, capacity_factor=1.5, cell_rows=3, cell_cols=3
+        )
+        capacity = NativeClusteredEmbedder(ChimeraGraph(3, 3)).capacity(2)
+        assert problem.num_queries > capacity
+
+    def test_tpch_mix_heavy_bias_raises_mean_cost(self):
+        light = get_family("tpch_mix").build(2, num_queries=30, heavy_bias=0.0)
+        heavy = get_family("tpch_mix").build(2, num_queries=30, heavy_bias=0.9)
+        def mean(problem):
+            return sum(p.cost for p in problem.plans) / problem.num_plans
+
+        # Not a statistical test: same seed, only the draw weights move.
+        assert mean(heavy) != mean(light)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(WorkloadError):
+            get_family("star").build(0, num_queries=1)  # a star needs a spoke
+        with pytest.raises(WorkloadError):
+            get_family("zipf").build(0, alpha=0.5)
+        with pytest.raises(WorkloadError):
+            get_family("oversubscribed").build(0, capacity_factor=0.9)
+        with pytest.raises(WorkloadError):
+            get_family("correlated").build(0, share_fraction=1.5)
+
+
+class TestFamilyProperties:
+    """Hypothesis: structural invariants over seeds and dimensions."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        name=st.sampled_from(["star", "chain", "clique", "zipf", "correlated", "paper"]),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        num_queries=st.integers(min_value=2, max_value=12),
+        plans=st.integers(min_value=1, max_value=4),
+    )
+    def test_generated_problems_are_well_formed(self, name, seed, num_queries, plans):
+        problem = get_family(name).build(
+            seed, num_queries=num_queries, plans_per_query=plans
+        )
+        assert problem.num_queries == num_queries
+        assert all(query.num_plans >= 1 for query in problem.queries)
+        assert all(plan.cost >= 0.0 for plan in problem.plans)
+        for (p1, p2), value in problem.savings.items():
+            assert value > 0.0
+            assert problem.plan(p1).query_index != problem.plan(p2).query_index
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        name=st.sampled_from(ALL_FAMILY_NAMES),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_default_parameters_are_deterministic_for_any_seed(self, name, seed):
+        family = get_family(name)
+        assert canonical_bytes(family.build(seed)) == canonical_bytes(family.build(seed))

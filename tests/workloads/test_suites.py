@@ -1,0 +1,87 @@
+"""Tests for the workload suite registry and the built-in suites."""
+
+import pytest
+
+from repro.workloads import (
+    ScenarioSpec,
+    WorkloadError,
+    WorkloadSuite,
+    get_suite,
+    list_suites,
+    register_suite,
+)
+
+
+class TestRegistry:
+    def test_builtin_suites_registered(self):
+        names = [suite.name for suite in list_suites()]
+        for expected in ("smoke", "standard", "stress", "stream-poisson", "stream-bursty"):
+            assert expected in names
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(WorkloadError, match="unknown workload suite"):
+            get_suite("nope")
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(WorkloadError, match="already registered"):
+            register_suite(get_suite("smoke"))
+
+
+class TestSuiteValidation:
+    def test_duplicate_scenario_names_rejected(self):
+        spec = ScenarioSpec("twin", "paper", seed=1)
+        with pytest.raises(WorkloadError, match="duplicate scenario names"):
+            WorkloadSuite(name="bad", description="", scenarios=(spec, spec))
+
+    def test_unknown_family_rejected_at_construction(self):
+        spec = ScenarioSpec("ghost", "no-such-family", seed=1)
+        with pytest.raises(WorkloadError, match="unknown workload family"):
+            WorkloadSuite(name="bad", description="", scenarios=(spec,))
+
+    def test_invalid_defaults_rejected(self):
+        spec = ScenarioSpec("ok", "paper", seed=1)
+        with pytest.raises(WorkloadError):
+            WorkloadSuite(name="bad", description="", scenarios=(spec,), default_budget_ms=0)
+        with pytest.raises(WorkloadError):
+            WorkloadSuite(
+                name="bad", description="", scenarios=(spec,), instances_per_scenario=0
+            )
+
+
+class TestBuiltinSuiteContents:
+    def test_smoke_covers_at_least_six_families(self):
+        smoke = get_suite("smoke")
+        assert len(smoke.families) >= 6
+
+    def test_smoke_scenarios_build_quickly_and_deterministically(self):
+        smoke = get_suite("smoke")
+        for spec in smoke.scenarios:
+            problem = spec.build(0)
+            assert problem.num_queries >= 2
+            # Smoke instances must stay small: the whole suite has to
+            # run in the CI bench job in seconds.
+            assert problem.num_plans <= 64
+
+    def test_stream_suites_carry_an_arrival_process(self):
+        for name in ("stream-poisson", "stream-bursty"):
+            suite = get_suite(name)
+            assert suite.arrival is not None
+            assert suite.arrival.times(0)  # non-empty schedule
+
+    def test_standard_and_stress_are_bigger_than_smoke(self):
+        smoke_plans = sum(s.build(0).num_plans for s in get_suite("smoke").scenarios)
+        standard_plans = sum(
+            s.build(0).num_plans for s in get_suite("standard").scenarios
+        )
+        assert standard_plans > smoke_plans
+
+
+class TestScenarioSpecSerialization:
+    def test_round_trips_through_dict(self):
+        spec = ScenarioSpec("s", "zipf", seed=4, params={"num_queries": 5})
+        rebuilt = ScenarioSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+
+    def test_invalid_dict_raises(self):
+        with pytest.raises(WorkloadError):
+            ScenarioSpec.from_dict({"family": "zipf"})  # no name

@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH documents.
+
+Compares a freshly produced ``BENCH_<suite>.json`` against the
+committed baseline under ``benchmark_results/baselines/`` and fails
+when throughput dropped or tail latency grew beyond the tolerance
+(default ±25%, sized for noisy shared CI runners):
+
+* ``totals.throughput_jobs_per_s`` must be >= baseline * (1 - tol),
+* ``totals.latency_ms.p99``        must be <= baseline * (1 + tol),
+* ``totals.failures``              must be 0.
+
+Per-scenario numbers are compared too, but only *reported* — a single
+scenario on a noisy runner should not fail the build when the totals
+hold.  Both documents are schema-validated first; on failure the gate
+prints both environment fingerprints so apples/oranges comparisons are
+obvious.
+
+Usage::
+
+    python tools/check_bench_regression.py benchmark_results/BENCH_server.json
+    python tools/check_bench_regression.py current.json --baseline other.json \
+        --tolerance 0.25
+
+Refreshing the baseline (after an intentional perf change, on a quiet
+machine)::
+
+    PYTHONPATH=src REPRO_BENCH_SERVER_SECONDS=10 python -m pytest \
+        benchmarks/bench_server_throughput.py -q \
+        -o python_files='bench_*.py' -o python_functions='bench_*'
+    cp benchmark_results/BENCH_server.json benchmark_results/baselines/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+# The tools live next to src/; make `repro` importable when the caller
+# did not set PYTHONPATH (CI does, direct invocation may not).
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.bench.schema import BenchSchemaError, load_bench_document  # noqa: E402
+
+#: Default location of committed baselines, relative to the repo root.
+BASELINE_DIR = _REPO_ROOT / "benchmark_results" / "baselines"
+
+
+def _default_baseline_path(current_path: Path, suite: str) -> Path:
+    """The committed baseline matching ``suite`` (BENCH_<suite>.json)."""
+    named = BASELINE_DIR / f"BENCH_{suite}.json"
+    if named.exists():
+        return named
+    return BASELINE_DIR / current_path.name
+
+
+def compare_documents(current: dict, baseline: dict, tolerance: float) -> List[str]:
+    """Hard failures of ``current`` against ``baseline`` (empty = pass)."""
+    failures: List[str] = []
+    if current["suite"] != baseline["suite"]:
+        failures.append(
+            f"suite mismatch: current is {current['suite']!r}, "
+            f"baseline is {baseline['suite']!r}"
+        )
+        return failures
+    if current["mode"] != baseline["mode"]:
+        failures.append(
+            f"mode mismatch: current ran in {current['mode']!r} mode, the "
+            f"baseline in {baseline['mode']!r} — the numbers are not comparable"
+        )
+        return failures
+
+    current_totals = current["totals"]
+    baseline_totals = baseline["totals"]
+
+    if current_totals["failures"]:
+        failures.append(f"current run has {current_totals['failures']} failed job(s)")
+
+    throughput = current_totals["throughput_jobs_per_s"]
+    throughput_floor = baseline_totals["throughput_jobs_per_s"] * (1.0 - tolerance)
+    if throughput < throughput_floor:
+        failures.append(
+            f"throughput regressed: {throughput:.3f} jobs/s < floor "
+            f"{throughput_floor:.3f} (baseline "
+            f"{baseline_totals['throughput_jobs_per_s']:.3f}, tol ±{tolerance:.0%})"
+        )
+
+    p99 = current_totals["latency_ms"]["p99"]
+    p99_ceiling = baseline_totals["latency_ms"]["p99"] * (1.0 + tolerance)
+    if p99 > p99_ceiling:
+        failures.append(
+            f"p99 latency regressed: {p99:.3f} ms > ceiling {p99_ceiling:.3f} "
+            f"(baseline {baseline_totals['latency_ms']['p99']:.3f}, "
+            f"tol ±{tolerance:.0%})"
+        )
+    return failures
+
+
+def report_scenarios(current: dict, baseline: dict, tolerance: float) -> List[str]:
+    """Advisory per-scenario drift notes (never fail the gate alone)."""
+    notes: List[str] = []
+    baseline_by_name = {s["name"]: s for s in baseline["scenarios"]}
+    for scenario in current["scenarios"]:
+        reference = baseline_by_name.get(scenario["name"])
+        if reference is None:
+            notes.append(f"scenario {scenario['name']!r} has no baseline entry (new?)")
+            continue
+        throughput_floor = reference["throughput_jobs_per_s"] * (1.0 - tolerance)
+        if scenario["throughput_jobs_per_s"] < throughput_floor:
+            notes.append(
+                f"scenario {scenario['name']!r} throughput "
+                f"{scenario['throughput_jobs_per_s']:.3f} below floor "
+                f"{throughput_floor:.3f}"
+            )
+        p99_ceiling = reference["latency_ms"]["p99"] * (1.0 + tolerance)
+        if scenario["latency_ms"]["p99"] > p99_ceiling:
+            notes.append(
+                f"scenario {scenario['name']!r} p99 {scenario['latency_ms']['p99']:.3f} ms "
+                f"above ceiling {p99_ceiling:.3f}"
+            )
+    for name in baseline_by_name:
+        if name not in {s["name"] for s in current["scenarios"]}:
+            notes.append(f"scenario {name!r} present in baseline but missing from current run")
+    return notes
+
+
+def main(argv: List[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("current", help="freshly produced BENCH_<suite>.json")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline document (default: {BASELINE_DIR}/<matching name>)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="relative tolerance on throughput and p99 (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 < args.tolerance < 1.0:
+        print(f"error: tolerance must be in (0, 1), got {args.tolerance}", file=sys.stderr)
+        return 2
+
+    current_path = Path(args.current)
+    try:
+        current = load_bench_document(current_path)
+    except BenchSchemaError as exc:
+        print(f"FAIL: current document invalid: {exc}", file=sys.stderr)
+        return 1
+
+    baseline_path = (
+        Path(args.baseline)
+        if args.baseline
+        else _default_baseline_path(current_path, current["suite"])
+    )
+    if not baseline_path.exists():
+        print(
+            f"FAIL: no baseline at {baseline_path}; commit one "
+            "(see the module docstring for the refresh recipe)",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        baseline = load_bench_document(baseline_path)
+    except BenchSchemaError as exc:
+        print(f"FAIL: baseline document invalid: {exc}", file=sys.stderr)
+        return 1
+
+    failures = compare_documents(current, baseline, args.tolerance)
+    for note in report_scenarios(current, baseline, args.tolerance):
+        print(f"note: {note}")
+
+    current_totals = current["totals"]
+    baseline_totals = baseline["totals"]
+    print(
+        f"current : {current_totals['throughput_jobs_per_s']:.3f} jobs/s, "
+        f"p99 {current_totals['latency_ms']['p99']:.3f} ms "
+        f"({current_path})"
+    )
+    print(
+        f"baseline: {baseline_totals['throughput_jobs_per_s']:.3f} jobs/s, "
+        f"p99 {baseline_totals['latency_ms']['p99']:.3f} ms "
+        f"({baseline_path})"
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        print("current env : " + json.dumps(current.get("env", {})), file=sys.stderr)
+        print("baseline env: " + json.dumps(baseline.get("env", {})), file=sys.stderr)
+        return 1
+    print(f"OK: within ±{args.tolerance:.0%} of the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
