@@ -56,11 +56,22 @@ class GeneticAlgorithmSolver(AnytimeSolver):
     # ------------------------------------------------------------------ #
     @staticmethod
     def _plan_counts(problem: MQOProblem) -> np.ndarray:
-        return np.asarray([query.num_plans for query in problem.queries], dtype=int)
+        return np.asarray(problem.arrays().plans_per_query, dtype=int)
 
     @staticmethod
     def _evaluate(problem: MQOProblem, chromosome: np.ndarray) -> float:
-        return problem.solution_from_choices([int(c) for c in chromosome]).cost
+        return float(problem.arrays().selection_cost_batch(np.asarray(chromosome))[0])
+
+    @staticmethod
+    def _evaluate_batch(problem: MQOProblem, chromosomes: np.ndarray) -> np.ndarray:
+        """Objective of every chromosome in one vectorised call.
+
+        The whole population matrix is costed with two gathers and one
+        matrix-vector product over the columnar problem arrays — the
+        per-chromosome ``solution_from_choices`` round-trips (frozenset,
+        validity scan, Python savings loop) were the GA's dominant cost.
+        """
+        return problem.arrays().selection_cost_batch(chromosomes)
 
     def _random_population(
         self, problem: MQOProblem, plan_counts: np.ndarray, rng: np.random.Generator
@@ -107,7 +118,7 @@ class GeneticAlgorithmSolver(AnytimeSolver):
         plan_counts = self._plan_counts(problem)
 
         population = self._random_population(problem, plan_counts, rng)
-        fitness = np.asarray([self._evaluate(problem, chrom) for chrom in population])
+        fitness = self._evaluate_batch(problem, population)
         self._record_best(problem, population, fitness, recorder)
 
         generation = 0
@@ -127,12 +138,10 @@ class GeneticAlgorithmSolver(AnytimeSolver):
                 self._mutate(population[int(rng.integers(0, self.population_size))], plan_counts, rng)
                 for _ in range(self.population_size)
             ]
-            candidates = offspring + mutants
-            candidate_fitness = np.asarray(
-                [self._evaluate(problem, chrom) for chrom in candidates]
-            )
+            candidates = np.stack(offspring + mutants)
+            candidate_fitness = self._evaluate_batch(problem, candidates)
 
-            pool = np.concatenate([population, np.stack(candidates)])
+            pool = np.concatenate([population, candidates])
             pool_fitness = np.concatenate([fitness, candidate_fitness])
             order = np.argsort(pool_fitness, kind="stable")[: self.population_size]
             population = pool[order]

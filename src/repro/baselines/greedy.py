@@ -9,6 +9,8 @@ chosen.  The result is also a useful warm start for the exact solvers.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.baselines.anytime import AnytimeSolver, SolverTrajectory, TrajectoryRecorder
 from repro.mqo.problem import MQOProblem, MQOSolution
 from repro.utils.rng import SeedLike
@@ -22,26 +24,31 @@ class GreedyConstructiveSolver(AnytimeSolver):
     name = "GREEDY"
 
     def construct(self, problem: MQOProblem) -> MQOSolution:
-        """Build the greedy solution (deterministic, no time accounting)."""
-        selected: list[int] = []
-        selected_set: set[int] = set()
-        order = sorted(
-            problem.queries,
-            key=lambda query: -min(problem.plan_cost(p) for p in query.plan_indices),
-        )
-        for query in order:
-            def marginal(plan: int) -> float:
-                realized = sum(
-                    saving
-                    for partner, saving in problem.sharing_partners(plan).items()
-                    if partner in selected_set
-                )
-                return problem.plan_cost(plan) - realized
+        """Build the greedy solution (deterministic, no time accounting).
 
-            best_plan = min(query.plan_indices, key=marginal)
-            selected.append(best_plan)
-            selected_set.add(best_plan)
-        return problem.solution_from_selection(selected)
+        Runs on the columnar problem arrays: the query order comes from
+        one segmented minimum + stable argsort, and each query's
+        marginals (plan cost minus savings realisable with the plans
+        chosen so far) are evaluated in one vectorised call.
+        """
+        arrays = problem.arrays()
+        cheapest = np.minimum.reduceat(arrays.plan_cost, arrays.query_offsets[:-1])
+        # Descending by cheapest plan cost; stable, so ties keep query order
+        # exactly as the legacy sorted() pass did.
+        order = np.argsort(-cheapest, kind="stable")
+        mask = np.zeros(arrays.num_plans, dtype=bool)
+        selected = np.empty(arrays.num_queries, dtype=np.int64)
+        for query_index in order:
+            query_index = int(query_index)
+            realized = arrays.realized_savings(mask, query_index)
+            lo = int(arrays.query_offsets[query_index])
+            hi = int(arrays.query_offsets[query_index + 1])
+            marginals = arrays.plan_cost[lo:hi] - realized
+            best_plan = lo + int(np.argmin(marginals))
+            selected[query_index] = best_plan
+            mask[best_plan] = True
+        cost = float(arrays.indicator_cost_batch(mask[None, :].astype(np.int8))[0])
+        return MQOSolution.from_precomputed(problem, selected.tolist(), cost, True)
 
     def solve(
         self,

@@ -10,6 +10,8 @@ incumbent.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.baselines.anytime import AnytimeSolver, SolverTrajectory, TrajectoryRecorder
 from repro.baselines.selection_state import SelectionState
 from repro.exceptions import SolverError
@@ -62,27 +64,30 @@ class IteratedHillClimbing(AnytimeSolver):
         recorder: TrajectoryRecorder,
         time_budget_ms: float,
     ) -> None:
-        """Steepest-descent until a local optimum or the budget is reached."""
-        problem = state.problem
+        """Steepest-descent until a local optimum or the budget is reached.
+
+        Every sweep evaluates all candidate moves of all queries in one
+        vectorised :meth:`SelectionState.all_swap_deltas` call; plans
+        are laid out in (query, choice) order, so on exact ties the
+        first minimum of the delta vector is the move the per-candidate
+        scan of the legacy implementation picked.  (Candidates whose
+        deltas differ by less than the 1e-12 improvement threshold may
+        resolve to a different — equally improving — move.)
+        """
+        arrays = state.problem.arrays()
+        query_offsets = arrays.query_offsets
+        plan_query = arrays.plan_query
         moves_since_check = 0
         while True:
-            best_delta = 0.0
-            best_move: tuple[int, int] | None = None
-            for query in problem.queries:
-                current = state.choices[query.index]
-                for choice in range(query.num_plans):
-                    if choice == current:
-                        continue
-                    delta = state.swap_delta(query.index, choice)
-                    if delta < best_delta - 1e-12:
-                        best_delta = delta
-                        best_move = (query.index, choice)
-                moves_since_check += 1
-                if moves_since_check >= self.budget_check_interval:
-                    moves_since_check = 0
-                    if recorder.elapsed_ms() >= time_budget_ms:
-                        return
-            if best_move is None:
+            deltas = state.all_swap_deltas()
+            moves_since_check += arrays.num_queries
+            if moves_since_check >= self.budget_check_interval:
+                moves_since_check = 0
+                if recorder.elapsed_ms() >= time_budget_ms:
+                    return
+            best_plan = int(np.argmin(deltas))
+            if not deltas[best_plan] < -1e-12:
                 return
-            state.apply_swap(*best_move)
+            query_index = int(plan_query[best_plan])
+            state.apply_swap(query_index, best_plan - int(query_offsets[query_index]))
             recorder.record(state.to_solution())

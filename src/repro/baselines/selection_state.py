@@ -2,13 +2,19 @@
 
 Hill climbing and the genetic algorithm repeatedly evaluate small changes
 to a plan selection.  Recomputing the full objective is ``O(|P| + |S|)``;
-this helper maintains the selection and supports ``O(degree)`` evaluation
-and application of single-query plan swaps.
+this helper maintains the selection on the problem's columnar arrays
+(:class:`~repro.mqo.arrays.ProblemArrays`) and evaluates single-query
+plan swaps vectorised: :meth:`swap_deltas` scores every candidate plan
+of one query in one call, :meth:`all_swap_deltas` scores every candidate
+move of every query — the whole steepest-descent sweep — in one gather
+plus one segmented reduction over the savings adjacency.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence
+
+import numpy as np
 
 from repro.exceptions import InvalidSolutionError
 from repro.mqo.problem import MQOProblem, MQOSolution
@@ -20,24 +26,20 @@ class SelectionState:
     """A mutable one-plan-per-query selection with incremental cost updates."""
 
     def __init__(self, problem: MQOProblem, choices: Sequence[int]) -> None:
-        if len(choices) != problem.num_queries:
+        arrays = problem.arrays()
+        choices = np.asarray(choices, dtype=np.int64)
+        if choices.ndim != 1 or len(choices) != problem.num_queries:
             raise InvalidSolutionError(
-                f"expected {problem.num_queries} choices, got {len(choices)}"
+                f"expected {problem.num_queries} choices, got {len(np.atleast_1d(choices))}"
             )
         self.problem = problem
-        self._choices: List[int] = []
-        self._selected_plan: List[int] = []
-        self._selected_set: set[int] = set()
-        for query, choice in zip(problem.queries, choices):
-            if not 0 <= choice < query.num_plans:
-                raise InvalidSolutionError(
-                    f"choice {choice} out of range for query {query.index}"
-                )
-            plan = query.plan_indices[choice]
-            self._choices.append(int(choice))
-            self._selected_plan.append(plan)
-            self._selected_set.add(plan)
-        self._cost = problem.selection_cost(self._selected_set)
+        self._arrays = arrays
+        # Copied so later swaps never mutate a caller-owned array.
+        self._choices = arrays.check_choices(choices).copy()
+        self._selected = arrays.choices_to_plans(self._choices)
+        self._mask = np.zeros(arrays.num_plans, dtype=bool)
+        self._mask[self._selected] = True
+        self._cost = float(arrays.selection_cost_batch(self._choices, validate=False)[0])
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -50,59 +52,80 @@ class SelectionState:
     @property
     def choices(self) -> List[int]:
         """Per-query plan offsets of the current selection (copy)."""
-        return list(self._choices)
+        return self._choices.tolist()
 
     def selected_plan(self, query_index: int) -> int:
         """Global index of the plan currently selected for ``query_index``."""
-        return self._selected_plan[query_index]
+        return int(self._selected[query_index])
 
     def to_solution(self) -> MQOSolution:
-        """The current selection as an immutable :class:`MQOSolution`."""
-        return self.problem.solution_from_selection(self._selected_plan)
+        """The current selection as an immutable :class:`MQOSolution`.
+
+        The objective is recomputed from the arrays (not taken from the
+        incrementally maintained :attr:`cost`), so recorded solutions
+        never carry accumulated floating-point drift.
+        """
+        cost = float(self._arrays.selection_cost_batch(self._choices, validate=False)[0])
+        return MQOSolution.from_precomputed(
+            self.problem, self._selected.tolist(), cost, True
+        )
 
     # ------------------------------------------------------------------ #
     # Incremental moves
     # ------------------------------------------------------------------ #
-    def _realized_savings(self, plan: int, excluding_query: int) -> float:
-        """Savings plan realises with currently selected plans of other queries."""
-        total = 0.0
-        for partner, saving in self.problem.sharing_partners(plan).items():
-            if partner in self._selected_set:
-                if self.problem.query_of_plan(partner) == excluding_query:
-                    continue
-                total += saving
-        return total
+    def swap_deltas(self, query_index: int) -> np.ndarray:
+        """Cost change of switching ``query_index`` to each of its plans.
+
+        Entry ``c`` is the delta of choosing plan offset ``c``; the
+        current choice's entry is exactly 0.0.  One call evaluates what
+        previously took one :meth:`swap_delta` per candidate.
+        """
+        return self._arrays.swap_deltas(self._selected, self._mask, query_index)
+
+    def all_swap_deltas(self) -> np.ndarray:
+        """Swap delta for every plan of every query in one vectorised call.
+
+        ``deltas[p]`` is the cost change of switching plan ``p``'s query
+        onto ``p`` (0.0 for currently selected plans) — a full
+        steepest-descent sweep evaluated at once.
+        """
+        return self._arrays.all_swap_deltas(self._selected, self._mask)
 
     def swap_delta(self, query_index: int, new_choice: int) -> float:
         """Cost change of switching ``query_index`` to plan offset ``new_choice``."""
-        query = self.problem.query(query_index)
-        if not 0 <= new_choice < query.num_plans:
+        arrays = self._arrays
+        span = int(arrays.plans_per_query[query_index])
+        if not 0 <= new_choice < span:
             raise InvalidSolutionError(
                 f"choice {new_choice} out of range for query {query_index}"
             )
-        old_plan = self._selected_plan[query_index]
-        new_plan = query.plan_indices[new_choice]
-        if new_plan == old_plan:
-            return 0.0
-        delta = self.problem.plan_cost(new_plan) - self.problem.plan_cost(old_plan)
-        delta -= self._realized_savings(new_plan, excluding_query=query_index)
-        delta += self._realized_savings(old_plan, excluding_query=query_index)
-        return delta
+        return float(self.swap_deltas(query_index)[new_choice])
 
     def apply_swap(self, query_index: int, new_choice: int) -> float:
         """Apply a swap and return the (possibly zero) cost change."""
         delta = self.swap_delta(query_index, new_choice)
-        query = self.problem.query(query_index)
-        old_plan = self._selected_plan[query_index]
-        new_plan = query.plan_indices[new_choice]
+        old_plan = int(self._selected[query_index])
+        new_plan = int(self._arrays.query_offsets[query_index]) + int(new_choice)
         if new_plan != old_plan:
-            self._selected_set.discard(old_plan)
-            self._selected_set.add(new_plan)
-            self._selected_plan[query_index] = new_plan
+            self._mask[old_plan] = False
+            self._mask[new_plan] = True
+            self._selected[query_index] = new_plan
             self._choices[query_index] = int(new_choice)
             self._cost += delta
         return delta
 
     def copy(self) -> "SelectionState":
-        """An independent copy of the state."""
-        return SelectionState(self.problem, self._choices)
+        """An independent copy of the state.
+
+        Copies the selection fields directly — no re-validation and no
+        ``O(|P| + |S|)`` objective recomputation; the clone inherits the
+        source's incrementally maintained cost verbatim.
+        """
+        clone = object.__new__(SelectionState)
+        clone.problem = self.problem
+        clone._arrays = self._arrays
+        clone._choices = self._choices.copy()
+        clone._selected = self._selected.copy()
+        clone._mask = self._mask.copy()
+        clone._cost = self._cost
+        return clone

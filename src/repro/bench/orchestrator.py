@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.bench.schema import build_bench_document, save_bench_document
 from repro.bench.stats import summarize_latencies
 from repro.exceptions import ReproError
@@ -304,14 +306,27 @@ class BenchOrchestrator:
         return outcomes, time.perf_counter() - start
 
     def _attach_quality(self, outcomes: List[_JobOutcome]) -> None:
-        """Compute best-known gaps after the measured run (never inside it)."""
-        if not self.config.quality_reference:
+        """Compute best-known gaps after the measured run (never inside it).
+
+        The reference solver still runs per instance (it is a solver),
+        but the best-known/gap arithmetic over all outcomes happens as
+        one NaN-aware array pass instead of per-job Python branching.
+        """
+        if not self.config.quality_reference or not outcomes:
             return
-        for outcome in outcomes:
-            achieved = outcome.result.best_cost if outcome.result.ok else None
-            outcome.gap = self._gap(
-                achieved, self._reference_cost(outcome.problem, outcome.job_index)
-            )
+        achieved = np.full(len(outcomes), np.nan)
+        reference = np.full(len(outcomes), np.nan)
+        for slot, outcome in enumerate(outcomes):
+            if outcome.result.ok and outcome.result.best_cost is not None:
+                achieved[slot] = outcome.result.best_cost
+            cost = self._reference_cost(outcome.problem, outcome.job_index)
+            if cost is not None:
+                reference[slot] = cost
+        best_known = np.fmin(achieved, reference)  # NaN-ignoring minimum
+        with np.errstate(invalid="ignore"):
+            gaps = (achieved - best_known) / np.maximum(1.0, np.abs(best_known))
+        for outcome, gap in zip(outcomes, gaps.tolist()):
+            outcome.gap = None if gap != gap else gap  # NaN -> no gap
 
     # ------------------------------------------------------------------ #
     # Aggregation

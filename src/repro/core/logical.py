@@ -27,13 +27,21 @@ usable analog range of the annealer and hurt solution quality.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Dict, Iterable, List, Mapping, Sequence, Union
 
+import numpy as np
+
+from repro.annealer.sampleset import SampleSet
 from repro.exceptions import InvalidProblemError
 from repro.mqo.problem import MQOProblem, MQOSolution
 from repro.qubo.model import QUBOModel
 
 __all__ = ["LogicalMappingConfig", "LogicalMapping", "map_mqo_to_qubo"]
+
+#: Batch input accepted by :meth:`LogicalMapping.solutions_from_sampleset`:
+#: a whole :class:`SampleSet`, a sequence of 0/1 assignment mappings, or a
+#: ready ``(num_samples, num_plans)`` indicator matrix.
+SampleBatch = Union[SampleSet, Sequence[Mapping[int, int]], np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -77,6 +85,7 @@ class LogicalMapping:
     def __init__(self, problem: MQOProblem, config: LogicalMappingConfig | None = None) -> None:
         self.problem = problem
         self.config = config or LogicalMappingConfig()
+        self._arrays = problem.arrays()
         self.weight_at_least_one = self._derive_weight_at_least_one()
         self.weight_at_most_one = self._derive_weight_at_most_one()
         self.qubo = self._build_qubo()
@@ -86,13 +95,13 @@ class LogicalMapping:
     # ------------------------------------------------------------------ #
     def _derive_weight_at_least_one(self) -> float:
         """``w_L = (max_p c_p + epsilon) * scale``."""
-        return (self.problem.max_plan_cost() + self.config.epsilon) * self.config.weight_scale
+        return (self._arrays.max_plan_cost() + self.config.epsilon) * self.config.weight_scale
 
     def _derive_weight_at_most_one(self) -> float:
         """``w_M = (w_L + max_p sum s_{p,.} + epsilon) * scale``."""
         base = (
             self._derive_weight_at_least_one() / self.config.weight_scale
-            + self.problem.max_total_savings_per_plan()
+            + self._arrays.max_total_savings_per_plan()
             + self.config.epsilon
         )
         return base * self.config.weight_scale
@@ -101,26 +110,27 @@ class LogicalMapping:
     # QUBO construction
     # ------------------------------------------------------------------ #
     def _build_qubo(self) -> QUBOModel:
-        problem = self.problem
-        qubo = QUBOModel()
-        w_l = self.weight_at_least_one
-        w_m = self.weight_at_most_one
+        """Assemble the energy formula as whole coefficient arrays.
 
-        # E_C + w_L * E_L : linear terms  (c_p - w_L) X_p
-        for plan in problem.plans:
-            qubo.add_linear(plan.index, plan.cost - w_l)
-
-        # w_M * E_M : quadratic penalty for every same-query plan pair.
-        for query in problem.queries:
-            indices = query.plan_indices
-            for i in range(len(indices)):
-                for j in range(i + 1, len(indices)):
-                    qubo.add_quadratic(indices[i], indices[j], w_m)
-
-        # E_S : negative quadratic terms for every sharing pair.
-        for (p1, p2), saving in problem.interaction_pairs():
-            qubo.add_quadratic(p1, p2, -saving)
-        return qubo
+        Variables are the global plan indices; the linear vector is
+        ``c - w_L`` in one subtraction, the quadratic terms concatenate
+        the same-query penalty pairs (weight ``w_M``) with the sharing
+        pairs (weight ``-s``) — no per-coefficient dict inserts.  The
+        edge order (penalty pairs by query, then savings in insertion
+        order) matches what the legacy per-term construction produced.
+        """
+        arrays = self._arrays
+        linear = arrays.plan_cost - self.weight_at_least_one
+        penalty_pairs = arrays.same_query_pairs
+        sharing_pairs = np.column_stack((arrays.savings_p1, arrays.savings_p2))
+        edges = np.concatenate((penalty_pairs, sharing_pairs), axis=0)
+        weights = np.concatenate(
+            (
+                np.full(len(penalty_pairs), self.weight_at_most_one),
+                -arrays.savings_value,
+            )
+        )
+        return QUBOModel.from_arrays(range(arrays.num_plans), linear, edges, weights)
 
     # ------------------------------------------------------------------ #
     # Inverse mapping and bookkeeping
@@ -134,6 +144,65 @@ class LogicalMapping:
         """
         selected = [plan.index for plan in self.problem.plans if assignment.get(plan.index, 0)]
         return self.problem.solution_from_selection(selected)
+
+    def indicator_matrix(self, samples: SampleBatch) -> np.ndarray:
+        """0/1 plan-indicator matrix ``(num_samples, num_plans)`` of ``samples``.
+
+        Accepts a :class:`SampleSet`, a sequence of assignment mappings
+        (variables missing from an assignment count as 0), or an
+        already-built indicator matrix (validated and passed through).
+        """
+        num_plans = self.problem.num_plans
+        if isinstance(samples, np.ndarray):
+            matrix = np.atleast_2d(samples)
+            if matrix.shape[1] != num_plans:
+                raise InvalidProblemError(
+                    f"indicator matrix must have {num_plans} columns, got {matrix.shape[1]}"
+                )
+            return matrix
+        if isinstance(samples, SampleSet):
+            assignments: Iterable[Mapping[int, int]] = (
+                sample.assignment for sample in samples
+            )
+            count = len(samples)
+        else:
+            assignments = samples
+            count = len(samples)
+        matrix = np.zeros((count, num_plans), dtype=np.int8)
+        for row, assignment in enumerate(assignments):
+            selected = [plan for plan, bit in assignment.items() if bit]
+            if selected:
+                if min(selected) < 0 or max(selected) >= num_plans:
+                    raise InvalidProblemError(
+                        f"assignment references unknown plan indices: {selected[:5]}"
+                    )
+                matrix[row, selected] = 1
+        return matrix
+
+    def solutions_from_sampleset(self, samples: SampleBatch) -> List[MQOSolution]:
+        """Decode a whole sampleset into MQO solutions in one batch.
+
+        Equivalent to :meth:`solution_from_assignment` per read, but the
+        objective values and validity flags of all reads are computed
+        with two matrix products over the columnar problem arrays
+        instead of one Python savings scan per read.  Returned solutions
+        may be invalid (the caller decides whether to repair them).
+        """
+        matrix = self.indicator_matrix(samples)
+        if not len(matrix):
+            return []
+        arrays = self._arrays
+        costs = arrays.indicator_cost_batch(matrix)
+        valid = arrays.indicator_valid_batch(matrix)
+        return [
+            MQOSolution.from_precomputed(
+                self.problem,
+                np.flatnonzero(row).tolist(),
+                cost,
+                is_valid,
+            )
+            for row, cost, is_valid in zip(matrix, costs.tolist(), valid.tolist())
+        ]
 
     def assignment_from_solution(self, solution: MQOSolution) -> Dict[int, int]:
         """The 0/1 assignment of the QUBO variables describing ``solution``."""

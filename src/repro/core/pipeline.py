@@ -292,10 +292,16 @@ class QuantumMQO:
         num_invalid = 0
 
         unembedded = physical.unembed_samples([sample.assignment for sample in sample_set])
-        for sample, (logical_assignment, broken) in zip(sample_set, unembedded):
+        # One batched decode costs/validates every read at once; the loop
+        # below only tracks incumbents and repairs the invalid reads.
+        raw_solutions = mapping.solutions_from_sampleset(
+            [logical_assignment for logical_assignment, _broken in unembedded]
+        )
+        for sample, (logical_assignment, broken), raw_solution in zip(
+            sample_set, unembedded, raw_solutions
+        ):
             if broken:
                 num_broken += 1
-            raw_solution = mapping.solution_from_assignment(logical_assignment)
             if not raw_solution.is_valid:
                 num_invalid += 1
             if best_raw_solution is None or self._better(raw_solution, best_raw_solution):

@@ -1,72 +1,15 @@
-"""The paper's test-case classes and their scaling per benchmark profile.
+"""Deprecated shim — the paper's test-case classes moved to
+:mod:`repro.workloads.embedded`.
 
-Section 7.2 evaluates four classes: "between two and five alternative
-plans per query and the associated maximal number of queries that can be
-treated using the available qubits (between 537 queries for two plans and
-108 queries for five plans)".  The class sizes are therefore *derived*
-from the device capacity; this module recomputes them for whichever
-topology the active profile uses and applies the profile's query-scale
-factor.
+The class sizes are *derived* from the device capacity (between 537
+queries for two plans and 108 queries for five plans on the D-Wave 2X,
+Section 7.2); that derivation now lives next to the embedded-instance
+generator in the workload subsystem.  This module re-exports the public
+names for existing callers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import ClassVar, List
-
-from repro.chimera.topology import ChimeraGraph
-from repro.embedding.native import NativeClusteredEmbedder
-from repro.exceptions import ReproError
-from repro.experiments.profiles import ExperimentProfile
+from repro.workloads.embedded import PAPER_CLASS_SIZES, TestCaseClass, paper_test_classes
 
 __all__ = ["TestCaseClass", "paper_test_classes", "PAPER_CLASS_SIZES"]
-
-#: The class sizes reported in the paper for the 1097-functional-qubit D-Wave 2X.
-PAPER_CLASS_SIZES = {2: 537, 3: 253, 4: 140, 5: 108}
-
-
-@dataclass(frozen=True)
-class TestCaseClass:
-    """One evaluation class: a plans-per-query setting and its query count."""
-
-    #: Tell pytest not to collect this class despite its ``Test`` prefix.
-    __test__: ClassVar[bool] = False
-
-    plans_per_query: int
-    num_queries: int
-
-    def __post_init__(self) -> None:
-        if self.plans_per_query <= 0 or self.num_queries <= 0:
-            raise ReproError("test-case class dimensions must be positive")
-
-    @property
-    def label(self) -> str:
-        """Short display label, e.g. ``"537 Queries, 2 Plans"``."""
-        return f"{self.num_queries} Queries, {self.plans_per_query} Plans"
-
-
-def paper_test_classes(
-    topology: ChimeraGraph,
-    profile: ExperimentProfile,
-    plans_range: tuple = (2, 3, 4, 5),
-) -> List[TestCaseClass]:
-    """The four evaluation classes scaled to ``topology`` and ``profile``.
-
-    For every plans-per-query value the maximal number of queries that the
-    compact embedding fits on ``topology`` is computed (the paper's
-    "associated maximal number of queries"), then multiplied by the
-    profile's ``query_scale``.
-    """
-    embedder = NativeClusteredEmbedder(topology)
-    classes = []
-    for plans_per_query in plans_range:
-        capacity = embedder.capacity(plans_per_query)
-        if capacity <= 0:
-            raise ReproError(
-                f"topology cannot host any query with {plans_per_query} plans"
-            )
-        num_queries = max(2, int(capacity * profile.query_scale))
-        classes.append(
-            TestCaseClass(plans_per_query=plans_per_query, num_queries=num_queries)
-        )
-    return classes

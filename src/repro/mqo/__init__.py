@@ -8,6 +8,7 @@ selects exactly one plan per query and its cost is
 ``C(Pe) = sum(c_p) - sum(s_{p1,p2})`` over selected plans/pairs.
 """
 
+from repro.mqo.arrays import ProblemArrays, build_problem_arrays
 from repro.mqo.problem import MQOProblem, MQOSolution, Plan, Query
 from repro.mqo.generator import (
     MQOGeneratorConfig,
@@ -35,6 +36,8 @@ __all__ = [
     "Query",
     "MQOProblem",
     "MQOSolution",
+    "ProblemArrays",
+    "build_problem_arrays",
     "MQOGeneratorConfig",
     "generate_random_problem",
     "generate_clustered_problem",

@@ -1,0 +1,355 @@
+"""Columnar, NumPy-backed view of an MQO problem (the classical hot core).
+
+The object model of :mod:`repro.mqo.problem` is the right API for
+building and inspecting instances, but every per-plan :class:`Plan`
+dataclass and per-pair savings dict turns the classical pre/post
+processing around the anneal — QUBO construction, heuristic baselines,
+sampleset decoding — into Python loops.  :class:`ProblemArrays` is the
+flat columnar form those hot paths consume instead:
+
+* ``plan_cost`` / ``plan_query`` — one entry per plan (``float64`` /
+  ``int32``),
+* a CSR query→plan mapping (``query_offsets``): plans of query ``q``
+  are the contiguous range ``query_offsets[q]:query_offsets[q + 1]``
+  (plan indices are assigned densely in query order, so offsets alone
+  describe the mapping),
+* the savings as COO triplets (``savings_p1``/``savings_p2``/
+  ``savings_value``, normalised ``p1 < p2``, in the problem's savings
+  insertion order),
+* a CSR plan→partner adjacency (``adj_indptr``/``adj_indices``/
+  ``adj_values``).  Within one plan's row, partners appear in savings
+  insertion order — exactly the iteration order of the legacy
+  ``sharing_partners`` dictionaries, so segment sums over the CSR rows
+  are bit-identical to the dict-based sums they replace.
+
+All arrays are read-only; the view is memoised on the problem
+(:meth:`~repro.mqo.problem.MQOProblem.arrays`), so repeated consumers
+(solver restarts, batched decodes, the service cache) share one copy.
+
+Batch evaluation API
+--------------------
+``selection_cost_batch`` costs a whole ``(B, |Q|)`` matrix of per-query
+plan choices; ``indicator_cost_batch`` / ``indicator_valid_batch``
+cost and validate arbitrary 0/1 plan indicators (annealing read-outs
+may select zero or several plans per query); ``swap_deltas`` /
+``all_swap_deltas`` evaluate single-query plan swaps for the local
+search baselines — every candidate of one query (or of *all* queries)
+in one vectorised call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidSolutionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (problem -> arrays)
+    from repro.mqo.problem import MQOProblem
+
+__all__ = ["ProblemArrays", "build_problem_arrays"]
+
+
+def _frozen(array: np.ndarray) -> np.ndarray:
+    """Mark ``array`` read-only and return it."""
+    array.setflags(write=False)
+    return array
+
+
+@dataclass(frozen=True, eq=False)
+class ProblemArrays:
+    """Immutable columnar arrays describing one MQO problem.
+
+    Built once per problem via :func:`build_problem_arrays` and cached
+    by :meth:`MQOProblem.arrays`; see the module docstring for the
+    layout contract.
+    """
+
+    num_queries: int
+    num_plans: int
+    num_savings: int
+    plan_cost: np.ndarray  #: float64[|P|] — execution cost per plan.
+    plan_query: np.ndarray  #: int32[|P|] — owning query per plan.
+    query_offsets: np.ndarray  #: int64[|Q|+1] — CSR query→plan offsets.
+    savings_p1: np.ndarray  #: int64[|S|] — smaller plan of each sharing pair.
+    savings_p2: np.ndarray  #: int64[|S|] — larger plan of each sharing pair.
+    savings_value: np.ndarray  #: float64[|S|] — saving per sharing pair.
+    adj_indptr: np.ndarray  #: int64[|P|+1] — CSR adjacency row pointers.
+    adj_indices: np.ndarray  #: int64[2|S|] — partner plan per adjacency entry.
+    adj_values: np.ndarray  #: float64[2|S|] — saving per adjacency entry.
+
+    # ------------------------------------------------------------------ #
+    # Derived structure (lazy, cached)
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def plans_per_query(self) -> np.ndarray:
+        """int64[|Q|] — number of alternative plans per query."""
+        return _frozen(np.diff(self.query_offsets))
+
+    @cached_property
+    def adj_row(self) -> np.ndarray:
+        """int64[2|S|] — owning plan of each adjacency entry (row index)."""
+        return _frozen(np.repeat(np.arange(self.num_plans), np.diff(self.adj_indptr)))
+
+    @cached_property
+    def savings_query_pair(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Owning queries of each savings pair's endpoints (two int arrays)."""
+        return (
+            _frozen(self.plan_query[self.savings_p1].astype(np.int64)),
+            _frozen(self.plan_query[self.savings_p2].astype(np.int64)),
+        )
+
+    @cached_property
+    def same_query_pairs(self) -> np.ndarray:
+        """int64[M, 2] — all same-query plan pairs ``(i, j)`` with ``i < j``.
+
+        Ordered by query index, then lexicographically within the query —
+        the order the legacy per-pair QUBO construction inserted them in.
+        """
+        blocks = []
+        triu_cache: dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        offsets = self.query_offsets
+        for q in range(self.num_queries):
+            k = int(offsets[q + 1] - offsets[q])
+            if k < 2:
+                continue
+            if k not in triu_cache:
+                rows, cols = np.triu_indices(k, k=1)
+                triu_cache[k] = (rows.astype(np.int64), cols.astype(np.int64))
+            rows, cols = triu_cache[k]
+            base = int(offsets[q])
+            blocks.append(np.column_stack((rows + base, cols + base)))
+        if not blocks:
+            return _frozen(np.empty((0, 2), dtype=np.int64))
+        return _frozen(np.concatenate(blocks, axis=0))
+
+    # ------------------------------------------------------------------ #
+    # Scalar aggregates (penalty-weight derivation)
+    # ------------------------------------------------------------------ #
+    def max_plan_cost(self) -> float:
+        """``max_p c_p`` over the whole problem."""
+        return float(self.plan_cost.max())
+
+    def total_savings_per_plan(self) -> np.ndarray:
+        """float64[|P|] — ``sum_{p2} s_{p,p2}`` per plan ``p``.
+
+        Each per-plan sum accumulates in CSR (= savings insertion)
+        order, matching the legacy dict-based sums bit for bit.
+        """
+        return np.bincount(self.adj_row, weights=self.adj_values, minlength=self.num_plans)
+
+    def max_total_savings_per_plan(self) -> float:
+        """``max_p sum_{p2} s_{p,p2}`` (0.0 for savings-free problems)."""
+        if self.num_savings == 0:
+            return 0.0
+        return float(self.total_savings_per_plan().max())
+
+    # ------------------------------------------------------------------ #
+    # Choice-encoded selections (one plan per query)
+    # ------------------------------------------------------------------ #
+    def check_choices(self, choices: np.ndarray) -> np.ndarray:
+        """Validate a ``(..., |Q|)`` per-query choice array.
+
+        Returns the choices as int64; the result may share memory with
+        the input (callers that mutate must copy, as
+        :class:`~repro.baselines.selection_state.SelectionState` does).
+        """
+        choices = np.asarray(choices)
+        if choices.shape[-1] != self.num_queries:
+            raise InvalidSolutionError(
+                f"expected {self.num_queries} choices, got {choices.shape[-1]}"
+            )
+        choices = choices.astype(np.int64, copy=False)
+        bad = (choices < 0) | (choices >= self.plans_per_query)
+        if bad.any():
+            position = np.argwhere(bad)[0]
+            query = int(position[-1])
+            raise InvalidSolutionError(
+                f"choice {int(choices[tuple(position)])} out of range for query "
+                f"{query} with {int(self.plans_per_query[query])} plans"
+            )
+        return choices
+
+    def choices_to_plans(self, choices: np.ndarray) -> np.ndarray:
+        """Map ``(..., |Q|)`` per-query choices to global plan indices."""
+        return self.query_offsets[:-1] + np.asarray(choices, dtype=np.int64)
+
+    def selection_cost_batch(self, choices: np.ndarray, validate: bool = True) -> np.ndarray:
+        """Objective ``C(Pe)`` of every row of a ``(B, |Q|)`` choice matrix.
+
+        The whole GA population (or any batch of valid one-plan-per-query
+        selections) is costed with two gathers and one matrix-vector
+        product — no per-row Python work.
+        """
+        choices = np.atleast_2d(np.asarray(choices))
+        if validate:
+            choices = self.check_choices(choices)
+        selected = self.query_offsets[:-1] + choices  # (B, |Q|)
+        base = self.plan_cost[selected].sum(axis=1)
+        if self.num_savings == 0:
+            return base
+        q1, q2 = self.savings_query_pair
+        hit = (selected[:, q1] == self.savings_p1) & (selected[:, q2] == self.savings_p2)
+        return base - hit.astype(np.float64) @ self.savings_value
+
+    # ------------------------------------------------------------------ #
+    # Indicator-encoded selections (arbitrary 0/1 plan subsets)
+    # ------------------------------------------------------------------ #
+    def indicator_cost_batch(self, indicators: np.ndarray) -> np.ndarray:
+        """Raw objective ``sum c_p - sum s`` of ``(B, |P|)`` 0/1 indicators.
+
+        Invalid selections (zero or several plans per query) are costed
+        exactly as :meth:`MQOProblem.selection_cost` costs them — the
+        ``E_C + E_S`` terms of the QUBO objective.
+        """
+        indicators = np.atleast_2d(np.asarray(indicators))
+        if indicators.shape[1] != self.num_plans:
+            raise InvalidSolutionError(
+                f"indicator matrix must have {self.num_plans} columns, "
+                f"got {indicators.shape[1]}"
+            )
+        dense = indicators.astype(np.float64, copy=False)
+        base = dense @ self.plan_cost
+        if self.num_savings == 0:
+            return base
+        hit = dense[:, self.savings_p1] * dense[:, self.savings_p2]
+        return base - hit @ self.savings_value
+
+    def indicator_valid_batch(self, indicators: np.ndarray) -> np.ndarray:
+        """bool[B] — whether each indicator row selects exactly one plan per query."""
+        indicators = np.atleast_2d(np.asarray(indicators))
+        counts = np.add.reduceat(
+            indicators.astype(np.int64, copy=False), self.query_offsets[:-1], axis=1
+        )
+        return (counts == 1).all(axis=1)
+
+    # ------------------------------------------------------------------ #
+    # Local-search moves
+    # ------------------------------------------------------------------ #
+    def realized_savings(self, selected_mask: np.ndarray, query_index: int) -> np.ndarray:
+        """Savings each plan of ``query_index`` realises with the selection.
+
+        ``selected_mask`` is a ``bool[|P|]`` indicator of the currently
+        selected plans.  Savings never link plans of the same query, so
+        no exclusion of the query's own selected plan is needed.  Each
+        per-plan sum accumulates in CSR order (bit-identical to the
+        legacy dict iteration).
+        """
+        lo = int(self.query_offsets[query_index])
+        hi = int(self.query_offsets[query_index + 1])
+        a_lo = int(self.adj_indptr[lo])
+        a_hi = int(self.adj_indptr[hi])
+        span = hi - lo
+        if a_lo == a_hi:
+            return np.zeros(span)
+        partners = self.adj_indices[a_lo:a_hi]
+        contrib = np.where(selected_mask[partners], self.adj_values[a_lo:a_hi], 0.0)
+        segments = np.repeat(np.arange(span), np.diff(self.adj_indptr[lo : hi + 1]))
+        return np.bincount(segments, weights=contrib, minlength=span)
+
+    def swap_deltas(
+        self, selected_plans: np.ndarray, selected_mask: np.ndarray, query_index: int
+    ) -> np.ndarray:
+        """Cost delta of switching ``query_index`` to each of its plans.
+
+        ``selected_plans`` holds the currently selected global plan per
+        query; the entry for the query's current plan is exactly 0.0.
+        One call replaces the per-candidate ``swap_delta`` loop of the
+        legacy :class:`~repro.baselines.selection_state.SelectionState`.
+        """
+        lo = int(self.query_offsets[query_index])
+        hi = int(self.query_offsets[query_index + 1])
+        old_plan = int(selected_plans[query_index])
+        realized = self.realized_savings(selected_mask, query_index)
+        deltas = (self.plan_cost[lo:hi] - self.plan_cost[old_plan]) - realized
+        deltas += realized[old_plan - lo]
+        deltas[old_plan - lo] = 0.0
+        return deltas
+
+    def all_swap_deltas(
+        self, selected_plans: np.ndarray, selected_mask: np.ndarray
+    ) -> np.ndarray:
+        """float64[|P|] — swap delta for moving each plan's query onto it.
+
+        ``deltas[p]`` is the cost change of switching plan ``p``'s query
+        from its currently selected plan to ``p`` (0.0 for the selected
+        plans themselves).  One call evaluates every candidate move of a
+        steepest-descent sweep — the hill-climbing hot loop — with one
+        gather and one segmented reduction over the savings adjacency.
+        """
+        contrib = np.where(selected_mask[self.adj_indices], self.adj_values, 0.0)
+        realized = np.bincount(self.adj_row, weights=contrib, minlength=self.num_plans)
+        old_plan = np.asarray(selected_plans, dtype=np.int64)[self.plan_query]
+        deltas = (self.plan_cost - self.plan_cost[old_plan]) - realized
+        deltas += realized[old_plan]
+        deltas[np.asarray(selected_plans, dtype=np.int64)] = 0.0
+        return deltas
+
+
+def build_problem_arrays(problem: "MQOProblem") -> ProblemArrays:
+    """Construct the columnar view of ``problem``.
+
+    Callers should prefer the memoised :meth:`MQOProblem.arrays`.  The
+    adjacency is laid out so each plan's partners appear in savings
+    insertion order, matching the legacy ``sharing_partners`` dicts
+    (see the module docstring for why that ordering matters).
+    """
+    num_plans = problem.num_plans
+    num_queries = problem.num_queries
+
+    plan_cost = np.empty(num_plans, dtype=np.float64)
+    plan_query = np.empty(num_plans, dtype=np.int32)
+    for plan in problem.plans:
+        plan_cost[plan.index] = plan.cost
+        plan_query[plan.index] = plan.query_index
+
+    query_offsets = np.zeros(num_queries + 1, dtype=np.int64)
+    for query in problem.queries:
+        query_offsets[query.index + 1] = len(query.plan_indices)
+    np.cumsum(query_offsets, out=query_offsets)
+
+    savings = problem.savings
+    num_savings = len(savings)
+    savings_p1 = np.empty(num_savings, dtype=np.int64)
+    savings_p2 = np.empty(num_savings, dtype=np.int64)
+    savings_value = np.empty(num_savings, dtype=np.float64)
+    for slot, ((p1, p2), value) in enumerate(savings.items()):
+        savings_p1[slot] = p1
+        savings_p2[slot] = p2
+        savings_value[slot] = value
+
+    # Interleave the two directed copies of each pair so that a stable
+    # sort by owning plan reproduces the savings insertion order within
+    # every plan's partner row (the legacy dict-adjacency order).
+    rows = np.empty(2 * num_savings, dtype=np.int64)
+    cols = np.empty(2 * num_savings, dtype=np.int64)
+    vals = np.empty(2 * num_savings, dtype=np.float64)
+    rows[0::2] = savings_p1
+    rows[1::2] = savings_p2
+    cols[0::2] = savings_p2
+    cols[1::2] = savings_p1
+    vals[0::2] = savings_value
+    vals[1::2] = savings_value
+    order = np.argsort(rows, kind="stable")
+    adj_indices = cols[order]
+    adj_values = vals[order]
+    adj_indptr = np.zeros(num_plans + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows, minlength=num_plans), out=adj_indptr[1:])
+
+    return ProblemArrays(
+        num_queries=num_queries,
+        num_plans=num_plans,
+        num_savings=num_savings,
+        plan_cost=_frozen(plan_cost),
+        plan_query=_frozen(plan_query),
+        query_offsets=_frozen(query_offsets),
+        savings_p1=_frozen(savings_p1),
+        savings_p2=_frozen(savings_p2),
+        savings_value=_frozen(savings_value),
+        adj_indptr=_frozen(adj_indptr),
+        adj_indices=_frozen(adj_indices),
+        adj_values=_frozen(adj_values),
+    )

@@ -19,9 +19,13 @@ in query order, which keeps the mapping onto QUBO variables trivial.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Sequence, Tuple
+from types import MappingProxyType
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Sequence, Tuple
 
 from repro.exceptions import InvalidProblemError, InvalidSolutionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (arrays -> problem)
+    from repro.mqo.arrays import ProblemArrays
 
 __all__ = ["Plan", "Query", "MQOProblem", "MQOSolution"]
 
@@ -151,7 +155,16 @@ class MQOProblem:
             self._savings_by_plan[p1][p2] = value
             self._savings_by_plan[p2][p1] = value
 
+        # Read-only views handed out by the public accessors: solver
+        # inner loops call sharing_partners()/savings per move, so the
+        # accessors must not allocate fresh dict copies on every call.
+        self._savings_view: Mapping[PlanPair, float] = MappingProxyType(self._savings)
+        self._partner_views: Dict[int, Mapping[int, float]] = {
+            plan: MappingProxyType(partners) for plan, partners in self._savings_by_plan.items()
+        }
+
         self._canonical_hash: str | None = None
+        self._arrays: "ProblemArrays | None" = None
 
     def _add_saving(self, p1: int, p2: int, value: float) -> None:
         pair = _normalize_pair(int(p1), int(p2))
@@ -195,9 +208,13 @@ class MQOProblem:
         return len(self._plans)
 
     @property
-    def savings(self) -> Dict[PlanPair, float]:
-        """Copy of the savings map keyed by normalised plan pairs."""
-        return dict(self._savings)
+    def savings(self) -> Mapping[PlanPair, float]:
+        """Read-only view of the savings map keyed by normalised plan pairs.
+
+        The same cached view object is returned on every access (the
+        problem is immutable); attempts to mutate it raise ``TypeError``.
+        """
+        return self._savings_view
 
     @property
     def num_savings(self) -> int:
@@ -233,11 +250,31 @@ class MQOProblem:
         """Saving ``s_{p1,p2}`` for a plan pair, or 0.0 if the pair shares nothing."""
         return self._savings.get(_normalize_pair(p1, p2), 0.0)
 
-    def sharing_partners(self, plan_index: int) -> Dict[int, float]:
-        """All plans sharing work with ``plan_index`` mapped to the saving value."""
-        if plan_index not in self._savings_by_plan:
-            raise InvalidProblemError(f"unknown plan index {plan_index}")
-        return dict(self._savings_by_plan[plan_index])
+    def sharing_partners(self, plan_index: int) -> Mapping[int, float]:
+        """All plans sharing work with ``plan_index`` mapped to the saving value.
+
+        Returns a cached read-only view (not a copy): the solvers call
+        this inside their inner loops, where an ``O(degree)`` dict
+        allocation per call dominated the move evaluation.
+        """
+        try:
+            return self._partner_views[plan_index]
+        except KeyError:
+            raise InvalidProblemError(f"unknown plan index {plan_index}") from None
+
+    def arrays(self) -> "ProblemArrays":
+        """The memoised columnar view of this problem.
+
+        Built on first access and shared by every array-backed consumer
+        (QUBO construction, heuristic baselines, batched decoding); see
+        :class:`repro.mqo.arrays.ProblemArrays` for the layout.
+        """
+        if self._arrays is None:
+            # Imported here: arrays imports this module's types at top level.
+            from repro.mqo.arrays import build_problem_arrays
+
+            self._arrays = build_problem_arrays(self)
+        return self._arrays
 
     def canonical_hash(self) -> str:
         """Stable SHA-256 hex digest of the problem *structure*.
@@ -368,6 +405,28 @@ class MQOSolution:
             self.problem.plan(p)
         object.__setattr__(self, "_valid", self.problem.is_valid_selection(self.selected_plans))
         object.__setattr__(self, "_cost", self.problem.selection_cost(self.selected_plans))
+
+    @classmethod
+    def from_precomputed(
+        cls,
+        problem: MQOProblem,
+        selected_plans: Iterable[int],
+        cost: float,
+        is_valid: bool,
+    ) -> "MQOSolution":
+        """Trusted constructor skipping the per-solution cost recomputation.
+
+        Used by the batched decode paths (sampleset decoding, the
+        array-backed heuristics) that already computed cost and validity
+        for a whole batch at once; ``cost`` and ``is_valid`` MUST match
+        what ``__post_init__`` would derive for ``selected_plans``.
+        """
+        solution = object.__new__(cls)
+        object.__setattr__(solution, "problem", problem)
+        object.__setattr__(solution, "selected_plans", frozenset(selected_plans))
+        object.__setattr__(solution, "_cost", float(cost))
+        object.__setattr__(solution, "_valid", bool(is_valid))
+        return solution
 
     @property
     def is_valid(self) -> bool:

@@ -30,16 +30,31 @@ _FORMAT_VERSION = 1
 
 
 def problem_to_dict(problem: MQOProblem) -> Dict[str, Any]:
-    """Convert an :class:`MQOProblem` into a JSON-serialisable dictionary."""
+    """Convert an :class:`MQOProblem` into a JSON-serialisable dictionary.
+
+    Reads the problem's columnar arrays instead of the per-plan objects:
+    plan costs come out of one slice per query and the savings triplets
+    from three column exports, which keeps serialising large workloads
+    (the JSONL emitters, the exact problem token) off the object model.
+    """
+    arrays = problem.arrays()
+    costs = arrays.plan_cost.tolist()
+    offsets = arrays.query_offsets.tolist()
     return {
         "format_version": _FORMAT_VERSION,
         "name": problem.name,
         "plans_per_query": [
-            [problem.plan(p).cost for p in query.plan_indices] for query in problem.queries
+            costs[offsets[q] : offsets[q + 1]] for q in range(arrays.num_queries)
         ],
         "savings": [
             {"plans": [p1, p2], "value": value}
-            for (p1, p2), value in sorted(problem.savings.items())
+            for p1, p2, value in sorted(
+                zip(
+                    arrays.savings_p1.tolist(),
+                    arrays.savings_p2.tolist(),
+                    arrays.savings_value.tolist(),
+                )
+            )
         ],
     }
 
@@ -66,7 +81,33 @@ def problem_from_dict(data: Dict[str, Any]) -> MQOProblem:
 _MAX_CANONICAL_LEAVES = 2048
 
 
-def _refine_colors(problem: MQOProblem, colors: Dict[int, int]) -> Dict[int, int]:
+def _partner_entries(problem: MQOProblem) -> List[List[Tuple[int, float]]]:
+    """Per-plan ``(partner, rounded saving)`` lists from the CSR adjacency.
+
+    Precomputed once per canonicalisation so the refinement loop never
+    re-rounds savings or walks the partner dictionaries: the refinement
+    visits every plan's partners once per iteration per search branch,
+    and the rounding/dict overhead dominated the canonical hash on large
+    instances.
+    """
+    arrays = problem.arrays()
+    indptr = arrays.adj_indptr.tolist()
+    indices = arrays.adj_indices.tolist()
+    values = arrays.adj_values.tolist()
+    return [
+        [
+            (indices[slot], round(values[slot], 12))
+            for slot in range(indptr[plan], indptr[plan + 1])
+        ]
+        for plan in range(arrays.num_plans)
+    ]
+
+
+def _refine_colors(
+    problem: MQOProblem,
+    colors: Dict[int, int],
+    partner_entries: List[List[Tuple[int, float]]] | None = None,
+) -> Dict[int, int]:
     """Colour refinement (Weisfeiler-Leman style) to the fixpoint.
 
     Each plan's colour is joined with the sorted multiset of its
@@ -74,19 +115,16 @@ def _refine_colors(problem: MQOProblem, colors: Dict[int, int]) -> Dict[int, int
     re-ranked, until the partition stops refining.  Ranks are a pure
     function of problem structure, never of the plan enumeration.
     """
+    if partner_entries is None:
+        partner_entries = _partner_entries(problem)
     num_colors = len(set(colors.values()))
     while True:
         signatures = {
-            plan.index: (
-                colors[plan.index],
-                tuple(
-                    sorted(
-                        (colors[partner], round(saving, 12))
-                        for partner, saving in problem.sharing_partners(plan.index).items()
-                    )
-                ),
+            plan: (
+                colors[plan],
+                tuple(sorted((colors[partner], saving) for partner, saving in entries)),
             )
-            for plan in problem.plans
+            for plan, entries in enumerate(partner_entries)
         }
         ranks = {
             signature: rank for rank, signature in enumerate(sorted(set(signatures.values())))
@@ -163,11 +201,12 @@ def _canonical_plan_order(problem: MQOProblem) -> Dict[int, int]:
 
     best: List[Tuple[Tuple, Dict[int, int]]] = []
     leaves = [0]
+    partner_entries = _partner_entries(problem)
 
     def search(colors: Dict[int, int]) -> None:
         if leaves[0] >= _MAX_CANONICAL_LEAVES:
             return
-        colors = _refine_colors(problem, colors)
+        colors = _refine_colors(problem, colors, partner_entries)
         ties = _first_tie_class(problem, colors)
         if not ties:
             leaves[0] += 1

@@ -31,6 +31,13 @@ class QUBOModel:
     The container is mutable (weights are accumulated with
     :meth:`add_linear` / :meth:`add_quadratic`) because the logical and
     physical mappings build energy formulas incrementally, term by term.
+
+    Models can alternatively be built in one shot from flat arrays
+    (:meth:`from_arrays`, the inverse of :meth:`to_arrays`).  Such
+    models keep their arrays and materialise the per-term dictionaries
+    lazily on first dict-level access, so the array-in / array-out hot
+    path (logical mapping -> annealer compilation) never pays for dict
+    construction at all.
     """
 
     def __init__(
@@ -39,14 +46,114 @@ class QUBOModel:
         quadratic: Mapping[Edge, float] | None = None,
         offset: float = 0.0,
     ) -> None:
-        self._linear: Dict[Variable, float] = {}
-        self._quadratic: Dict[Edge, float] = {}
-        self._adjacency: Dict[Variable, Dict[Variable, float]] = {}
+        self._linear_store: Dict[Variable, float] | None = {}
+        self._quadratic_store: Dict[Edge, float] | None = {}
+        self._adjacency_store: Dict[Variable, Dict[Variable, float]] | None = {}
+        #: Deferred array form (variables, linear, edges, weights) not yet
+        #: expanded into the dict stores; exclusive with non-None stores.
+        self._pending: Tuple[List[Variable], np.ndarray, np.ndarray, np.ndarray] | None = None
+        #: Cached flat-array export in insertion order; dropped on mutation.
+        self._array_cache: Tuple[List[Variable], np.ndarray, np.ndarray, np.ndarray] | None = None
         self.offset = float(offset)
         for var, weight in (linear or {}).items():
             self.add_linear(var, weight)
         for (u, v), weight in (quadratic or {}).items():
             self.add_quadratic(u, v, weight)
+
+    # ------------------------------------------------------------------ #
+    # Array backing (lazy dict materialisation)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_arrays(
+        cls,
+        variables: Sequence[Variable],
+        linear: np.ndarray,
+        edges: np.ndarray,
+        weights: np.ndarray,
+        offset: float = 0.0,
+    ) -> "QUBOModel":
+        """Build a model from the flat arrays :meth:`to_arrays` produces.
+
+        ``linear`` holds one weight per entry of ``variables``;
+        ``edges`` is an ``(m, 2)`` integer array of variable *positions*
+        with the matching quadratic ``weights``.  Edges must reference
+        distinct variables and each unordered pair may appear at most
+        once (the whole-array builders guarantee this; violations
+        raise).  The per-term dictionaries are materialised lazily, so
+        consumers that only ever read the arrays back (the annealer
+        compiler) skip dict construction entirely.
+        """
+        variables = list(variables)
+        # Copied: the arrays become the model's canonical export, so a
+        # caller mutating its inputs afterwards must not corrupt it.
+        linear = np.array(linear, dtype=np.float64)
+        edges = np.array(edges, dtype=np.int64)
+        weights = np.array(weights, dtype=np.float64)
+        if edges.size == 0:
+            edges = edges.reshape(0, 2)
+        n = len(variables)
+        if len(set(variables)) != n:
+            raise QUBOError("from_arrays received duplicate variable labels")
+        if linear.shape != (n,):
+            raise QUBOError(f"linear must have shape ({n},), got {linear.shape}")
+        if edges.ndim != 2 or edges.shape[1] != 2 or weights.shape != (edges.shape[0],):
+            raise QUBOError(
+                f"edges must have shape (m, 2) with matching weights, "
+                f"got {edges.shape} and {weights.shape}"
+            )
+        if not np.isfinite(linear).all() or not np.isfinite(weights).all():
+            raise QUBOError("QUBO weights must be finite")
+        if edges.size:
+            if edges.min() < 0 or edges.max() >= n:
+                raise QUBOError("edge endpoints must index into variables")
+            lo = np.minimum(edges[:, 0], edges[:, 1])
+            hi = np.maximum(edges[:, 0], edges[:, 1])
+            if (lo == hi).any():
+                raise QUBOError("edges may not couple a variable with itself")
+            if len(np.unique(lo * np.int64(n) + hi)) != len(lo):
+                raise QUBOError("from_arrays received a duplicate edge")
+        model = cls.__new__(cls)
+        model.offset = cls._check_weight(offset)
+        model._linear_store = None
+        model._quadratic_store = None
+        model._adjacency_store = None
+        model._pending = (variables, linear, edges, weights)
+        model._array_cache = (variables, linear, edges, weights)
+        return model
+
+    def _materialize(self) -> None:
+        """Expand the deferred array backing into the dict stores."""
+        assert self._pending is not None
+        variables, linear, edges, weights = self._pending
+        self._pending = None
+        self._linear_store = dict(zip(variables, linear.tolist()))
+        adjacency: Dict[Variable, Dict[Variable, float]] = {var: {} for var in variables}
+        quadratic: Dict[Edge, float] = {}
+        for ui, vi, weight in zip(edges[:, 0].tolist(), edges[:, 1].tolist(), weights.tolist()):
+            u, v = variables[ui], variables[vi]
+            quadratic[self._edge_key(u, v)] = weight
+            adjacency[u][v] = weight
+            adjacency[v][u] = weight
+        self._quadratic_store = quadratic
+        self._adjacency_store = adjacency
+
+    @property
+    def _linear(self) -> Dict[Variable, float]:
+        if self._linear_store is None:
+            self._materialize()
+        return self._linear_store
+
+    @property
+    def _quadratic(self) -> Dict[Edge, float]:
+        if self._quadratic_store is None:
+            self._materialize()
+        return self._quadratic_store
+
+    @property
+    def _adjacency(self) -> Dict[Variable, Dict[Variable, float]]:
+        if self._adjacency_store is None:
+            self._materialize()
+        return self._adjacency_store
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -61,6 +168,7 @@ class QUBOModel:
     def add_variable(self, var: Variable) -> None:
         """Register ``var`` (with zero linear weight) if not yet present."""
         if var not in self._linear:
+            self._array_cache = None
             self._linear[var] = 0.0
             self._adjacency.setdefault(var, {})
 
@@ -68,6 +176,7 @@ class QUBOModel:
         """Accumulate ``weight`` onto the linear term of ``var``."""
         weight = self._check_weight(weight)
         self.add_variable(var)
+        self._array_cache = None
         self._linear[var] += weight
 
     def add_quadratic(self, u: Variable, v: Variable, weight: float) -> None:
@@ -82,6 +191,7 @@ class QUBOModel:
             return
         self.add_variable(u)
         self.add_variable(v)
+        self._array_cache = None
         key = self._edge_key(u, v)
         self._quadratic[key] = self._quadratic.get(key, 0.0) + weight
         self._adjacency[u][v] = self._adjacency[u].get(v, 0.0) + weight
@@ -106,16 +216,22 @@ class QUBOModel:
     @property
     def variables(self) -> List[Variable]:
         """All variables in insertion order."""
+        if self._pending is not None:
+            return list(self._pending[0])
         return list(self._linear)
 
     @property
     def num_variables(self) -> int:
         """Number of variables."""
+        if self._pending is not None:
+            return len(self._pending[0])
         return len(self._linear)
 
     @property
     def num_interactions(self) -> int:
         """Number of non-zero quadratic entries."""
+        if self._pending is not None:
+            return len(self._pending[3])
         return len(self._quadratic)
 
     @property
@@ -156,10 +272,12 @@ class QUBOModel:
         return var in self._linear
 
     def __iter__(self) -> Iterator[Variable]:
+        if self._pending is not None:
+            return iter(list(self._pending[0]))
         return iter(self._linear)
 
     def __len__(self) -> int:
-        return len(self._linear)
+        return self.num_variables
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -196,17 +314,10 @@ class QUBOModel:
             raise QUBOError(
                 f"samples must have shape (n, {len(variable_order)}), got {samples.shape}"
             )
-        index = {var: i for i, var in enumerate(variable_order)}
-        missing = [var for var in self._linear if var not in index]
-        if missing:
-            raise QUBOError(f"variable_order is missing QUBO variables: {missing[:5]}")
-        lin = np.zeros(len(variable_order))
-        for var, weight in self._linear.items():
-            lin[index[var]] = weight
+        _, lin, edges, weights = self.to_arrays(variable_order)
         energies = samples @ lin + self.offset
-        for (u, v), weight in self._quadratic.items():
-            if weight:
-                energies += weight * samples[:, index[u]] * samples[:, index[v]]
+        if len(weights):
+            energies += (samples[:, edges[:, 0]] * samples[:, edges[:, 1]]) @ weights
         return energies
 
     # ------------------------------------------------------------------ #
@@ -269,6 +380,12 @@ class QUBOModel:
         size scales with the number of interactions, not with the square
         of the variable count.
         """
+        cache = self._array_cache
+        if cache is not None:
+            cached_order, linear, edges, weights = cache
+            if variable_order is None or list(variable_order) == cached_order:
+                # Copies so callers can never corrupt the cached export.
+                return list(cached_order), linear.copy(), edges.copy(), weights.copy()
         order = list(variable_order) if variable_order is not None else self.variables
         index = {var: i for i, var in enumerate(order)}
         missing = [var for var in self._linear if var not in index]
@@ -284,6 +401,8 @@ class QUBOModel:
             edges[slot, 0] = index[u]
             edges[slot, 1] = index[v]
             weights[slot] = weight
+        if variable_order is None and self._pending is None:
+            self._array_cache = (order, linear.copy(), edges.copy(), weights.copy())
         return order, linear, edges, weights
 
     def energy_range_bounds(self) -> Tuple[float, float]:

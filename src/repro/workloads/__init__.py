@@ -19,6 +19,13 @@ Importing this package registers every built-in family and suite.
 """
 
 from repro.workloads import families as _families  # registers the families
+from repro.workloads.embedded import (
+    PAPER_CLASS_SIZES,
+    EmbeddedTestCase,
+    TestCaseClass,
+    generate_embedded_testcase,
+    paper_test_classes,
+)
 from repro.workloads.arrivals import (
     ArrivalProcess,
     arrival_times,
@@ -47,7 +54,12 @@ del _families
 
 __all__ = [
     "ArrivalProcess",
+    "EmbeddedTestCase",
+    "PAPER_CLASS_SIZES",
     "ScenarioSpec",
+    "TestCaseClass",
+    "generate_embedded_testcase",
+    "paper_test_classes",
     "WorkloadError",
     "WorkloadFamily",
     "WorkloadSuite",

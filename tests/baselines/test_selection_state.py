@@ -63,6 +63,35 @@ class TestSelectionState:
         clone.apply_swap(0, 1)
         assert state.choices == [0, 0, 0, 0]
 
+    def test_copy_cost_equals_source_cost(self, small_problem):
+        """Regression: copy() must not re-derive the cost — it inherits it.
+
+        The legacy copy() re-validated the choices and recomputed the
+        objective in O(|P| + |S|); the rewrite copies the fields
+        directly, so the clone's cost must equal the source's exactly,
+        including any incrementally accumulated value.
+        """
+        state = SelectionState(small_problem, [0, 1, 0, 1])
+        state.apply_swap(2, 1)
+        state.apply_swap(0, 1)
+        clone = state.copy()
+        assert clone.cost == state.cost
+        assert clone.choices == state.choices
+        # And the clone keeps evolving independently but consistently.
+        clone.apply_swap(1, 0)
+        assert clone.cost == pytest.approx(
+            small_problem.solution_from_choices(clone.choices).cost
+        )
+
+    def test_swap_deltas_vector_matches_scalar_swap_delta(self, small_problem):
+        state = SelectionState(small_problem, [0, 1, 1, 0])
+        all_deltas = state.all_swap_deltas()
+        for query in small_problem.queries:
+            deltas = state.swap_deltas(query.index)
+            for choice in range(query.num_plans):
+                assert deltas[choice] == state.swap_delta(query.index, choice)
+                assert all_deltas[query.plan_indices[choice]] == deltas[choice]
+
     def test_incremental_consistency_on_generated_instance(self):
         problem = generate_paper_testcase(10, 3, seed=3)
         state = SelectionState(problem, [0] * 10)

@@ -112,6 +112,47 @@ class TestInverseMapping:
             assert mapping.energy_of_solution(solution) == pytest.approx(solution.cost + shift)
 
 
+class TestBatchedDecode:
+    def test_matches_per_assignment_decode(self, small_problem):
+        mapping = LogicalMapping(small_problem)
+        assignments = [
+            {0: 1, 3: 1, 4: 1, 7: 1},  # valid
+            {0: 1, 1: 1, 4: 1},  # overfull query 0, missing queries
+            {},  # empty
+            {plan.index: 1 for plan in small_problem.plans},  # everything
+        ]
+        batch = mapping.solutions_from_sampleset(assignments)
+        assert len(batch) == len(assignments)
+        for assignment, solution in zip(assignments, batch):
+            reference = mapping.solution_from_assignment(assignment)
+            assert solution.selected_plans == reference.selected_plans
+            assert solution.is_valid == reference.is_valid
+            assert solution.cost == pytest.approx(reference.cost)
+
+    def test_accepts_sample_sets_and_matrices(self, small_problem):
+        import numpy as np
+
+        from repro.annealer.sampleset import Sample, SampleSet
+
+        mapping = LogicalMapping(small_problem)
+        assignment = {0: 1, 3: 1, 4: 1, 7: 1}
+        sample_set = SampleSet(
+            samples=[Sample(assignment=assignment, energy=0.0, read_index=0)]
+        )
+        from_set = mapping.solutions_from_sampleset(sample_set)
+        matrix = np.zeros((1, small_problem.num_plans), dtype=np.int8)
+        matrix[0, [0, 3, 4, 7]] = 1
+        from_matrix = mapping.solutions_from_sampleset(matrix)
+        reference = mapping.solution_from_assignment(assignment)
+        for solution in (*from_set, *from_matrix):
+            assert solution.selected_plans == reference.selected_plans
+            assert solution.cost == pytest.approx(reference.cost)
+
+    def test_empty_batch(self, small_problem):
+        mapping = LogicalMapping(small_problem)
+        assert mapping.solutions_from_sampleset([]) == []
+
+
 class TestRepair:
     def test_repair_of_empty_assignment(self, small_problem):
         mapping = LogicalMapping(small_problem)

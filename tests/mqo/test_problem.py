@@ -106,6 +106,28 @@ class TestCostAccounting:
         partners = small_problem.sharing_partners(2)
         assert partners == {0: 2.0, 7: 1.5}
 
+    def test_sharing_partners_is_cached_read_only_view(self, small_problem):
+        """Hot-path accessor: no per-call copies and no mutation leaks."""
+        partners = small_problem.sharing_partners(2)
+        assert small_problem.sharing_partners(2) is partners
+        with pytest.raises(TypeError):
+            partners[0] = 99.0
+        with pytest.raises(AttributeError):
+            partners.pop(0)  # read-only views expose no mutators at all
+        # The failed mutations left the problem untouched.
+        assert small_problem.sharing_partners(2) == {0: 2.0, 7: 1.5}
+        assert small_problem.saving(0, 2) == 2.0
+
+    def test_savings_is_cached_read_only_view(self, small_problem):
+        savings = small_problem.savings
+        assert small_problem.savings is savings
+        with pytest.raises(TypeError):
+            savings[(0, 2)] = 99.0
+        with pytest.raises(TypeError):
+            del savings[(0, 2)]
+        assert small_problem.savings[(0, 2)] == 2.0
+        assert dict(savings) == {(0, 2): 2.0, (1, 4): 1.0, (5, 6): 3.0, (2, 7): 1.5}
+
     def test_selection_cost_with_savings(self, paper_example_problem):
         # Executing plans 1 and 2 costs 4 + 3 - 5 = 2.
         assert paper_example_problem.selection_cost({1, 2}) == pytest.approx(2.0)

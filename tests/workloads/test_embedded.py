@@ -1,0 +1,48 @@
+"""Tests for the embedded family and the experiments-module migration."""
+
+from repro.chimera.topology import ChimeraGraph
+from repro.mqo.serialization import problem_to_dict
+from repro.workloads import get_family
+from repro.workloads.embedded import (
+    PAPER_CLASS_SIZES,
+    EmbeddedTestCase,
+    generate_embedded_testcase,
+)
+
+
+class TestEmbeddedFamily:
+    def test_registered(self):
+        family = get_family("embedded")
+        assert "paper" in family.tags
+
+    def test_builds_same_problem_as_generator(self):
+        """The registered family and the direct generator must agree."""
+        family = get_family("embedded")
+        built = family.build(7, num_queries=6, plans_per_query=2, cell_rows=4, cell_cols=4)
+        case = generate_embedded_testcase(6, 2, ChimeraGraph(4, 4), seed=7)
+        assert isinstance(case, EmbeddedTestCase)
+        lhs, rhs = problem_to_dict(built), problem_to_dict(case.problem)
+        lhs["name"] = rhs["name"] = ""
+        assert lhs == rhs
+
+    def test_deterministic(self):
+        family = get_family("embedded")
+        a = family.build(11, num_queries=4, plans_per_query=3)
+        b = family.build(11, num_queries=4, plans_per_query=3)
+        assert problem_to_dict(a) == problem_to_dict(b)
+
+
+class TestDeprecationShims:
+    def test_experiments_modules_reexport(self):
+        """The legacy import locations keep working (thin shims)."""
+        from repro.experiments import scenarios as legacy_scenarios
+        from repro.experiments import workloads as legacy_workloads
+        from repro.workloads import embedded
+
+        assert legacy_workloads.EmbeddedTestCase is embedded.EmbeddedTestCase
+        assert legacy_workloads.generate_embedded_testcase is (
+            embedded.generate_embedded_testcase
+        )
+        assert legacy_scenarios.TestCaseClass is embedded.TestCaseClass
+        assert legacy_scenarios.paper_test_classes is embedded.paper_test_classes
+        assert legacy_scenarios.PAPER_CLASS_SIZES is PAPER_CLASS_SIZES
