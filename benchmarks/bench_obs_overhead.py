@@ -1,0 +1,228 @@
+"""Cost of the observability layer when tracing is disabled.
+
+The obs PR's claim: instrumenting the pipeline (spans around QUBO
+build / embed / anneal / decode, counters in the baselines' improvement
+recorder and the annealer) costs **≤ 3 %** of job wall-clock when
+tracing is disabled — the default.  The disabled path must be cheap
+enough to leave compiled in everywhere, with no "production build"
+switch.
+
+Three exhibits:
+
+* micro: per-call cost of a disabled ``tracer.span(...)`` (returns the
+  shared no-op singleton after one ``enabled`` check) and of a registry
+  ``Counter.inc``,
+* QA pipeline: ``QuantumMQO.solve`` — the span-densest instrumented
+  operation — timed with tracing disabled; the per-job overhead is
+  *spans-per-job × no-op cost*, counted against the measured latency,
+* GA anytime: the fixed-budget scenario dominating
+  ``bench_classical_core`` — the instrumented hot path there is the
+  improvement counter, so the overhead is *increments × inc cost*.
+
+The per-call costs are measured in a bare loop, so the loop overhead is
+charged **to the observability layer** — the reported fractions are
+upper bounds.  Results land in a schema-valid
+``benchmark_results/BENCH_obs.json`` gated by
+``tools/check_bench_regression.py`` against the committed baseline.
+"""
+
+import time
+from pathlib import Path
+
+from repro.baselines.genetic import GeneticAlgorithmSolver
+from repro.bench.schema import build_bench_document, save_bench_document
+from repro.bench.stats import summarize_latencies
+from repro.core.pipeline import QuantumMQO
+from repro.mqo.generator import generate_paper_testcase
+from repro.obs import configure_tracer, get_registry, get_tracer
+from repro.workloads import get_family
+
+SEED = 20160909
+MICRO_CALLS = 200_000
+MICRO_BATCHES = 5
+QA_REPEATS = 8
+GA_REPEATS = 10
+GA_BUDGET_MS = 60.0
+MAX_DISABLED_OVERHEAD = 0.03
+
+
+def _times_of(callable_, repeats):
+    """Per-iteration wall-clock seconds (list) of ``repeats`` runs."""
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def _scenario(name, family, times_s, extra=None):
+    """One BENCH scenario record from per-iteration wall clocks."""
+    latencies_ms = [t * 1000.0 for t in times_s]
+    duration_s = sum(times_s)
+    record = {
+        "name": name,
+        "family": family,
+        "jobs": len(times_s),
+        "failures": 0,
+        "duration_s": round(duration_s, 3),
+        "throughput_jobs_per_s": round(len(times_s) / duration_s if duration_s else 0.0, 3),
+        "latency_ms": summarize_latencies(latencies_ms),
+        "params": {},
+        "seed": SEED,
+    }
+    if extra:
+        record["exhibit"] = extra
+    return record
+
+
+def bench_obs_overhead(benchmark, save_exhibit):
+    was_enabled = get_tracer().enabled
+    configure_tracer(False)
+    tracer = get_tracer()
+    try:
+        exhibit_lines = ["Observability disabled-path overhead", ""]
+        scenarios = []
+
+        # ---------------- micro: no-op span / counter inc ---------------- #
+        span = tracer.span
+
+        def span_batch():
+            for _ in range(MICRO_CALLS):
+                span("bench.noop")
+
+        counter = get_registry().counter("repro_bench_obs_overhead_total")
+        inc = counter.inc
+
+        def inc_batch():
+            for _ in range(MICRO_CALLS):
+                inc()
+
+        span_batch_s = _times_of(span_batch, MICRO_BATCHES)
+        inc_batch_s = _times_of(inc_batch, MICRO_BATCHES)
+        span_call_s = min(span_batch_s) / MICRO_CALLS
+        inc_call_s = min(inc_batch_s) / MICRO_CALLS
+        scenarios.append(
+            _scenario(
+                "noop_span_micro",
+                "micro",
+                span_batch_s,
+                extra={
+                    "calls_per_batch": MICRO_CALLS,
+                    "span_ns_per_call": round(span_call_s * 1e9, 1),
+                    "counter_inc_ns_per_call": round(inc_call_s * 1e9, 1),
+                },
+            )
+        )
+        exhibit_lines.append(
+            f"  disabled span(): {span_call_s * 1e9:7.1f} ns/call   "
+            f"Counter.inc(): {inc_call_s * 1e9:7.1f} ns/call"
+        )
+
+        # ---------------- QA pipeline: span-densest operation ------------- #
+        problem = generate_paper_testcase(10, 2, seed=SEED)
+        pipeline = QuantumMQO(seed=SEED)
+        pipeline.solve(problem, num_reads=100)  # warm caches
+
+        # Count the spans one solve emits (enabled run, then drained).
+        configure_tracer(True)
+        get_tracer().drain()
+        pipeline.solve(problem, num_reads=100)
+        spans_per_solve = len(get_tracer().drain())
+        configure_tracer(False)
+        assert spans_per_solve >= 5, spans_per_solve
+
+        qa_s = _times_of(lambda: pipeline.solve(problem, num_reads=100), QA_REPEATS)
+        qa_overhead = spans_per_solve * span_call_s / min(qa_s)
+        scenarios.append(
+            _scenario(
+                "qa_pipeline_disabled",
+                "paper",
+                qa_s,
+                extra={
+                    "spans_per_solve": spans_per_solve,
+                    "overhead_fraction": round(qa_overhead, 6),
+                },
+            )
+        )
+        exhibit_lines.append(
+            f"  QA solve: {min(qa_s) * 1000:8.2f} ms/job, {spans_per_solve} span sites "
+            f"-> {qa_overhead:.4%} overhead"
+        )
+
+        # ---------------- GA anytime: counter-instrumented hot path ------- #
+        tpch = get_family("tpch_mix").build(SEED, num_queries=180, density=0.5)
+        ga = GeneticAlgorithmSolver(population_size=50)
+        improvements = get_registry().counter("repro_solver_improvements_total")
+
+        before = improvements.value
+        ga.solve(tpch, GA_BUDGET_MS, seed=SEED)
+        incs_per_job = improvements.value - before
+
+        ga_s = _times_of(lambda: ga.solve(tpch, GA_BUDGET_MS, seed=SEED), GA_REPEATS)
+        ga_overhead = incs_per_job * inc_call_s / min(ga_s)
+        scenarios.append(
+            _scenario(
+                "ga_anytime_disabled",
+                "tpch_mix",
+                ga_s,
+                extra={
+                    "budget_ms": GA_BUDGET_MS,
+                    "counter_incs_per_job": incs_per_job,
+                    "overhead_fraction": round(ga_overhead, 6),
+                },
+            )
+        )
+        exhibit_lines.append(
+            f"  GA anytime: {min(ga_s) * 1000:8.2f} ms/job, {incs_per_job} counter incs "
+            f"-> {ga_overhead:.4%} overhead"
+        )
+
+        benchmark.pedantic(span_batch, rounds=1, iterations=1)
+
+        all_times = span_batch_s + qa_s + ga_s
+        all_latencies = [t * 1000.0 for t in all_times]
+        total_jobs = sum(s["jobs"] for s in scenarios)
+        total_duration = sum(s["duration_s"] for s in scenarios)
+        totals = {
+            "jobs": total_jobs,
+            "failures": 0,
+            "duration_s": round(total_duration, 3),
+            "throughput_jobs_per_s": round(
+                total_jobs / total_duration if total_duration else 0.0, 3
+            ),
+            "latency_ms": summarize_latencies(all_latencies),
+        }
+        document = build_bench_document(
+            suite="obs",
+            mode="service",
+            scenarios=scenarios,
+            totals=totals,
+            config={
+                "solver": "QA/GA(50)",
+                "budget_ms": GA_BUDGET_MS,
+                "seed": SEED,
+                "span_ns_per_call": round(span_call_s * 1e9, 1),
+                "counter_inc_ns_per_call": round(inc_call_s * 1e9, 1),
+                "overhead_fractions": {
+                    "qa_pipeline": round(qa_overhead, 6),
+                    "ga_anytime": round(ga_overhead, 6),
+                },
+            },
+        )
+        results_dir = Path(__file__).resolve().parent.parent / "benchmark_results"
+        results_dir.mkdir(exist_ok=True)
+        save_bench_document(document, results_dir / "BENCH_obs.json")
+
+        save_exhibit("obs_overhead", "\n".join(exhibit_lines))
+
+        assert qa_overhead <= MAX_DISABLED_OVERHEAD, (
+            f"disabled-path span overhead above {MAX_DISABLED_OVERHEAD:.0%} on the "
+            f"QA pipeline: {qa_overhead:.4%}"
+        )
+        assert ga_overhead <= MAX_DISABLED_OVERHEAD, (
+            f"disabled-path counter overhead above {MAX_DISABLED_OVERHEAD:.0%} on the "
+            f"GA anytime scenario: {ga_overhead:.4%}"
+        )
+    finally:
+        configure_tracer(was_enabled)

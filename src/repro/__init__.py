@@ -111,7 +111,7 @@ from repro.service import (
     default_registry,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro.server import (  # noqa: E402 — needs __version__ for the hello frame
     ServerConfig,
@@ -136,6 +136,15 @@ from repro.bench import (  # noqa: E402
     BenchRunConfig,
     validate_bench_document,
 )
+from repro.obs import (  # noqa: E402
+    MetricsRegistry,
+    Tracer,
+    configure_tracer,
+    get_registry,
+    get_tracer,
+    render_prometheus,
+    write_ndjson,
+)
 
 __all__ = [
     # workloads + bench
@@ -151,6 +160,14 @@ __all__ = [
     "BenchOrchestrator",
     "BenchRunConfig",
     "validate_bench_document",
+    # obs
+    "Tracer",
+    "get_tracer",
+    "configure_tracer",
+    "MetricsRegistry",
+    "get_registry",
+    "render_prometheus",
+    "write_ndjson",
     # server
     "SolverServer",
     "ServerConfig",

@@ -340,7 +340,7 @@ class CompileCache:
     benchmark use to measure cold compilations.
     """
 
-    def __init__(self, maxsize: int = 128) -> None:
+    def __init__(self, maxsize: int = 128, name: Optional[str] = None) -> None:
         if maxsize < 0:
             raise ValueError(f"maxsize must be non-negative, got {maxsize}")
         self.maxsize = maxsize
@@ -348,15 +348,33 @@ class CompileCache:
         self.misses = 0
         self._entries: "OrderedDict[Any, Any]" = OrderedDict()
         self._lock = threading.Lock()
+        # A named cache mirrors its hit/miss counts into the process-wide
+        # metrics registry (Prometheus series labelled by cache name).
+        self._hit_counter = self._miss_counter = None
+        if name:
+            from repro.obs.metrics import get_registry
+
+            registry = get_registry()
+            labels = {"cache": name}
+            self._hit_counter = registry.counter(
+                "repro_compile_cache_hits_total", "Compile-cache hits.", labels
+            )
+            self._miss_counter = registry.counter(
+                "repro_compile_cache_misses_total", "Compile-cache misses.", labels
+            )
 
     def get(self, key: Any) -> Any:
         """The cached value for ``key``, or ``None`` (counts hit/miss)."""
         with self._lock:
             if key in self._entries:
                 self.hits += 1
+                if self._hit_counter is not None:
+                    self._hit_counter.inc()
                 self._entries.move_to_end(key)
                 return self._entries[key]
             self.misses += 1
+            if self._miss_counter is not None:
+                self._miss_counter.inc()
             return None
 
     def put(self, key: Any, value: Any) -> None:
@@ -397,7 +415,7 @@ def default_compile_cache() -> CompileCache:
     global _default_cache
     with _default_cache_lock:
         if _default_cache is None:
-            _default_cache = CompileCache(maxsize=128)
+            _default_cache = CompileCache(maxsize=128, name="structure")
         return _default_cache
 
 

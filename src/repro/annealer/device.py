@@ -30,9 +30,18 @@ from repro.annealer.simulated_annealing import SimulatedAnnealingSampler
 from repro.chimera.hardware import DWAVE_2X, DWaveSpec
 from repro.chimera.topology import ChimeraGraph
 from repro.exceptions import DeviceCapacityError, DeviceError
+from repro.obs.metrics import get_registry
 from repro.qubo.ising import ising_to_qubo, qubo_to_ising
 from repro.qubo.model import QUBOModel
 from repro.utils.rng import SeedLike, ensure_rng
+
+#: Annealing volume across all simulated devices in this process.
+_READS_TOTAL = get_registry().counter(
+    "repro_anneal_reads_total", "Annealing reads performed."
+)
+_GAUGES_TOTAL = get_registry().counter(
+    "repro_anneal_gauge_batches_total", "Gauge batches programmed."
+)
 
 __all__ = ["DWaveSamplerSimulator"]
 
@@ -224,6 +233,8 @@ class DWaveSamplerSimulator:
                 )
                 read_index += 1
 
+        _READS_TOTAL.inc(num_reads)
+        _GAUGES_TOTAL.inc(len(batch_sizes))
         return SampleSet(
             samples=samples,
             per_read_time_ms=self.time_per_read_ms,

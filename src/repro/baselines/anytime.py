@@ -18,6 +18,7 @@ from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import SolverError
 from repro.mqo.problem import MQOProblem, MQOSolution
+from repro.obs.metrics import get_registry
 from repro.utils.rng import SeedLike
 from repro.utils.stopwatch import Stopwatch
 
@@ -35,6 +36,12 @@ __all__ = [
 ImprovementObserver = Callable[[str, float, float], None]
 
 _OBSERVERS = threading.local()
+
+#: Incumbent improvements recorded across all solvers (a counter, not a
+#: span: improvement loops are far too hot for per-iteration spans).
+_IMPROVEMENTS = get_registry().counter(
+    "repro_solver_improvements_total", "Incumbent improvements recorded by solvers."
+)
 
 
 def current_improvement_observers() -> Tuple[ImprovementObserver, ...]:
@@ -201,6 +208,7 @@ class TrajectoryRecorder:
         self._best_solution = solution
         point_time = self.elapsed_ms() if elapsed_ms is None else elapsed_ms
         self._points.append((point_time, solution.cost))
+        _IMPROVEMENTS.inc()
         for observer in current_improvement_observers():
             try:
                 observer(self.solver_name, point_time, solution.cost)

@@ -35,6 +35,7 @@ from repro.bench.stats import summarize_latencies
 from repro.exceptions import ReproError
 from repro.mqo.problem import MQOProblem
 from repro.mqo.serialization import problem_to_dict
+from repro.obs.trace import Span, configure_tracer, get_tracer
 from repro.server.app import ServerConfig, run_server_in_thread
 from repro.server.client import SolverClient
 from repro.service.frontend import ServiceFrontend
@@ -46,10 +47,63 @@ from repro.workloads.arrivals import schedule_jobs
 from repro.workloads.base import ScenarioSpec
 from repro.workloads.suites import WorkloadSuite, get_suite
 
-__all__ = ["BenchRunConfig", "BenchOrchestrator", "render_summary", "emit_workload_jsonl"]
+__all__ = [
+    "BenchRunConfig",
+    "BenchOrchestrator",
+    "render_summary",
+    "emit_workload_jsonl",
+    "stage_breakdown_from_spans",
+    "STAGE_SPAN_NAMES",
+]
 
 #: The gap below which a run counts as matching the best-known solution.
 _MATCH_EPSILON = 1e-9
+
+#: Pipeline stages reported in every ``stage_breakdown`` block, mapped to
+#: the span names that feed them.  Stages a run never exercised (CLIMB
+#: has no anneal) still appear, zeroed, so downstream dashboards can rely
+#: on the keys.
+STAGE_SPAN_NAMES = {
+    "qubo_build": "mqo.qubo_build",
+    "embed": "mqo.embed",
+    "physical_map": "mqo.physical_map",
+    "anneal": "mqo.anneal",
+    "decode": "mqo.decode",
+    "solve": "service.execute",
+}
+
+
+def stage_breakdown_from_spans(
+    spans: List[Span], queue_wait: Optional[Dict[str, Any]] = None
+) -> Dict[str, Dict[str, float]]:
+    """Aggregate finished spans into the per-stage latency breakdown.
+
+    Every stage in :data:`STAGE_SPAN_NAMES` plus ``queue_wait`` is
+    always present with ``count``/``total_ms``/``mean_ms``; ``queue_wait``
+    comes from the server's metrics snapshot in server mode and stays
+    zero in service mode (there is no queue in-process).
+    """
+    by_name: Dict[str, List[float]] = {}
+    for span in spans:
+        if span.duration_ms is not None:
+            by_name.setdefault(span.name, []).append(span.duration_ms)
+    breakdown: Dict[str, Dict[str, float]] = {}
+    for stage, span_name in STAGE_SPAN_NAMES.items():
+        durations = by_name.get(span_name, [])
+        total = float(sum(durations))
+        breakdown[stage] = {
+            "count": len(durations),
+            "total_ms": round(total, 3),
+            "mean_ms": round(total / len(durations), 3) if durations else 0.0,
+        }
+    wait_count = int(queue_wait.get("count", 0)) if queue_wait else 0
+    wait_mean = float(queue_wait.get("mean_ms", 0.0)) if queue_wait else 0.0
+    breakdown["queue_wait"] = {
+        "count": wait_count,
+        "total_ms": round(wait_count * wait_mean, 3),
+        "mean_ms": round(wait_mean, 3),
+    }
+    return breakdown
 
 
 @dataclass
@@ -134,6 +188,10 @@ class BenchOrchestrator:
                 "job count comes from the arrival schedule, so --instances "
                 "does not apply"
             )
+        #: Spans collected during the last :meth:`run` (the CLI's
+        #: ``--trace`` flag writes these out as NDJSON).
+        self.last_spans: List[Span] = []
+        self._server_stats: Optional[Dict[str, Any]] = None
 
     @property
     def _open_loop(self) -> bool:
@@ -218,7 +276,9 @@ class BenchOrchestrator:
         )
         try:
             if self.suite.arrival is not None:
-                return self._run_server_open_loop(handle.port)
+                measured = self._run_server_open_loop(handle.port)
+                self._collect_server_stats(handle.port)
+                return measured
             outcomes: List[_JobOutcome] = []
             with SolverClient(port=handle.port, client_name="bench", timeout_s=120.0) as client:
                 start = time.perf_counter()
@@ -230,9 +290,20 @@ class BenchOrchestrator:
                     outcomes.append(
                         _JobOutcome(spec.name, latency_ms, result, problem, job_index)
                     )
-                return outcomes, time.perf_counter() - start
+                wall_s = time.perf_counter() - start
+                self._server_stats = client.stats()
+                return outcomes, wall_s
         finally:
             handle.stop()
+
+    def _collect_server_stats(self, port: int) -> None:
+        """Fetch the server's metrics snapshot (for the queue-wait stage)."""
+        try:
+            with SolverClient(port=port, client_name="bench-stats", timeout_s=30.0) as client:
+                self._server_stats = client.stats()
+        except Exception:  # noqa: BLE001 — stats are best-effort decoration;
+            # losing them must not fail a completed measurement run.
+            self._server_stats = None
 
     #: Connections draining results of an open-loop run.  More than one
     #: so a slow job cannot head-of-line-block the latency measurement
@@ -360,11 +431,25 @@ class BenchOrchestrator:
         return record
 
     def run(self) -> Dict[str, Any]:
-        """Execute the suite and return the validated BENCH document."""
-        if self.config.mode == "server":
-            outcomes, wall_s = self._run_server()
-        else:
-            outcomes, wall_s = self._run_service()
+        """Execute the suite and return the validated BENCH document.
+
+        Tracing is switched on for the duration of the run so the
+        document can embed a per-stage latency breakdown; the raw spans
+        stay available on :attr:`last_spans` for NDJSON export.
+        """
+        tracer = get_tracer()
+        was_enabled = tracer.enabled
+        configure_tracer(True)
+        tracer.drain()  # stale spans must not pollute this run's breakdown
+        self._server_stats = None
+        try:
+            if self.config.mode == "server":
+                outcomes, wall_s = self._run_server()
+            else:
+                outcomes, wall_s = self._run_service()
+        finally:
+            self.last_spans = tracer.drain()
+            configure_tracer(was_enabled)
         self._attach_quality(outcomes)
 
         by_scenario: Dict[str, List[_JobOutcome]] = {}
@@ -376,12 +461,14 @@ class BenchOrchestrator:
             if spec.name in by_scenario
         ]
         all_latencies = [o.latency_ms for o in outcomes]
+        queue_wait = (self._server_stats or {}).get("queue_wait")
         totals = {
             "jobs": len(outcomes),
             "failures": sum(1 for o in outcomes if not o.result.ok),
             "duration_s": round(wall_s, 3),
             "throughput_jobs_per_s": round(len(outcomes) / wall_s if wall_s > 0 else 0.0, 3),
             "latency_ms": summarize_latencies(all_latencies),
+            "stage_breakdown": stage_breakdown_from_spans(self.last_spans, queue_wait),
         }
         config = {
             "solver": self.config.solver,

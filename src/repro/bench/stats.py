@@ -1,41 +1,36 @@
 """Latency/throughput summarisation shared by every benchmark.
 
-One estimator for the whole repository: the nearest-rank percentile (the
-same convention as the server's metrics endpoint), so client-side bench
-numbers, server-side stats and BENCH documents stay comparable.
+One estimator for the whole repository: the nearest-rank percentile,
+implemented once in :mod:`repro.obs.metrics` and re-exported here, so
+client-side bench numbers, server-side stats and BENCH documents stay
+comparable.  (Historically this module and ``server/metrics.py`` used
+two subtly different definitions; they now share one.)
 """
 
 from __future__ import annotations
 
-import math
 from typing import Any, Dict, Sequence
 
 from repro.exceptions import ReproError
+from repro.obs.metrics import percentile, percentiles
 
-__all__ = ["percentile", "summarize_latencies", "LATENCY_KEYS"]
+__all__ = ["percentile", "percentiles", "summarize_latencies", "LATENCY_KEYS"]
 
 #: The keys every ``latency_ms`` block in a BENCH document carries.
 LATENCY_KEYS = ("p50", "p99", "max", "mean")
 
 
-def percentile(samples: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of ``samples`` (``q`` in (0, 1])."""
-    if not samples:
-        raise ReproError("cannot take a percentile of zero samples")
-    if not 0.0 < q <= 1.0:
-        raise ReproError(f"percentile q must be in (0, 1], got {q}")
-    ordered = sorted(samples)
-    rank = max(1, math.ceil(q * len(ordered)))
-    return float(ordered[rank - 1])
-
-
 def summarize_latencies(samples_ms: Sequence[float]) -> Dict[str, Any]:
-    """The standard ``latency_ms`` block: p50/p99/max/mean, rounded."""
+    """The standard ``latency_ms`` block: p50/p99/max/mean, rounded.
+
+    Sorts the samples once for both percentiles.
+    """
     if not samples_ms:
         raise ReproError("cannot summarise zero latency samples")
+    p50, p99 = percentiles(samples_ms, (0.50, 0.99))
     return {
-        "p50": round(percentile(samples_ms, 0.50), 3),
-        "p99": round(percentile(samples_ms, 0.99), 3),
+        "p50": round(p50, 3),
+        "p99": round(p99, 3),
         "max": round(max(samples_ms), 3),
         "mean": round(sum(samples_ms) / len(samples_ms), 3),
     }

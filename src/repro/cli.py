@@ -1,6 +1,6 @@
 """Command-line interface: ``repro-mqo``.
 
-Seven subcommands cover the common workflows:
+Eight subcommands cover the common workflows:
 
 * ``solve``    — generate (or load) an instance and solve it on the
   simulated annealer plus selected classical baselines (``--json`` for
@@ -13,8 +13,13 @@ Seven subcommands cover the common workflows:
 * ``bench``    — run a registered workload suite through the benchmark
   orchestrator and write a schema-validated ``BENCH_<suite>.json``
   (see ``docs/benchmarks.md`` and ``docs/workloads.md``),
+* ``metrics``  — fetch the Prometheus exposition text from a running
+  server (see ``docs/observability.md``),
 * ``capacity`` — print the Figure 7 capacity frontier for a qubit budget,
 * ``info``     — print the device model and profile configuration.
+
+``solve``, ``batch`` and ``bench`` accept ``--trace PATH`` to record
+pipeline spans and write them as NDJSON (one span per line).
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ from repro.experiments.figures import figure7_table
 from repro.experiments.profiles import get_profile
 from repro.mqo.generator import generate_paper_testcase
 from repro.mqo.serialization import load_problem
+from repro.obs import configure_tracer, get_tracer, write_ndjson
 from repro.server.app import ServerConfig, SolverServer
 from repro.server.client import SolverClient
 from repro.service.batch import BatchExecutor, derive_job_seed
@@ -84,6 +90,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit one machine-readable JSON document instead of tables",
     )
+    solve.add_argument(
+        "--trace",
+        type=str,
+        metavar="PATH",
+        default=None,
+        help="record pipeline spans and write them as NDJSON here",
+    )
 
     batch = subparsers.add_parser(
         "batch",
@@ -128,6 +141,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--output", type=str, default=None, help="write result JSONL here instead of stdout"
+    )
+    batch.add_argument(
+        "--trace",
+        type=str,
+        metavar="PATH",
+        default=None,
+        help="record pipeline spans and write them as NDJSON here",
     )
 
     serve = subparsers.add_parser(
@@ -307,6 +327,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the suite as a JSONL workload for batch/submit, then exit",
     )
+    bench.add_argument(
+        "--trace",
+        type=str,
+        metavar="PATH",
+        default=None,
+        help="write the spans recorded during the run as NDJSON here",
+    )
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="fetch Prometheus metrics from a running server",
+        description=(
+            "Connect to a running repro-mqo server, issue the 'metrics' "
+            "protocol op, and print the Prometheus text exposition to "
+            "stdout (suitable for piping into promtool or a file scrape)."
+        ),
+    )
+    metrics.add_argument("--host", type=str, default="127.0.0.1", help="server address")
+    metrics.add_argument("--port", type=int, default=7337, help="server port")
+    metrics.add_argument(
+        "--timeout-s", type=float, default=10.0, help="socket timeout for the reply"
+    )
 
     capacity = subparsers.add_parser(
         "capacity", help="print the Figure 7 capacity frontier for qubit budgets"
@@ -329,7 +371,37 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+class _TraceRecorder:
+    """Enable tracing for a CLI command and write the spans on exit.
+
+    A no-op when ``path`` is None, so commands pay nothing unless
+    ``--trace`` was given.  Spans already buffered before the command
+    started are discarded rather than attributed to this run.
+    """
+
+    def __init__(self, path: Optional[str]) -> None:
+        self.path = path
+
+    def __enter__(self) -> "_TraceRecorder":
+        if self.path is not None:
+            self._was_enabled = get_tracer().enabled
+            configure_tracer(True).drain()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self.path is not None:
+            spans = get_tracer().drain()
+            configure_tracer(self._was_enabled)
+            write_ndjson(spans, self.path)
+            print(f"wrote {len(spans)} spans to {self.path}", file=sys.stderr)
+
+
 def _run_solve(args: argparse.Namespace) -> int:
+    with _TraceRecorder(args.trace):
+        return _run_solve_traced(args)
+
+
+def _run_solve_traced(args: argparse.Namespace) -> int:
     if args.problem_file:
         problem = load_problem(args.problem_file)
     else:
@@ -470,6 +542,11 @@ def _iter_requests(args: argparse.Namespace) -> Iterator[SolveRequest]:
 
 
 def _run_batch(args: argparse.Namespace) -> int:
+    with _TraceRecorder(args.trace):
+        return _run_batch_traced(args)
+
+
+def _run_batch_traced(args: argparse.Namespace) -> int:
     cache = ResultCache(path=args.cache_file) if args.cache_file else None
     # One cache save at the end and one process pool for the whole
     # workload, however many chunks it spans.
@@ -803,11 +880,28 @@ def _run_bench(args: argparse.Namespace) -> int:
     else:
         document, path = orchestrator.run_and_save(args.output_dir)
         print(f"wrote {path}", file=sys.stderr)
+    if args.trace:
+        # The orchestrator records spans on every run; export its buffer.
+        write_ndjson(orchestrator.last_spans, args.trace)
+        print(
+            f"wrote {len(orchestrator.last_spans)} spans to {args.trace}",
+            file=sys.stderr,
+        )
     print(render_summary(document))
     failures = document["totals"]["failures"]
     if failures:
         print(f"error: {failures} job(s) failed", file=sys.stderr)
         return 1
+    return 0
+
+
+def _run_metrics(args: argparse.Namespace) -> int:
+    """Print a running server's Prometheus exposition text."""
+    with SolverClient(host=args.host, port=args.port, timeout_s=args.timeout_s) as client:
+        text = client.metrics_text()
+    sys.stdout.write(text)
+    if text and not text.endswith("\n"):
+        sys.stdout.write("\n")
     return 0
 
 
@@ -850,6 +944,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_submit(args)
         if args.command == "bench":
             return _run_bench(args)
+        if args.command == "metrics":
+            return _run_metrics(args)
         if args.command == "capacity":
             return _run_capacity(args)
         if args.command == "info":

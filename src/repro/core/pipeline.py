@@ -31,6 +31,7 @@ from repro.embedding.triad import TriadEmbedder
 from repro.exceptions import EmbeddingError, EmbeddingNotFoundError, InvalidProblemError
 from repro.mqo.problem import MQOProblem, MQOSolution
 from repro.mqo.serialization import exact_problem_token
+from repro.obs.trace import get_tracer
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.stopwatch import Stopwatch
 
@@ -226,12 +227,18 @@ class QuantumMQO:
         to :meth:`solve` any number of times, skipping the logical
         mapping, embedding search and physical mapping on every reuse.
         """
+        tracer = get_tracer()
         stopwatch = Stopwatch().start()
-        mapping = LogicalMapping(problem, self.logical_config)
-        embedding = self.build_embedding(problem, mapping)
-        physical = embed_logical_qubo(
-            mapping.qubo, embedding, self.device.topology, self.physical_config
-        )
+        with tracer.span("mqo.prepare", {"problem": problem.name or ""}):
+            with tracer.span("mqo.qubo_build") as span:
+                mapping = LogicalMapping(problem, self.logical_config)
+                span.set_attribute("num_logical_vars", mapping.qubo.num_variables)
+            with tracer.span("mqo.embed", {"embedder": str(self.embedder)}):
+                embedding = self.build_embedding(problem, mapping)
+            with tracer.span("mqo.physical_map"):
+                physical = embed_logical_qubo(
+                    mapping.qubo, embedding, self.device.topology, self.physical_config
+                )
         return PreparedProblem(
             problem=problem,
             mapping=mapping,
@@ -270,12 +277,19 @@ class QuantumMQO:
             )
         mapping, physical = prepared.mapping, prepared.physical
 
-        sample_set = self.device.sample_qubo(
-            physical.physical_qubo, num_reads=num_reads, num_gauges=num_gauges, seed=seed
-        )
-        return self._collect_result(
-            problem, mapping, physical, sample_set, prepared.preprocessing_time_ms
-        )
+        tracer = get_tracer()
+        with tracer.span("mqo.anneal") as span:
+            sample_set = self.device.sample_qubo(
+                physical.physical_qubo, num_reads=num_reads, num_gauges=num_gauges, seed=seed
+            )
+            span.set_attribute("num_reads", len(sample_set))
+        with tracer.span("mqo.decode") as span:
+            result = self._collect_result(
+                problem, mapping, physical, sample_set, prepared.preprocessing_time_ms
+            )
+            span.set_attribute("num_broken_chain_reads", result.num_broken_chain_reads)
+            span.set_attribute("num_invalid_reads", result.num_invalid_reads)
+        return result
 
     def _collect_result(
         self,

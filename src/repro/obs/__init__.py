@@ -1,0 +1,57 @@
+"""Observability layer: tracing, a metrics registry, and exporters.
+
+The paper's central claim is a *time* claim — anytime solution quality
+per millisecond across a multi-stage pipeline — so this package gives
+every stage a name and a number:
+
+``trace``
+    Lightweight spans (:class:`~repro.obs.trace.Tracer`,
+    :class:`~repro.obs.trace.Span`) propagated through ``contextvars``
+    so they survive the portfolio's racing threads and, via a
+    serialisable :class:`~repro.obs.trace.SpanContext`, process-pool
+    batch workers.  Disabled tracing is a near-zero-cost no-op.
+
+``metrics``
+    A generic registry of counters, gauges and histograms, plus the one
+    canonical percentile estimator (nearest rank) shared by the bench
+    stats and the server metrics.
+
+``export``
+    NDJSON span export and Prometheus text-format exposition.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    percentile,
+    percentiles,
+)
+from repro.obs.trace import Span, SpanContext, Tracer, configure_tracer, get_tracer
+from repro.obs.export import (
+    render_prometheus,
+    span_from_json,
+    spans_to_ndjson,
+    write_ndjson,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "configure_tracer",
+    "get_registry",
+    "get_tracer",
+    "percentile",
+    "percentiles",
+    "render_prometheus",
+    "span_from_json",
+    "spans_to_ndjson",
+    "write_ndjson",
+]

@@ -1,0 +1,106 @@
+"""Exporters: NDJSON trace dumps and Prometheus text exposition.
+
+NDJSON (one JSON object per line) is the trace interchange format — it
+appends cheaply, streams through ``jq``, and round-trips through
+:func:`span_from_json` without loss.  The Prometheus renderer follows
+the text exposition format version 0.0.4 (``# HELP``/``# TYPE`` headers,
+``_bucket``/``_sum``/``_count`` series for histograms, ``+Inf`` final
+bucket), which is what the server's ``metrics`` protocol op serves.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Union
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, _iter_labelled
+from repro.obs.trace import Span
+
+__all__ = [
+    "spans_to_ndjson",
+    "write_ndjson",
+    "span_from_json",
+    "render_prometheus",
+]
+
+SpanLike = Union[Span, Dict[str, Any]]
+
+
+def _as_record(span: SpanLike) -> Dict[str, Any]:
+    return span.to_dict() if isinstance(span, Span) else dict(span)
+
+
+def spans_to_ndjson(spans: Iterable[SpanLike]) -> str:
+    """Serialise spans to NDJSON text (one compact JSON object per line)."""
+    lines = [json.dumps(_as_record(span), sort_keys=True) for span in spans]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_ndjson(spans: Iterable[SpanLike], path: Union[str, Path], append: bool = False) -> Path:
+    """Write (or append) spans to ``path`` as NDJSON; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a" if append else "w") as handle:
+        handle.write(spans_to_ndjson(spans))
+    return target
+
+
+def span_from_json(line: str) -> Span:
+    """Rebuild one :class:`Span` from one NDJSON line."""
+    return Span.from_dict(json.loads(line))
+
+
+# ------------------------------------------------------------------ #
+# Prometheus text exposition
+# ------------------------------------------------------------------ #
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _merge_labels(labels: Dict[str, str], extra: Dict[str, str]) -> Dict[str, str]:
+    merged = dict(labels)
+    merged.update(extra)
+    return merged
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    as_float = float(value)
+    if as_float.is_integer():
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text format 0.0.4 (name-sorted)."""
+    lines: List[str] = []
+    seen_header = set()
+    for family, labels, instrument in _iter_labelled(registry.collect()):
+        if family.name not in seen_header:
+            seen_header.add(family.name)
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+        if isinstance(instrument, Counter):
+            lines.append(f"{family.name}{_labels_text(labels)} {_format_value(instrument.value)}")
+        elif isinstance(instrument, Gauge):
+            lines.append(f"{family.name}{_labels_text(labels)} {_format_value(instrument.value)}")
+        elif isinstance(instrument, Histogram):
+            for bound, cumulative in instrument.cumulative_buckets():
+                bucket_labels = _merge_labels(labels, {"le": _format_value(bound)})
+                lines.append(f"{family.name}_bucket{_labels_text(bucket_labels)} {cumulative}")
+            lines.append(f"{family.name}_sum{_labels_text(labels)} {_format_value(instrument.total)}")
+            lines.append(f"{family.name}_count{_labels_text(labels)} {instrument.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -579,6 +579,17 @@ class SolverServer:
             )
         )
 
+    def _op_metrics(self, connection: _Connection, request: protocol.Request) -> None:
+        """Serve the Prometheus text exposition of the server metrics."""
+        connection.send_nowait(
+            protocol.metrics_frame(
+                request.id,
+                self.metrics.prometheus_text(
+                    queue_depth=self.queue.depth, inflight=self.pool.active
+                ),
+            )
+        )
+
     def _op_shutdown(self, connection: _Connection, request: protocol.Request) -> None:
         """Begin a graceful drain (when permitted by the config)."""
         if not self.config.allow_shutdown:

@@ -344,6 +344,12 @@ class SolverClient:
         self._send({"op": "stats", "id": request_id})
         return self._pump(request_id, ("stats",))["stats"]
 
+    def metrics_text(self) -> str:
+        """The server's metrics in Prometheus text exposition format."""
+        request_id = self._next_id()
+        self._send({"op": "metrics", "id": request_id})
+        return str(self._pump(request_id, ("metrics",))["text"])
+
     def shutdown(self, drain: bool = True) -> Dict[str, Any]:
         """Ask the server to shut down (gracefully draining by default)."""
         request_id = self._next_id()

@@ -6,17 +6,27 @@ completed, failed, coalesced, rejected, streamed updates).  Latency
 percentiles come from a fixed-size reservoir of the most recent samples,
 so the memory footprint is constant no matter how long the server runs.
 
-:meth:`ServerMetrics.snapshot` renders everything into one
-JSON-friendly dictionary; the ``stats`` protocol request returns it
-verbatim, and the throughput benchmark persists it into
-``BENCH_server.json``.
+All state lives in a :class:`repro.obs.metrics.MetricsRegistry` — one
+per :class:`ServerMetrics` instance — so the same numbers back both the
+JSON ``stats`` snapshot (:meth:`ServerMetrics.snapshot`, persisted into
+``BENCH_server.json`` by the throughput benchmark) and the Prometheus
+text exposition served by the ``metrics`` protocol op
+(:meth:`ServerMetrics.prometheus_text`).
+
+Counting semantics: ``jobs_completed`` counts **successes only**,
+``jobs_failed`` counts failures, and ``jobs_finished`` is their total —
+so ``jobs_per_second`` (successes per second of uptime) can no longer be
+inflated by a stream of failing jobs.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
+
+from repro.obs.export import render_prometheus
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
 
 __all__ = ["LatencyStats", "EndpointStats", "ServerMetrics"]
 
@@ -24,6 +34,7 @@ __all__ = ["LatencyStats", "EndpointStats", "ServerMetrics"]
 _JOB_COUNTERS = (
     "jobs_submitted",
     "jobs_completed",
+    "jobs_finished",
     "jobs_failed",
     "jobs_coalesced",
     "jobs_rejected",
@@ -32,74 +43,108 @@ _JOB_COUNTERS = (
     "connections_closed",
 )
 
+_COUNTER_HELP = {
+    "jobs_submitted": "Jobs admitted into the queue.",
+    "jobs_completed": "Jobs finished successfully.",
+    "jobs_finished": "Jobs finished, successful or not.",
+    "jobs_failed": "Jobs finished with an error.",
+    "jobs_coalesced": "Duplicate jobs attached to an in-flight twin.",
+    "jobs_rejected": "Jobs refused at admission.",
+    "updates_streamed": "Anytime improvement frames streamed to clients.",
+    "connections_opened": "Client connections accepted.",
+    "connections_closed": "Client connections closed.",
+}
 
-class LatencyStats:
+
+def _prom_counter_name(short: str) -> str:
+    """The Prometheus series name of one short-named job counter."""
+    return f"repro_server_{short}_total"
+
+
+class LatencyStats(Histogram):
     """Constant-memory latency aggregate: count, sum and a sample window.
 
-    Percentiles are computed over the most recent ``window`` samples (a
-    ring buffer); the count and mean cover the full lifetime.
+    A :class:`~repro.obs.metrics.Histogram` specialised for millisecond
+    latencies, keeping the historical field names (``total_ms``,
+    ``max_ms``) and snapshot shape.  Percentiles are computed over the
+    most recent ``window`` samples; :meth:`snapshot` sorts that window
+    exactly **once** for all of its percentiles.
     """
 
-    def __init__(self, window: int = 2048) -> None:
-        if window <= 0:
-            raise ValueError(f"window must be positive, got {window}")
-        self._window = window
-        self._samples: List[float] = []
-        self._cursor = 0
-        self.count = 0
-        self.total_ms = 0.0
-        self.max_ms = 0.0
+    def __init__(self, window: int = 2048, name: str = "latency_ms") -> None:
+        super().__init__(name=name, window=window)
 
-    def observe(self, latency_ms: float) -> None:
-        """Record one latency sample (milliseconds)."""
-        value = float(latency_ms)
-        self.count += 1
-        self.total_ms += value
-        if value > self.max_ms:
-            self.max_ms = value
-        if len(self._samples) < self._window:
-            self._samples.append(value)
-        else:
-            self._samples[self._cursor] = value
-            self._cursor = (self._cursor + 1) % self._window
+    @property
+    def total_ms(self) -> float:
+        """Lifetime sum of all samples (milliseconds)."""
+        return self.total
 
-    def percentile(self, fraction: float) -> float:
-        """Latency at ``fraction`` (0..1) over the sample window (0 when empty)."""
-        if not self._samples:
-            return 0.0
-        ordered = sorted(self._samples)
-        index = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
-        return ordered[index]
+    @property
+    def max_ms(self) -> float:
+        """Largest sample ever observed (milliseconds)."""
+        return self.max_value
 
     @property
     def mean_ms(self) -> float:
         """Lifetime mean latency (0 when no samples)."""
-        return self.total_ms / self.count if self.count else 0.0
+        return self.mean
+
+    def percentile(self, fraction: float) -> float:
+        """Latency at ``fraction`` (0..1] over the sample window (0 when empty)."""
+        return self.window_percentiles((fraction,))[0]
 
     def snapshot(self) -> Dict[str, float]:
-        """JSON-friendly summary: count, mean, p50, p99, max."""
+        """JSON-friendly summary: count, mean, p50, p99, max (one sort)."""
+        p50, p99 = self.window_percentiles((0.50, 0.99))
         return {
             "count": self.count,
-            "mean_ms": round(self.mean_ms, 3),
-            "p50_ms": round(self.percentile(0.50), 3),
-            "p99_ms": round(self.percentile(0.99), 3),
-            "max_ms": round(self.max_ms, 3),
+            "mean_ms": round(self.mean, 3),
+            "p50_ms": round(p50, 3),
+            "p99_ms": round(p99, 3),
+            "max_ms": round(self.max_value, 3),
         }
 
 
 class EndpointStats:
     """Request count, error count and handler latency of one endpoint."""
 
-    def __init__(self, window: int = 2048) -> None:
-        self.requests = 0
-        self.errors = 0
-        self.latency = LatencyStats(window=window)
+    def __init__(
+        self,
+        op: str = "",
+        registry: Optional[MetricsRegistry] = None,
+        window: int = 2048,
+    ) -> None:
+        registry = registry if registry is not None else MetricsRegistry()
+        labels = {"op": op} if op else None
+        self._requests: Counter = registry.counter(
+            "repro_server_requests_total", "Protocol requests handled.", labels
+        )
+        self._errors: Counter = registry.counter(
+            "repro_server_request_errors_total", "Protocol requests that errored.", labels
+        )
+        self.latency: LatencyStats = registry.histogram(
+            "repro_server_request_latency_ms",
+            "Handler latency per protocol op.",
+            labels,
+            window=window,
+            factory=lambda: LatencyStats(window=window, name="repro_server_request_latency_ms"),
+        )
+
+    @property
+    def requests(self) -> int:
+        """Requests handled on this endpoint."""
+        return self._requests.value
+
+    @property
+    def errors(self) -> int:
+        """Requests that ended in an error frame."""
+        return self._errors.value
 
     def observe(self, latency_ms: float, error: bool) -> None:
         """Record one handled request."""
-        self.requests += 1
+        self._requests.inc()
         if error:
-            self.errors += 1
+            self._errors.inc()
         self.latency.observe(latency_ms)
 
     def snapshot(self) -> Dict[str, Any]:
@@ -114,16 +159,34 @@ class ServerMetrics:
 
     Handler paths run on the event loop, but job completions are recorded
     from worker coroutines and the benchmark reads snapshots from other
-    threads, so a plain lock guards all state.
+    threads; the individual instruments are thread-safe and a small lock
+    guards the endpoint map.
     """
 
-    def __init__(self, window: int = 2048) -> None:
+    def __init__(self, window: int = 2048, registry: Optional[MetricsRegistry] = None) -> None:
         self._lock = threading.Lock()
         self._window = window
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._endpoints: Dict[str, EndpointStats] = {}
-        self._counters: Dict[str, int] = {name: 0 for name in _JOB_COUNTERS}
-        self.queue_wait = LatencyStats(window=window)
-        self.job_run = LatencyStats(window=window)
+        self._counters: Dict[str, Counter] = {
+            name: self.registry.counter(_prom_counter_name(name), _COUNTER_HELP.get(name, ""))
+            for name in _JOB_COUNTERS
+        }
+        self.queue_wait: LatencyStats = self.registry.histogram(
+            "repro_server_queue_wait_ms",
+            "Time jobs spent queued before a worker picked them up.",
+            window=window,
+            factory=lambda: LatencyStats(window=window, name="repro_server_queue_wait_ms"),
+        )
+        self.job_run: LatencyStats = self.registry.histogram(
+            "repro_server_job_run_ms",
+            "Job execution time on the worker pool.",
+            window=window,
+            factory=lambda: LatencyStats(window=window, name="repro_server_job_run_ms"),
+        )
+        self._uptime_gauge = self.registry.gauge(
+            "repro_server_uptime_seconds", "Seconds since the metrics were created."
+        )
         self.started_at = time.monotonic()
 
     # ------------------------------------------------------------------ #
@@ -134,31 +197,48 @@ class ServerMetrics:
         with self._lock:
             endpoint = self._endpoints.get(op)
             if endpoint is None:
-                endpoint = self._endpoints[op] = EndpointStats(window=self._window)
-            endpoint.observe(latency_ms, error)
+                endpoint = self._endpoints[op] = EndpointStats(
+                    op=op, registry=self.registry, window=self._window
+                )
+        endpoint.observe(latency_ms, error)
 
     def observe_job(self, queue_wait_ms: float, run_ms: float, failed: bool) -> None:
-        """Record one completed job (queue wait + execution time)."""
-        with self._lock:
-            self.queue_wait.observe(queue_wait_ms)
-            self.job_run.observe(run_ms)
-            self._counters["jobs_completed"] += 1
-            if failed:
-                self._counters["jobs_failed"] += 1
+        """Record one finished job (queue wait + execution time).
+
+        Every finished job counts into ``jobs_finished``; only successes
+        count into ``jobs_completed``, only failures into ``jobs_failed``.
+        """
+        self.queue_wait.observe(queue_wait_ms)
+        self.job_run.observe(run_ms)
+        self._counters["jobs_finished"].inc()
+        if failed:
+            self._counters["jobs_failed"].inc()
+        else:
+            self._counters["jobs_completed"].inc()
 
     def increment(self, counter: str, amount: int = 1) -> None:
         """Bump one of the job/stream counters by ``amount``."""
         with self._lock:
-            self._counters[counter] = self._counters.get(counter, 0) + amount
+            instrument = self._counters.get(counter)
+            if instrument is None:
+                instrument = self._counters[counter] = self.registry.counter(
+                    _prom_counter_name(counter)
+                )
+        instrument.inc(amount)
 
     def counter(self, name: str) -> int:
         """Current value of one counter (0 when never incremented)."""
         with self._lock:
-            return self._counters.get(name, 0)
+            instrument = self._counters.get(name)
+        return instrument.value if instrument is not None else 0
 
     # ------------------------------------------------------------------ #
     # Reporting
     # ------------------------------------------------------------------ #
+    def uptime_s(self) -> float:
+        """Seconds since this metrics object was created (never zero)."""
+        return max(time.monotonic() - self.started_at, 1e-9)
+
     def snapshot(
         self,
         queue_depth: Optional[int] = None,
@@ -172,18 +252,20 @@ class ServerMetrics:
         is merged in verbatim (e.g. the result-cache hit rate).
         """
         with self._lock:
-            uptime_s = max(time.monotonic() - self.started_at, 1e-9)
-            completed = self._counters["jobs_completed"]
-            payload: Dict[str, Any] = {
-                "uptime_s": round(uptime_s, 3),
-                "counters": dict(self._counters),
-                "jobs_per_second": round(completed / uptime_s, 3),
-                "queue_wait": self.queue_wait.snapshot(),
-                "job_run": self.job_run.snapshot(),
-                "endpoints": {
-                    op: endpoint.snapshot() for op, endpoint in sorted(self._endpoints.items())
-                },
+            counters = {name: instrument.value for name, instrument in self._counters.items()}
+            endpoints = {
+                op: endpoint.snapshot() for op, endpoint in sorted(self._endpoints.items())
             }
+        uptime_s = self.uptime_s()
+        payload: Dict[str, Any] = {
+            "uptime_s": round(uptime_s, 3),
+            "counters": counters,
+            "jobs_per_second": round(counters["jobs_completed"] / uptime_s, 3),
+            "jobs_finished_per_second": round(counters["jobs_finished"] / uptime_s, 3),
+            "queue_wait": self.queue_wait.snapshot(),
+            "job_run": self.job_run.snapshot(),
+            "endpoints": endpoints,
+        }
         if queue_depth is not None:
             payload["queue_depth"] = queue_depth
         if inflight is not None:
@@ -191,3 +273,22 @@ class ServerMetrics:
         if extra:
             payload.update(extra)
         return payload
+
+    def prometheus_text(
+        self, queue_depth: Optional[int] = None, inflight: Optional[int] = None
+    ) -> str:
+        """The whole registry in Prometheus text exposition format.
+
+        Point-in-time gauges (uptime, and queue depth / inflight when
+        the caller supplies them) are refreshed just before rendering.
+        """
+        self._uptime_gauge.set(self.uptime_s())
+        if queue_depth is not None:
+            self.registry.gauge("repro_server_queue_depth", "Jobs waiting in the queue.").set(
+                queue_depth
+            )
+        if inflight is not None:
+            self.registry.gauge("repro_server_inflight_jobs", "Jobs currently executing.").set(
+                inflight
+            )
+        return render_prometheus(self.registry)

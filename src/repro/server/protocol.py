@@ -17,6 +17,7 @@ update     one incremental anytime improvement of a running job
 result     the final :class:`~repro.service.jobs.SolveResult`
 subscribed acknowledgement of a ``subscribe`` (job state included)
 stats      server metrics snapshot
+metrics    Prometheus text exposition of the server metrics
 draining   graceful shutdown has begun
 error      the request failed (``code`` + human-readable ``error``)
 ========== ==========================================================
@@ -56,6 +57,7 @@ __all__ = [
     "result_frame",
     "subscribed_frame",
     "stats_frame",
+    "metrics_frame",
     "draining_frame",
 ]
 
@@ -75,6 +77,7 @@ REQUEST_OPS = (
     "wait",
     "subscribe",
     "stats",
+    "metrics",
     "shutdown",
 )
 
@@ -286,6 +289,16 @@ def subscribed_frame(request_id: str, job_id: str, state: str) -> Dict[str, Any]
 def stats_frame(request_id: str, stats: Mapping[str, Any]) -> Dict[str, Any]:
     """Metrics snapshot (see :meth:`repro.server.metrics.ServerMetrics.snapshot`)."""
     return {"id": request_id, "type": "stats", "stats": dict(stats)}
+
+
+def metrics_frame(request_id: str, text: str) -> Dict[str, Any]:
+    """Prometheus text exposition (reply to ``metrics``).
+
+    The exposition travels as one JSON string field; a scrape bridge
+    writes it out verbatim as ``text/plain; version=0.0.4``.
+    """
+    return {"id": request_id, "type": "metrics", "content_type": "text/plain; version=0.0.4",
+            "text": str(text)}
 
 
 def draining_frame(request_id: str, pending_jobs: int) -> Dict[str, Any]:

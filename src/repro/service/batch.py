@@ -35,6 +35,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ServiceError
+from repro.obs.trace import SpanContext, configure_tracer, get_tracer
 from repro.service.cache import ResultCache
 from repro.service.jobs import (
     PORTFOLIO_SOLVER,
@@ -70,50 +71,77 @@ def execute_request(
     """
     registry = registry if registry is not None else default_registry()
     stopwatch = Stopwatch().start()
-    try:
-        if request.solver == PORTFOLIO_SOLVER:
-            scheduler = PortfolioScheduler(registry=registry, mode=portfolio_mode)
-            outcome = scheduler.solve(
-                request.problem,
-                request.time_budget_ms,
-                seed=request.seed,
-                solvers=request.solvers,
-            )
-            if not outcome.winner:
-                raise ServiceError(
-                    f"every portfolio member failed: {outcome.errors}"
+    with get_tracer().span(
+        "service.execute", {"solver": request.solver, "job_id": request.job_id or ""}
+    ) as span:
+        try:
+            if request.solver == PORTFOLIO_SOLVER:
+                scheduler = PortfolioScheduler(registry=registry, mode=portfolio_mode)
+                outcome = scheduler.solve(
+                    request.problem,
+                    request.time_budget_ms,
+                    seed=request.seed,
+                    solvers=request.solvers,
                 )
-            result = SolveResult.from_trajectory(
-                request,
-                outcome.merged_trajectory,
-                winner=outcome.winner,
-                total_time_ms=stopwatch.elapsed_ms(),
-            )
-        else:
-            solver = registry.create(request.solver)
-            trajectory = solver.solve(
-                request.problem, request.time_budget_ms, seed=request.seed
-            )
-            # The registry name is the stable identity; the trajectory only
-            # carries the solver's display name, which may differ.
-            result = SolveResult.from_trajectory(
-                request,
-                trajectory,
-                winner=request.solver,
-                total_time_ms=stopwatch.elapsed_ms(),
-            )
-        return result
-    except Exception as exc:  # noqa: BLE001 — any solver failure becomes a
-        # per-job error result, so one bad job cannot take down a batch
-        # (and inline execution matches what a worker pool would report).
-        return SolveResult.from_error(request, f"{type(exc).__name__}: {exc}")
+                if not outcome.winner:
+                    raise ServiceError(
+                        f"every portfolio member failed: {outcome.errors}"
+                    )
+                result = SolveResult.from_trajectory(
+                    request,
+                    outcome.merged_trajectory,
+                    winner=outcome.winner,
+                    total_time_ms=stopwatch.elapsed_ms(),
+                )
+            else:
+                solver = registry.create(request.solver)
+                trajectory = solver.solve(
+                    request.problem, request.time_budget_ms, seed=request.seed
+                )
+                # The registry name is the stable identity; the trajectory only
+                # carries the solver's display name, which may differ.
+                result = SolveResult.from_trajectory(
+                    request,
+                    trajectory,
+                    winner=request.solver,
+                    total_time_ms=stopwatch.elapsed_ms(),
+                )
+            span.set_attribute("winner", result.winner)
+            return result
+        except Exception as exc:  # noqa: BLE001 — any solver failure becomes a
+            # per-job error result, so one bad job cannot take down a batch
+            # (and inline execution matches what a worker pool would report).
+            span.set_attribute("error", type(exc).__name__)
+            return SolveResult.from_error(request, f"{type(exc).__name__}: {exc}")
 
 
-def _execute_job_payload(payload: Dict[str, Any], portfolio_mode: str) -> Dict[str, Any]:
+def _execute_job_payload(
+    payload: Dict[str, Any],
+    portfolio_mode: str,
+    trace_context: Optional[Dict[str, str]] = None,
+    collect_spans: bool = False,
+) -> Dict[str, Any]:
     """Worker entry point: dict in, dict out (must stay module-level so it
-    pickles for the process pool)."""
+    pickles for the process pool).
+
+    With ``collect_spans`` the worker enables its own tracer, parents its
+    spans onto the (serialised) ``trace_context`` of the dispatching
+    process, and returns ``{"result": ..., "spans": [...]}`` so the
+    parent can :meth:`~repro.obs.trace.Tracer.adopt` them.  Without it
+    the historical bare result dictionary is returned.
+    """
     request = SolveRequest.from_dict(payload)
-    return execute_request(request, portfolio_mode=portfolio_mode).to_dict()
+    if not collect_spans:
+        return execute_request(request, portfolio_mode=portfolio_mode).to_dict()
+    tracer = configure_tracer(True)
+    context = SpanContext.from_dict(trace_context) if trace_context else None
+    try:
+        with tracer.activate(context):
+            result = execute_request(request, portfolio_mode=portfolio_mode)
+        spans = [span.to_dict() for span in tracer.drain()]
+    finally:
+        configure_tracer(False)
+    return {"result": result.to_dict(), "spans": spans}
 
 
 class BatchExecutor:
@@ -317,11 +345,19 @@ class BatchExecutor:
     ) -> Iterator[Tuple[int, SolveResult]]:
         """Dispatch pending jobs onto a process pool, yielding as completed."""
         pool, ephemeral = self._acquire_pool()
+        tracer = get_tracer()
+        collect_spans = tracer.enabled
+        parent = tracer.current_context() if collect_spans else None
+        parent_dict = parent.to_dict() if parent is not None else None
         try:
             futures = {}
             for index, request in pending:
                 future = pool.submit(
-                    _execute_job_payload, request.to_dict(), self.portfolio_mode
+                    _execute_job_payload,
+                    request.to_dict(),
+                    self.portfolio_mode,
+                    parent_dict,
+                    collect_spans,
                 )
                 futures[future] = (index, request)
             remaining = set(futures)
@@ -330,7 +366,11 @@ class BatchExecutor:
                 for future in done:
                     index, request = futures[future]
                     try:
-                        result = SolveResult.from_dict(future.result())
+                        payload = future.result()
+                        if collect_spans:
+                            tracer.adopt(payload.get("spans", ()))
+                            payload = payload["result"]
+                        result = SolveResult.from_dict(payload)
                     except Exception as exc:  # worker crashed, not a solver error
                         result = SolveResult.from_error(
                             request, f"worker failure: {type(exc).__name__}: {exc}"

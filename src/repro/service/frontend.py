@@ -19,6 +19,8 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.mqo.problem import MQOProblem
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.service.batch import BatchExecutor, execute_request
 from repro.service.cache import ResultCache
 from repro.service.jobs import PORTFOLIO_SOLVER, SolveRequest, SolveResult
@@ -26,6 +28,21 @@ from repro.service.portfolio import PortfolioResult, PortfolioScheduler
 from repro.service.registry import SolverRegistry, default_registry
 
 __all__ = ["ServiceFrontend"]
+
+#: Result-cache traffic as seen from the frontend's submit() path.
+_CACHE_HITS = get_registry().counter(
+    "repro_service_result_cache_hits_total", "Frontend result-cache hits."
+)
+_CACHE_MISSES = get_registry().counter(
+    "repro_service_result_cache_misses_total", "Frontend result-cache misses."
+)
+
+
+def _attribute_winner(winner: str) -> None:
+    """Count which solver won this request (portfolio attribution)."""
+    get_registry().counter(
+        "repro_service_wins_total", "Requests won, by solver.", {"solver": winner or "unknown"}
+    ).inc()
 
 
 class ServiceFrontend:
@@ -113,23 +130,34 @@ class ServiceFrontend:
     def submit(self, request: SolveRequest) -> SolveResult:
         """Solve one prepared request (cache-aware)."""
         request = self._with_default_lineup(request)
-        if self.cache is not None:
-            cached = self.cache.get(request.cache_key())
-            if cached is not None:
-                result = SolveResult.from_dict(cached)
-                # Identity fields echo the current request, not the one
-                # that populated the cache.
-                result.job_id = request.job_id
-                result.metadata = dict(request.metadata)
-                result.from_cache = True
-                result.total_time_ms = 0.0
-                return result
-        result = execute_request(
-            request, registry=self.registry, portfolio_mode=self.scheduler.mode
-        )
-        if self.cache is not None and result.ok:
-            self.cache.put(request.cache_key(), result.to_dict())
-        return result
+        tracer = get_tracer()
+        with tracer.span(
+            "service.submit", {"solver": request.solver, "job_id": request.job_id or ""}
+        ) as span:
+            if self.cache is not None:
+                cached = self.cache.get(request.cache_key())
+                if cached is not None:
+                    _CACHE_HITS.inc()
+                    span.set_attribute("cache", "hit")
+                    result = SolveResult.from_dict(cached)
+                    # Identity fields echo the current request, not the one
+                    # that populated the cache.
+                    result.job_id = request.job_id
+                    result.metadata = dict(request.metadata)
+                    result.from_cache = True
+                    result.total_time_ms = 0.0
+                    return result
+                _CACHE_MISSES.inc()
+                span.set_attribute("cache", "miss")
+            result = execute_request(
+                request, registry=self.registry, portfolio_mode=self.scheduler.mode
+            )
+            if result.ok:
+                _attribute_winner(result.winner)
+                span.set_attribute("winner", result.winner)
+            if self.cache is not None and result.ok:
+                self.cache.put(request.cache_key(), result.to_dict())
+            return result
 
     def race(
         self,

@@ -27,6 +27,7 @@ from repro.baselines.anytime import (
 )
 from repro.exceptions import ServiceError
 from repro.mqo.problem import MQOProblem, MQOSolution
+from repro.obs.trace import get_tracer
 from repro.service.registry import SolverRegistry, default_registry
 from repro.utils.rng import derive_seed
 from repro.utils.stopwatch import Stopwatch
@@ -190,8 +191,13 @@ class PortfolioScheduler:
 
         # Anytime observers are registered per thread; capture the caller's
         # set so member threads can forward their improvements too (the
-        # solver server streams live updates through this hook).
+        # solver server streams live updates through this hook).  The
+        # ambient span context is captured the same way: contextvars do
+        # not cross ThreadPoolExecutor boundaries, so each member thread
+        # re-installs the caller's context before opening its own span.
         inherited: Tuple[ImprovementObserver, ...] = current_improvement_observers()
+        tracer = get_tracer()
+        parent_context = tracer.current_context()
 
         def run_member(
             position: int,
@@ -202,8 +208,12 @@ class PortfolioScheduler:
             budget = (
                 time_budget_ms if self.mode == "threads" else time_budget_ms / len(raced)
             )
-            with observe_improvements(*observers):
-                return solver.solve(problem, budget, seed=_member_seed(seed, position))
+            with tracer.activate(parent_context):
+                with tracer.span("portfolio.member", {"solver": name}):
+                    with observe_improvements(*observers):
+                        return solver.solve(
+                            problem, budget, seed=_member_seed(seed, position)
+                        )
 
         trajectories: Dict[str, SolverTrajectory] = {}
         errors: Dict[str, str] = {}

@@ -29,9 +29,18 @@ from repro.chimera.hardware import DWAVE_2X, DWaveSpec
 from repro.core.pipeline import PreparedProblem, QuantumMQO, QuantumMQOResult
 from repro.mqo.problem import MQOProblem
 from repro.mqo.serialization import exact_problem_token
+from repro.obs.metrics import get_registry
 from repro.utils.rng import SeedLike, ensure_rng
 
 __all__ = ["QuantumAnnealingSolver"]
+
+#: Hit/miss counters of the process-wide prepared-pipeline cache.
+_PREPARED_HITS = get_registry().counter(
+    "repro_prepared_cache_hits_total", "Prepared-pipeline cache hits."
+)
+_PREPARED_MISSES = get_registry().counter(
+    "repro_prepared_cache_misses_total", "Prepared-pipeline cache misses (compilations)."
+)
 
 
 class QuantumAnnealingSolver(AnytimeSolver):
@@ -148,7 +157,9 @@ class QuantumAnnealingSolver(AnytimeSolver):
         if self.reuse_prepared:
             entry = self.prepared_cache.get(key)
             if entry is not None and entry[0] == token:
+                _PREPARED_HITS.inc()
                 return entry[1]
+            _PREPARED_MISSES.inc()
         embedding_seed = self._embedding_seed(problem)
         if pipeline is None:
             compile_pipeline = self._build_pipeline(seed=embedding_seed)

@@ -1,0 +1,81 @@
+"""Tests of the per-stage latency breakdown in BENCH totals."""
+
+from repro.bench.orchestrator import (
+    STAGE_SPAN_NAMES,
+    BenchOrchestrator,
+    BenchRunConfig,
+    stage_breakdown_from_spans,
+)
+from repro.bench.schema import validate_bench_document
+from repro.obs.trace import Tracer, get_tracer
+
+import tests.bench.test_orchestrator  # noqa: F401  (registers the unit-tiny suite)
+
+#: Keys every breakdown must carry, per the observability acceptance bar.
+REQUIRED_STAGES = ("qubo_build", "embed", "anneal", "decode", "queue_wait", "solve")
+
+
+class TestStageBreakdownFromSpans:
+    def _spans(self, name, durations):
+        tracer = Tracer(enabled=True)
+        for duration in durations:
+            with tracer.span(name) as span:
+                pass
+            span.duration_ms = duration  # deterministic timings for the test
+        return tracer.drain()
+
+    def test_aggregates_counts_totals_and_means(self):
+        spans = self._spans("mqo.anneal", [10.0, 30.0])
+        breakdown = stage_breakdown_from_spans(spans)
+        assert breakdown["anneal"] == {"count": 2, "total_ms": 40.0, "mean_ms": 20.0}
+
+    def test_all_stages_present_even_when_unexercised(self):
+        breakdown = stage_breakdown_from_spans([])
+        for stage in REQUIRED_STAGES:
+            entry = breakdown[stage]
+            assert entry["count"] == 0
+            assert entry["total_ms"] == 0.0
+            assert entry["mean_ms"] == 0.0
+
+    def test_queue_wait_comes_from_the_server_snapshot(self):
+        breakdown = stage_breakdown_from_spans([], queue_wait={"count": 4, "mean_ms": 2.5})
+        assert breakdown["queue_wait"] == {"count": 4, "total_ms": 10.0, "mean_ms": 2.5}
+
+    def test_unfinished_spans_are_ignored(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("mqo.embed"):
+            pass
+        spans = tracer.drain()
+        spans[0].duration_ms = None
+        assert stage_breakdown_from_spans(spans)["embed"]["count"] == 0
+
+    def test_every_mapped_span_name_is_distinct(self):
+        assert len(set(STAGE_SPAN_NAMES.values())) == len(STAGE_SPAN_NAMES)
+
+
+class TestOrchestratorEmbedding:
+    def test_totals_carry_the_breakdown_and_document_stays_valid(self):
+        orchestrator = BenchOrchestrator(
+            BenchRunConfig(suite="unit-tiny", solver="CLIMB", quality_reference="")
+        )
+        document = orchestrator.run()
+        validate_bench_document(document)
+        breakdown = document["totals"]["stage_breakdown"]
+        for stage in REQUIRED_STAGES:
+            assert stage in breakdown
+            assert breakdown[stage]["count"] >= 0
+        # CLIMB exercises no annealer stages, but every job runs through
+        # the service execute span.
+        assert breakdown["solve"]["count"] == document["totals"]["jobs"]
+        assert breakdown["solve"]["total_ms"] > 0
+
+    def test_run_restores_tracer_state_and_keeps_spans(self):
+        tracer = get_tracer()
+        assert not tracer.enabled  # suite default
+        orchestrator = BenchOrchestrator(
+            BenchRunConfig(suite="unit-tiny", solver="CLIMB", quality_reference="")
+        )
+        orchestrator.run()
+        assert not tracer.enabled
+        assert len(tracer) == 0  # run() drained its own spans
+        assert any(span.name == "service.execute" for span in orchestrator.last_spans)

@@ -1,0 +1,129 @@
+"""NDJSON export round-trips and Prometheus text-format rendering."""
+
+import json
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.obs.export import render_prometheus, span_from_json, spans_to_ndjson, write_ndjson
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+attribute_values = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=30),
+    st.booleans(),
+    st.none(),
+)
+
+
+@st.composite
+def span_records(draw):
+    """Strategy producing finished spans with arbitrary JSON attributes."""
+    span = Span(name=draw(st.text(min_size=1, max_size=40)))
+    span.parent_id = draw(st.one_of(st.none(), st.text(min_size=1, max_size=20)))
+    span.start_s = draw(st.floats(min_value=0.0, max_value=2e9, allow_nan=False))
+    span.duration_ms = draw(
+        st.one_of(st.none(), st.floats(min_value=0.0, max_value=1e7, allow_nan=False))
+    )
+    span.status = draw(st.sampled_from(["ok", "error"]))
+    span.attributes = draw(
+        st.dictionaries(st.text(min_size=1, max_size=15), attribute_values, max_size=5)
+    )
+    return span
+
+
+class TestNDJSON:
+    def test_one_compact_object_per_line(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        text = spans_to_ndjson(tracer.drain())
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert text.endswith("\n")
+        assert [json.loads(line)["name"] for line in lines] == ["a", "b"]
+
+    def test_empty_input_renders_empty_text(self):
+        assert spans_to_ndjson([]) == ""
+
+    def test_accepts_plain_dicts(self):
+        record = Span("x").to_dict()
+        assert json.loads(spans_to_ndjson([record]).strip()) == json.loads(
+            json.dumps(record, sort_keys=True)
+        )
+
+    def test_write_and_append(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        with tracer.span("first"):
+            pass
+        path = tmp_path / "traces" / "out.ndjson"
+        write_ndjson(tracer.drain(), path)
+        with tracer.span("second"):
+            pass
+        write_ndjson(tracer.drain(), path, append=True)
+        names = [span_from_json(line).name for line in path.read_text().splitlines()]
+        assert names == ["first", "second"]
+
+    @given(span_records())
+    @settings(max_examples=50, deadline=None)
+    def test_span_survives_the_ndjson_round_trip(self, span):
+        line = spans_to_ndjson([span]).strip()
+        rebuilt = span_from_json(line)
+        assert rebuilt.to_dict() == span.to_dict()
+
+
+class TestPrometheus:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total", "A counter.").inc(3)
+        registry.gauge("repro_test_depth", "A gauge.").set(2.5)
+        histogram = registry.histogram(
+            "repro_test_latency_ms", "A histogram.", buckets=(10.0, 100.0)
+        )
+        histogram.observe(5.0)
+        histogram.observe(50.0)
+        histogram.observe(5000.0)
+        return registry
+
+    def test_headers_values_and_histogram_series(self):
+        text = render_prometheus(self._registry())
+        lines = text.splitlines()
+        assert "# HELP repro_test_total A counter." in lines
+        assert "# TYPE repro_test_total counter" in lines
+        assert "repro_test_total 3" in lines
+        assert "repro_test_depth 2.5" in lines
+        assert 'repro_test_latency_ms_bucket{le="10"} 1' in lines
+        assert 'repro_test_latency_ms_bucket{le="100"} 2' in lines
+        assert 'repro_test_latency_ms_bucket{le="+Inf"} 3' in lines
+        assert "repro_test_latency_ms_sum 5055" in lines
+        assert "repro_test_latency_ms_count 3" in lines
+        assert text.endswith("\n")
+
+    def test_labels_are_sorted_and_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total", labels={"b": 'say "hi"\n', "a": "x\\y"}).inc()
+        text = render_prometheus(registry)
+        assert 'repro_test_total{a="x\\\\y",b="say \\"hi\\"\\n"} 1' in text
+
+    def test_type_header_appears_once_per_family(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total", labels={"op": "a"}).inc()
+        registry.counter("repro_test_total", labels={"op": "b"}).inc()
+        text = render_prometheus(registry)
+        assert text.count("# TYPE repro_test_total counter") == 1
+        assert 'repro_test_total{op="a"} 1' in text
+        assert 'repro_test_total{op="b"} 1' in text
+
+    def test_every_sample_line_is_well_formed(self):
+        # A light-weight structural check standing in for promtool.
+        for line in render_prometheus(self._registry()).splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+                continue
+            name_and_labels, _, value = line.rpartition(" ")
+            assert name_and_labels
+            float(value)  # must parse (ints, floats; +Inf never appears as a value)

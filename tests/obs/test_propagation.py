@@ -1,0 +1,92 @@
+"""Span-context propagation across the two execution boundaries.
+
+``contextvars`` do not cross ``ThreadPoolExecutor`` or
+``ProcessPoolExecutor`` boundaries on their own, so the portfolio
+scheduler re-installs the captured parent context in every racing thread
+and the batch executor ships a serialised :class:`SpanContext` to its
+pool workers and adopts the spans they send back.  These tests pin both
+hops: child spans produced on the far side must join the parent's trace.
+"""
+
+import pytest
+
+from repro.mqo.generator import generate_paper_testcase
+from repro.obs.trace import configure_tracer, get_tracer
+from repro.service.batch import BatchExecutor
+from repro.service.jobs import SolveRequest
+from repro.service.portfolio import PortfolioScheduler
+
+
+@pytest.fixture()
+def tracing():
+    """Enable the global tracer for one test; restore and drain after."""
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    configure_tracer(True)
+    tracer.drain()
+    yield tracer
+    tracer.drain()
+    configure_tracer(was_enabled)
+
+
+def _requests(count: int):
+    return [
+        SolveRequest(
+            problem=generate_paper_testcase(4, 2, seed=index),
+            solver="LIN-MQO",
+            time_budget_ms=500.0,
+        )
+        for index in range(count)
+    ]
+
+
+class TestThreadPropagation:
+    def test_portfolio_members_join_the_ambient_trace(self, tracing):
+        problem = generate_paper_testcase(5, 2, seed=3)
+        scheduler = PortfolioScheduler(solvers=("LIN-MQO", "CLIMB"))
+        with tracing.span("request") as parent:
+            scheduler.solve(problem, time_budget_ms=200.0, seed=1)
+        members = [s for s in tracing.drain() if s.name == "portfolio.member"]
+        assert {s.attributes["solver"] for s in members} == {"LIN-MQO", "CLIMB"}
+        for member in members:
+            # Racing threads re-install the captured parent context.
+            assert member.context.trace_id == parent.context.trace_id
+            assert member.parent_id == parent.context.span_id
+
+    def test_without_ambient_span_members_start_fresh_traces(self, tracing):
+        problem = generate_paper_testcase(5, 2, seed=3)
+        PortfolioScheduler(solvers=("LIN-MQO",)).solve(problem, time_budget_ms=200.0, seed=1)
+        members = [s for s in tracing.drain() if s.name == "portfolio.member"]
+        assert members and all(s.parent_id is None for s in members)
+
+
+class TestProcessPropagation:
+    def test_pool_worker_spans_are_adopted_into_the_parent_trace(self, tracing):
+        requests = _requests(2)
+        with tracing.span("batch") as parent:
+            results = BatchExecutor(workers=2).run(requests, base_seed=9)
+        assert all(result.ok for result in results)
+        executes = [s for s in tracing.drain() if s.name == "service.execute"]
+        # One span per job, produced in the worker processes and shipped
+        # back with the results.
+        assert len(executes) == len(requests)
+        for span in executes:
+            assert span.context.trace_id == parent.context.trace_id
+            assert span.parent_id == parent.context.span_id
+            assert span.duration_ms is not None
+
+    def test_inline_execution_traces_identically(self, tracing):
+        requests = _requests(2)
+        with tracing.span("batch") as parent:
+            results = BatchExecutor(workers=0).run(requests, base_seed=9)
+        assert all(result.ok for result in results)
+        executes = [s for s in tracing.drain() if s.name == "service.execute"]
+        assert len(executes) == len(requests)
+        assert all(s.context.trace_id == parent.context.trace_id for s in executes)
+
+    def test_disabled_tracer_ships_no_spans_from_workers(self):
+        tracer = get_tracer()
+        assert not tracer.enabled  # the suite default
+        results = BatchExecutor(workers=2).run(_requests(1), base_seed=9)
+        assert results[0].ok
+        assert len(tracer) == 0

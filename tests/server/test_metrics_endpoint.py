@@ -1,0 +1,60 @@
+"""Live tests of the ``metrics`` protocol op: Prometheus over the wire."""
+
+from repro.cli import main as cli_main
+from repro.server.client import SolverClient
+from repro.server.protocol import REQUEST_OPS, metrics_frame
+
+from tests.server.conftest import tiny_problem
+
+
+class TestMetricsFrame:
+    def test_metrics_is_a_known_op(self):
+        assert "metrics" in REQUEST_OPS
+
+    def test_frame_shape(self):
+        frame = metrics_frame("req-1", "repro_server_uptime_seconds 1\n")
+        assert frame["id"] == "req-1"
+        assert frame["type"] == "metrics"
+        assert frame["content_type"] == "text/plain; version=0.0.4"
+        assert frame["text"].startswith("repro_server_uptime_seconds")
+
+
+class TestMetricsEndpoint:
+    def test_server_answers_with_valid_prometheus_text(self, server_factory):
+        handle = server_factory()
+        with SolverClient(port=handle.port) as client:
+            client.solve(tiny_problem(), solver="STEP", budget_ms=500.0)
+            text = client.metrics_text()
+        assert "# TYPE repro_server_jobs_completed_total counter" in text
+        assert "repro_server_jobs_completed_total 1" in text
+        assert "repro_server_jobs_finished_total 1" in text
+        assert "repro_server_queue_depth 0" in text
+        assert "repro_server_inflight_jobs 0" in text
+        assert 'repro_server_requests_total{op="solve"} 1' in text
+        # Every sample line must be structurally valid exposition text.
+        for line in text.splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+            else:
+                _, _, value = line.rpartition(" ")
+                float(value)
+
+    def test_failed_jobs_surface_in_the_exposition(self, server_factory):
+        handle = server_factory()
+        with SolverClient(port=handle.port) as client:
+            result = client.solve(tiny_problem(), solver="NOPE", budget_ms=100.0)
+            assert not result.ok
+            text = client.metrics_text()
+        assert "repro_server_jobs_failed_total 1" in text
+        assert "repro_server_jobs_completed_total 0" in text
+        assert "repro_server_jobs_finished_total 1" in text
+
+    def test_cli_metrics_verb_prints_the_exposition(self, server_factory, capsys):
+        handle = server_factory()
+        with SolverClient(port=handle.port) as client:
+            client.solve(tiny_problem(), solver="STEP", budget_ms=500.0)
+        exit_code = cli_main(["metrics", "--port", str(handle.port)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "repro_server_jobs_completed_total 1" in captured.out
+        assert captured.out.endswith("\n")

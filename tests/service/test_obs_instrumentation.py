@@ -1,0 +1,65 @@
+"""Service/pipeline counters on the process-global metrics registry.
+
+The registry is process-global and cumulative, so every assertion works
+on *deltas* around the exercised operation.
+"""
+
+from repro.mqo.generator import generate_paper_testcase
+from repro.obs.metrics import get_registry
+from repro.service.cache import ResultCache
+from repro.service.frontend import ServiceFrontend
+from repro.service.jobs import SolveRequest
+
+
+def _counter(name, **labels):
+    return get_registry().counter(name, labels=labels or None)
+
+
+def _request(seed=0, solver="CLIMB"):
+    return SolveRequest(
+        problem=generate_paper_testcase(4, 2, seed=seed),
+        solver=solver,
+        time_budget_ms=100.0,
+        seed=1,
+    )
+
+
+class TestResultCacheCounters:
+    def test_hit_and_miss_counters_track_the_frontend_cache(self):
+        hits = _counter("repro_service_result_cache_hits_total")
+        misses = _counter("repro_service_result_cache_misses_total")
+        frontend = ServiceFrontend(cache=ResultCache())
+        before = (hits.value, misses.value)
+        frontend.submit(_request())
+        frontend.submit(_request())  # identical → served from the cache
+        assert hits.value == before[0] + 1
+        assert misses.value == before[1] + 1
+
+
+class TestWinnerAttribution:
+    def test_wins_are_labelled_by_solver(self):
+        wins = _counter("repro_service_wins_total", solver="CLIMB")
+        before = wins.value
+        ServiceFrontend().submit(_request(seed=7))
+        assert wins.value == before + 1
+
+
+class TestImprovementCounter:
+    def test_trajectory_improvements_are_counted(self):
+        improvements = _counter("repro_solver_improvements_total")
+        before = improvements.value
+        ServiceFrontend().submit(_request(seed=3))
+        # CLIMB records at least its first solution as an improvement.
+        assert improvements.value > before
+
+
+class TestAnnealCounters:
+    def test_reads_and_gauge_batches_accumulate(self):
+        from repro.core.pipeline import QuantumMQO
+
+        reads = _counter("repro_anneal_reads_total")
+        gauges = _counter("repro_anneal_gauge_batches_total")
+        before = (reads.value, gauges.value)
+        QuantumMQO(seed=0).solve(generate_paper_testcase(4, 2, seed=0), num_reads=40)
+        assert reads.value == before[0] + 40
+        assert gauges.value > before[1]
