@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import functools
 import json
 import sys
 from collections import OrderedDict, deque
@@ -165,6 +166,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--workers", type=int, default=2, help="concurrent solver jobs"
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help=(
+            "shard solving across this many worker processes "
+            "(0 = in-process threads, -1 = one shard per CPU core)"
+        ),
     )
     serve.add_argument(
         "--queue-capacity", type=int, default=128, help="admission-control queue bound"
@@ -618,6 +628,22 @@ def _run_batch_traced(args: argparse.Namespace) -> int:
 _SERVE_CACHE_SAVE_INTERVAL_S = 30.0
 
 
+def _build_shard_frontend(
+    solvers: Optional[Sequence[str]] = None,
+    cache_file: Optional[str] = None,
+    cache_ttl_s: Optional[float] = None,
+) -> ServiceFrontend:
+    """Build one shard's service frontend (called inside the shard process).
+
+    Each shard owns a private frontend and result cache, so hash-routed
+    jobs always land on the shard whose cache already holds their
+    problem.  A ``--cache-file`` is loaded once at shard boot as a warm
+    start; only the parent process checkpoints it back to disk.
+    """
+    cache = ResultCache(path=cache_file, ttl_seconds=cache_ttl_s) if cache_file else None
+    return ServiceFrontend(cache=cache, portfolio_solvers=solvers)
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     """Run the solver server until SIGINT/SIGTERM or a client shutdown."""
     cache = (
@@ -633,8 +659,23 @@ def _run_serve(args: argparse.Namespace) -> int:
         queue_capacity=args.queue_capacity,
         max_jobs_per_client=args.max_jobs_per_client,
         max_budget_ms=args.budget_cap_ms,
+        shards=args.shards,
     )
-    server = SolverServer(config=config, frontend=frontend)
+    # functools.partial over a module-level function keeps the factory
+    # picklable, so shards can boot under the spawn start method too.
+    frontend_factory = (
+        functools.partial(
+            _build_shard_frontend,
+            solvers=args.solvers,
+            cache_file=args.cache_file,
+            cache_ttl_s=args.cache_ttl_s,
+        )
+        if args.shards != 0
+        else None
+    )
+    server = SolverServer(
+        config=config, frontend=frontend, frontend_factory=frontend_factory
+    )
 
     def save_cache() -> None:
         """Checkpoint the shared result cache (atomic; errors reported)."""
@@ -676,7 +717,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         )
         print(
             f"repro-mqo serve: listening on {server.host}:{server.port} "
-            f"(workers={config.workers}, queue={config.queue_capacity})",
+            f"(workers={config.workers}, shards={config.shards}, "
+            f"queue={config.queue_capacity})",
             file=sys.stderr,
             flush=True,
         )

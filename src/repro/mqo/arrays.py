@@ -39,9 +39,9 @@ in one vectorised call.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from functools import cached_property
-from typing import TYPE_CHECKING, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Tuple
 
 import numpy as np
 
@@ -50,7 +50,7 @@ from repro.exceptions import InvalidSolutionError
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (problem -> arrays)
     from repro.mqo.problem import MQOProblem
 
-__all__ = ["ProblemArrays", "build_problem_arrays"]
+__all__ = ["ProblemArrays", "build_problem_arrays", "problem_from_arrays"]
 
 
 def _frozen(array: np.ndarray) -> np.ndarray:
@@ -80,6 +80,40 @@ class ProblemArrays:
     adj_indptr: np.ndarray  #: int64[|P|+1] — CSR adjacency row pointers.
     adj_indices: np.ndarray  #: int64[2|S|] — partner plan per adjacency entry.
     adj_values: np.ndarray  #: float64[2|S|] — saving per adjacency entry.
+
+    # ------------------------------------------------------------------ #
+    # Pickling (zero-copy transport)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle only the declared columns, never the lazy caches.
+
+        The server's shard transport pickles these objects with protocol
+        5, where every NumPy column travels as an out-of-band buffer (no
+        copy into the pickle stream).  Dropping the ``cached_property``
+        memo entries keeps the wire payload down to the columns
+        themselves; the receiver re-derives the caches lazily.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        """Restore the columns read-only (matching the frozen contract).
+
+        Arrays rebuilt from out-of-band pickle buffers arrive writeable
+        when the transport hands over ownership; re-freeze them so the
+        "all arrays are read-only" invariant survives the trip.
+        """
+        for name, value in state.items():
+            if isinstance(value, np.ndarray):
+                value.setflags(write=False)
+            object.__setattr__(self, name, value)
+
+    def nbytes(self) -> int:
+        """Total byte size of the columns (the zero-copy payload size)."""
+        return sum(
+            getattr(self, f.name).nbytes
+            for f in fields(self)
+            if isinstance(getattr(self, f.name), np.ndarray)
+        )
 
     # ------------------------------------------------------------------ #
     # Derived structure (lazy, cached)
@@ -353,3 +387,42 @@ def build_problem_arrays(problem: "MQOProblem") -> ProblemArrays:
         adj_indices=_frozen(adj_indices),
         adj_values=_frozen(adj_values),
     )
+
+
+def problem_from_arrays(
+    arrays: ProblemArrays,
+    name: str = "",
+    canonical_hash: str | None = None,
+) -> "MQOProblem":
+    """Rebuild an :class:`MQOProblem` from its columnar view.
+
+    Inverse of :func:`build_problem_arrays` up to labels (which carry no
+    identity: the canonical hash and the exact problem token both ignore
+    them).  The given ``arrays`` object is installed as the rebuilt
+    problem's memoised view, so consumers that received the columns over
+    a zero-copy transport (the server's shard processes) keep operating
+    on the transferred buffers instead of rebuilding them; an optional
+    pre-computed ``canonical_hash`` is memoised the same way.
+
+    Savings are re-inserted in COO order — exactly the original
+    problem's insertion order — so the rebuilt adjacency is bit-identical
+    to the original's.
+    """
+    offsets = arrays.query_offsets
+    costs = arrays.plan_cost
+    plans_per_query = [
+        costs[int(offsets[q]) : int(offsets[q + 1])].tolist()
+        for q in range(arrays.num_queries)
+    ]
+    savings = {
+        (int(p1), int(p2)): float(value)
+        for p1, p2, value in zip(arrays.savings_p1, arrays.savings_p2, arrays.savings_value)
+    }
+    # Imported here: problem imports this module's builder lazily too.
+    from repro.mqo.problem import MQOProblem
+
+    problem = MQOProblem(plans_per_query, savings, name=name)
+    problem._arrays = arrays  # noqa: SLF001 — seeding the documented memo
+    if canonical_hash is not None:
+        problem._canonical_hash = canonical_hash  # noqa: SLF001
+    return problem

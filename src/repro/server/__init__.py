@@ -13,6 +13,9 @@ bounded worker pool) instead of paying cold-start per invocation.
 * :mod:`repro.server.workers` — worker pool draining the queue into
   :class:`~repro.service.frontend.ServiceFrontend`, coalescing
   duplicate in-flight requests by cache key,
+* :mod:`repro.server.sharding` — :class:`ShardPool`, the multi-process
+  worker tier: one shard process per core, jobs routed by canonical
+  problem hash, zero-copy column handoff (see ``docs/server.md``),
 * :mod:`repro.server.streaming` — fan-out of incremental anytime
   updates to subscribed clients while jobs run,
 * :mod:`repro.server.metrics` — per-endpoint latency/throughput and
@@ -55,8 +58,9 @@ from repro.server.protocol import (
     encode_frame,
 )
 from repro.server.queue import FairScheduler, JobQueue, ServerJob
+from repro.server.sharding import ShardPool, default_shard_count, shard_for
 from repro.server.streaming import StreamBroker
-from repro.server.workers import WorkerPool
+from repro.server.workers import BasePool, WorkerPool
 
 __all__ = [
     "ServerConfig",
@@ -71,7 +75,11 @@ __all__ = [
     "JobQueue",
     "ServerJob",
     "StreamBroker",
+    "BasePool",
     "WorkerPool",
+    "ShardPool",
+    "shard_for",
+    "default_shard_count",
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
     "REQUEST_OPS",

@@ -53,6 +53,16 @@ class ServerConfig:
         :attr:`SolverServer.port` after start).
     workers:
         Concurrent jobs (asyncio worker tasks and executor threads).
+        Ignored when ``shards`` selects the multi-process tier.
+    shards:
+        ``0`` (default) executes jobs on the in-process thread tier
+        (:class:`~repro.server.workers.WorkerPool`); a positive count
+        runs that many shard *processes*
+        (:class:`~repro.server.sharding.ShardPool`), routed by canonical
+        problem hash; ``-1`` means one shard per CPU core.
+    shard_retry:
+        Whether a shard death mid-job retries the job once on a live
+        shard (default) instead of failing it immediately.
     queue_capacity / max_jobs_per_client:
         Admission-control bounds of the job queue.
     default_budget_ms / max_budget_ms:
@@ -81,6 +91,8 @@ class ServerConfig:
     host: str = "127.0.0.1"
     port: int = 0
     workers: int = 2
+    shards: int = 0
+    shard_retry: bool = True
     queue_capacity: int = 128
     max_jobs_per_client: Optional[int] = None
     default_budget_ms: float = 1000.0
@@ -162,14 +174,25 @@ class SolverServer:
         The :class:`ServiceFrontend` jobs execute through.  Inject one
         with a custom registry/cache to control the solver line-up (the
         end-to-end tests register scripted solvers this way).
+    frontend_factory:
+        Zero-argument frontend builder for the sharded tier
+        (``config.shards != 0``): invoked once inside every shard
+        process, so each shard owns private caches.  When omitted, a
+        provided ``frontend`` instance is reused per shard (works under
+        the ``fork`` start method), else the default frontend is built
+        per shard.  The parent keeps its own instance for ``hello`` /
+        ``stats`` introspection.
     """
 
     def __init__(
         self,
         config: ServerConfig | None = None,
         frontend: ServiceFrontend | None = None,
+        frontend_factory: Optional[Callable[[], ServiceFrontend]] = None,
     ) -> None:
         self.config = config or ServerConfig()
+        if frontend is None and frontend_factory is not None:
+            frontend = frontend_factory()
         self.frontend = frontend if frontend is not None else ServiceFrontend()
         self.metrics = ServerMetrics()
         self.queue = JobQueue(
@@ -179,14 +202,35 @@ class SolverServer:
         self.broker = StreamBroker(
             on_update_streamed=lambda count: self.metrics.increment("updates_streamed", count)
         )
-        self.pool = WorkerPool(
-            frontend=self.frontend,
-            queue=self.queue,
-            broker=self.broker,
-            metrics=self.metrics,
-            num_workers=self.config.workers,
-            coalesce=self.config.coalesce,
-        )
+        if self.config.shards != 0:
+            # Imported lazily: multiprocessing machinery is only needed
+            # when the sharded tier is actually selected.
+            from repro.server.sharding import ShardPool
+
+            if frontend_factory is None:
+                if frontend is not None:
+                    shard_frontend = frontend  # reused per shard (fork)
+                    frontend_factory = lambda: shard_frontend  # noqa: E731
+                else:
+                    frontend_factory = ServiceFrontend
+            self.pool: Any = ShardPool(
+                frontend_factory=frontend_factory,
+                queue=self.queue,
+                broker=self.broker,
+                metrics=self.metrics,
+                num_shards=self.config.shards,
+                coalesce=self.config.coalesce,
+                retry_on_shard_death=self.config.shard_retry,
+            )
+        else:
+            self.pool = WorkerPool(
+                frontend=self.frontend,
+                queue=self.queue,
+                broker=self.broker,
+                metrics=self.metrics,
+                num_workers=self.config.workers,
+                coalesce=self.config.coalesce,
+            )
         self.host = self.config.host
         self.port = self.config.port
         self._server: Optional[asyncio.AbstractServer] = None
@@ -241,12 +285,10 @@ class SolverServer:
         if drain:
             try:
                 await asyncio.wait_for(self.pool.join(), timeout=self.config.drain_timeout_s)
-            except asyncio.TimeoutError:
-                for task in self.pool._tasks:  # noqa: SLF001 — drain timed out; force it
-                    task.cancel()
+            except asyncio.TimeoutError:  # drain overran its budget; force it
+                self.pool.cancel_tasks()
         else:
-            for task in self.pool._tasks:  # noqa: SLF001 — immediate shutdown requested
-                task.cancel()
+            self.pool.cancel_tasks()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -480,6 +522,7 @@ class SolverServer:
                     "default_budget_ms": self.config.default_budget_ms,
                     "max_budget_ms": self.config.max_budget_ms,
                     "workers": self.config.workers,
+                    "shards": self.config.shards,
                 },
             )
         )
@@ -562,6 +605,7 @@ class SolverServer:
             "draining": self.queue.draining,
             "stream_channels": len(self.broker),
         }
+        extra.update(self.pool.extra_stats())
         if self.frontend.cache is not None:
             stats = self.frontend.cache.stats
             extra["result_cache"] = {
@@ -638,14 +682,17 @@ def run_server_in_thread(
     config: ServerConfig | None = None,
     frontend: ServiceFrontend | None = None,
     ready_timeout_s: float = 10.0,
+    frontend_factory: Optional[Callable[[], ServiceFrontend]] = None,
 ) -> ServerHandle:
     """Start a :class:`SolverServer` on a daemon thread and wait for bind.
 
     Returns a :class:`ServerHandle` whose :attr:`~ServerHandle.port`
     reports the actual bound port.  The server also stops (and the
     thread exits) when a client issues the ``shutdown`` op.
+    ``frontend_factory`` feeds the sharded tier (see
+    :class:`SolverServer`).
     """
-    server = SolverServer(config=config, frontend=frontend)
+    server = SolverServer(config=config, frontend=frontend, frontend_factory=frontend_factory)
     ready = threading.Event()
     failures: list = []
 

@@ -168,6 +168,7 @@ class ServerMetrics:
         self._window = window
         self.registry = registry if registry is not None else MetricsRegistry()
         self._endpoints: Dict[str, EndpointStats] = {}
+        self._shard_counters: Dict[tuple, Counter] = {}
         self._counters: Dict[str, Counter] = {
             name: self.registry.counter(_prom_counter_name(name), _COUNTER_HELP.get(name, ""))
             for name in _JOB_COUNTERS
@@ -231,6 +232,47 @@ class ServerMetrics:
         with self._lock:
             instrument = self._counters.get(name)
         return instrument.value if instrument is not None else 0
+
+    # ------------------------------------------------------------------ #
+    # Per-shard labelled counters (the sharded worker tier)
+    # ------------------------------------------------------------------ #
+    _SHARD_COUNTER_HELP = {
+        "jobs": "Jobs finished per shard process.",
+        "failures": "Jobs failed per shard process.",
+        "restarts": "Shard process respawns after an unexpected death.",
+    }
+
+    def _shard_counter(self, short: str, shard: int) -> Counter:
+        """The ``{shard="<i>"}``-labelled series of one shard counter."""
+        with self._lock:
+            key = (short, shard)
+            instrument = self._shard_counters.get(key)
+            if instrument is None:
+                instrument = self._shard_counters[key] = self.registry.counter(
+                    f"repro_server_shard_{short}_total",
+                    self._SHARD_COUNTER_HELP.get(short, ""),
+                    {"shard": str(shard)},
+                )
+        return instrument
+
+    def observe_shard_job(self, shard: int, failed: bool) -> None:
+        """Record one job finished by shard ``shard``."""
+        self._shard_counter("jobs", shard).inc()
+        if failed:
+            self._shard_counter("failures", shard).inc()
+
+    def observe_shard_restart(self, shard: int) -> None:
+        """Record one respawn of shard ``shard`` after an unexpected death."""
+        self._shard_counter("restarts", shard).inc()
+
+    def shard_snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Per-shard counter values keyed by shard index (may be empty)."""
+        with self._lock:
+            items = list(self._shard_counters.items())
+        snapshot: Dict[str, Dict[str, int]] = {}
+        for (short, shard), instrument in items:
+            snapshot.setdefault(str(shard), {})[short] = instrument.value
+        return snapshot
 
     # ------------------------------------------------------------------ #
     # Reporting

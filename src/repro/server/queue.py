@@ -55,6 +55,9 @@ class ServerJob:
     coalesced_with:
         Job id of the in-flight representative when this job was
         coalesced instead of queued.
+    retries:
+        Times the job was re-dispatched after its worker died mid-job
+        (the sharded tier retries once before failing the job).
     enqueued_at / started_at / finished_at:
         Monotonic timestamps of the lifecycle transitions.
     result:
@@ -68,6 +71,7 @@ class ServerJob:
     stream: bool = False
     coalesce_key: str = ""
     coalesced_with: Optional[str] = None
+    retries: int = 0
     enqueued_at: float = field(default_factory=time.monotonic)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
@@ -261,6 +265,16 @@ class JobQueue:
     def draining(self) -> bool:
         """Whether graceful shutdown has begun."""
         return self._draining
+
+    @property
+    def waiting(self) -> int:
+        """Number of ``get()`` calls currently blocked on an empty queue.
+
+        Test synchronisation hook: "a worker is parked and waiting" is
+        observable state, so tests poll this instead of sleeping a fixed
+        interval and hoping the scheduler ran the worker task.
+        """
+        return sum(1 for waiter in self._waiters if not waiter.done())
 
     def depth_for(self, client_id: str) -> int:
         """Number of queued jobs of one client."""

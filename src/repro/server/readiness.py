@@ -33,8 +33,14 @@ def wait_for_server(
     port: int = 7337,
     timeout_s: float = 15.0,
     poll_interval_s: float = _POLL_INTERVAL_S,
+    min_shards: Optional[int] = None,
 ) -> float:
     """Block until a solver server answers a ping at ``host:port``.
+
+    With ``min_shards`` the probe additionally polls the ``stats`` op
+    until at least that many shard processes report ready — a sharded
+    server accepts connections before its children finish booting, and
+    fault tests must not race a respawning shard.
 
     Returns the seconds spent waiting.  Raises
     :class:`~repro.exceptions.ServerError` when the deadline passes
@@ -60,7 +66,14 @@ def wait_for_server(
         try:
             with SolverClient(host=host, port=port, timeout_s=2.0) as client:
                 if client.ping():
-                    return time.perf_counter() - start
+                    if min_shards is None:
+                        return time.perf_counter() - start
+                    shards = client.stats().get("shards", {})
+                    if int(shards.get("ready", 0)) >= min_shards:
+                        return time.perf_counter() - start
+                    last_error = ServerError(
+                        f"only {shards.get('ready', 0)}/{min_shards} shards ready"
+                    )
         except ReproError as exc:
             # Listening but not answering yet (or a stale socket from a
             # dying server): keep polling until the deadline.
@@ -80,9 +93,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--timeout-s", type=float, default=15.0, help="give up after this many seconds"
     )
+    parser.add_argument(
+        "--min-shards",
+        type=int,
+        default=None,
+        help="additionally wait until this many shard processes report ready",
+    )
     args = parser.parse_args(argv)
     try:
-        waited = wait_for_server(args.host, args.port, timeout_s=args.timeout_s)
+        waited = wait_for_server(
+            args.host, args.port, timeout_s=args.timeout_s, min_shards=args.min_shards
+        )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -1,0 +1,629 @@
+"""Sharded multi-process worker tier: one solver process per core.
+
+:class:`~repro.server.workers.WorkerPool` executes jobs on threads, so
+CPU-bound solves serialise on the GIL.  :class:`ShardPool` is the
+shared-nothing alternative: ``num_shards`` child processes, each owning
+a private :class:`~repro.service.frontend.ServiceFrontend` (result
+cache, prepared-pipeline caches, solver registry), fed over one
+:class:`multiprocessing.connection.Connection` pipe each.
+
+Design points:
+
+* **Routing.** Jobs are routed by the problem's ``canonical_hash``
+  (:func:`shard_for`), so repeated solves of the same instance land on
+  the same shard and hit that shard's warm caches.  The hash is already
+  memoised by admission-time coalescing, so routing costs one modulo.
+* **Zero-copy handoff.** Requests cross the pipe as the problem's
+  :class:`~repro.mqo.arrays.ProblemArrays` columns pickled with
+  protocol 5: every NumPy column travels as an out-of-band buffer
+  (:func:`send_message`), never staged through the pickle stream, and
+  the receiving arrays wrap the received buffers directly.  The shard
+  rebuilds the problem object around the transferred columns
+  (:func:`~repro.mqo.arrays.problem_from_arrays`).
+* **Streaming.** Anytime improvements observed inside a shard are
+  forwarded over the pipe and republished on the parent's event loop
+  through the :class:`~repro.server.streaming.StreamBroker`, so clients
+  see the same live update stream as with the thread tier.
+* **Coalescing** stays in the parent (:class:`BasePool.admit`): only
+  execution moves into the shards, so duplicate in-flight requests are
+  folded before any bytes cross a pipe.
+* **Faults.** A shard that dies mid-job (crash, OOM-kill, SIGKILL) is
+  detected by its reader thread (pipe EOF).  Its in-flight jobs are
+  retried once on a live shard (when ``retry_on_shard_death``) or
+  failed with a clean error result; the dead slot is respawned (up to
+  ``max_restarts_per_shard`` times) and routing heals around it in the
+  meantime.
+* **Drain.** ``queue.drain()`` stops admission; the dispatcher forwards
+  the backlog, every shard receives a ``stop`` sentinel *behind* its
+  queued jobs (pipes are FIFO), finishes them, and exits; ``join()``
+  returns once every shard process has gone.
+
+Span adoption follows the batch executor's pattern: when tracing is
+enabled at dispatch time the shard runs the job under its own tracer
+and ships the finished span records back with the result, where the
+parent :meth:`~repro.obs.trace.Tracer.adopt`\\ s them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import pickle
+import struct
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing import get_all_start_methods, get_context
+from multiprocessing.connection import Connection
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.baselines.anytime import observe_improvements
+from repro.mqo.arrays import problem_from_arrays
+from repro.obs.trace import configure_tracer, get_tracer
+from repro.server.metrics import ServerMetrics
+from repro.server.queue import JobQueue, ServerJob
+from repro.server.streaming import StreamBroker
+from repro.server.workers import BasePool
+from repro.service.frontend import ServiceFrontend
+from repro.service.jobs import SolveRequest, SolveResult
+
+__all__ = [
+    "shard_for",
+    "send_message",
+    "recv_message",
+    "encode_shard_request",
+    "decode_shard_request",
+    "default_shard_count",
+    "ShardPool",
+]
+
+#: Hex digits of the canonical hash used for routing (64 bits is plenty).
+_ROUTE_PREFIX = 16
+
+#: Per-shard bound on dispatched-but-unsent jobs.  Small on purpose: the
+#: central queue is where backpressure is accounted, so jobs should pile
+#: up there (where admission control can see them), not in outboxes.
+_OUTBOX_CAPACITY = 4
+
+
+def default_shard_count() -> int:
+    """The shard count ``shards=-1`` resolves to: one per CPU core."""
+    return max(os.cpu_count() or 1, 1)
+
+
+def shard_for(canonical_hash: str, num_shards: int) -> int:
+    """Deterministic shard slot of a problem's canonical hash.
+
+    Pure function of the hash prefix and the shard count — stable across
+    processes, runs and machines, so a client re-submitting the same
+    problem always lands on the same (warm) shard.
+    """
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    return int(canonical_hash[:_ROUTE_PREFIX], 16) % num_shards
+
+
+# ---------------------------------------------------------------------- #
+# Pipe transport: pickle protocol 5 with out-of-band buffers
+# ---------------------------------------------------------------------- #
+def send_message(conn: Connection, message: Any) -> None:
+    """Send one message with its NumPy columns out-of-band.
+
+    The pickle stream (with protocol 5 every array serialises to a
+    :class:`pickle.PickleBuffer` reference instead of inline bytes) goes
+    first, prefixed with the buffer count; the raw buffers follow, one
+    pipe frame each.  The big columns are therefore never copied into a
+    pickle byte-string — they go straight from the array memory into the
+    pipe.
+    """
+    buffers: List[pickle.PickleBuffer] = []
+    payload = pickle.dumps(message, protocol=5, buffer_callback=buffers.append)
+    conn.send_bytes(struct.pack("<I", len(buffers)) + payload)
+    for buffer in buffers:
+        conn.send_bytes(buffer.raw())
+
+
+def recv_message(conn: Connection) -> Any:
+    """Receive one :func:`send_message` frame (raises ``EOFError`` on hangup).
+
+    Each out-of-band buffer is received as one ``bytes`` object and
+    handed to ``pickle.loads(..., buffers=...)``; the rebuilt arrays
+    wrap those buffers directly (no further copy, read-only backing).
+    """
+    frame = conn.recv_bytes()
+    (count,) = struct.unpack_from("<I", frame)
+    buffers = [conn.recv_bytes() for _ in range(count)]
+    return pickle.loads(frame[4:], buffers=buffers)
+
+
+def encode_shard_request(request: SolveRequest) -> Dict[str, Any]:
+    """The pipe form of a request: columnar problem + scalar fields.
+
+    Ships the problem as its :class:`~repro.mqo.arrays.ProblemArrays`
+    (zero-copy under :func:`send_message`) plus the memoised canonical
+    hash, so the shard neither re-serialises nor re-canonicalises the
+    instance.
+    """
+    problem = request.problem
+    return {
+        "arrays": problem.arrays(),
+        "name": problem.name,
+        "canonical_hash": problem.canonical_hash(),
+        "solver": request.solver,
+        "time_budget_ms": request.time_budget_ms,
+        "seed": request.seed,
+        "job_id": request.job_id,
+        "solvers": request.solvers,
+        "metadata": dict(request.metadata),
+    }
+
+
+def decode_shard_request(payload: Dict[str, Any]) -> SolveRequest:
+    """Rebuild a :class:`SolveRequest` from :func:`encode_shard_request`."""
+    problem = problem_from_arrays(
+        payload["arrays"],
+        name=payload["name"],
+        canonical_hash=payload["canonical_hash"],
+    )
+    solvers = payload["solvers"]
+    return SolveRequest(
+        problem=problem,
+        solver=payload["solver"],
+        time_budget_ms=payload["time_budget_ms"],
+        seed=payload["seed"],
+        job_id=payload["job_id"],
+        solvers=tuple(solvers) if solvers is not None else None,
+        metadata=dict(payload["metadata"]),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Shard child process
+# ---------------------------------------------------------------------- #
+def _shard_main(
+    shard_index: int,
+    conn: Connection,
+    frontend_factory: Callable[[], ServiceFrontend],
+) -> None:
+    """Child-process body: serve jobs off the pipe until ``stop`` or EOF.
+
+    One job executes at a time (parallelism comes from the shard count).
+    Improvement updates are sent from solver threads while the main
+    thread is blocked inside ``frontend.submit``, so every pipe write
+    goes through one lock — frames never interleave, and updates always
+    precede their job's result frame.
+    """
+    configure_tracer(False)  # never inherit the parent's tracer state
+    send_lock = threading.Lock()
+
+    def send(message: Tuple[Any, ...]) -> None:
+        with send_lock:
+            send_message(conn, message)
+
+    frontend = frontend_factory()
+    try:
+        send(("ready", shard_index, os.getpid()))
+    except (BrokenPipeError, OSError):
+        return
+    while True:
+        try:
+            message = recv_message(conn)
+        except (EOFError, OSError):
+            break  # parent gone: nothing sensible left to do
+        if message[0] == "stop":
+            break
+        _, job_id, payload, collect_spans = message
+        try:
+            send(("started", job_id))
+            request = decode_shard_request(payload)
+            started = time.monotonic()
+
+            def forward(solver_name: str, _elapsed_ms: float, cost: float) -> None:
+                # Solver-thread context; re-measure elapsed against the
+                # job start so racing members share one time axis.
+                elapsed_ms = (time.monotonic() - started) * 1000.0
+                try:
+                    send(("update", job_id, solver_name, elapsed_ms, cost))
+                except (BrokenPipeError, OSError):
+                    pass
+
+            spans: List[Dict[str, Any]] = []
+            if collect_spans:
+                tracer = configure_tracer(True)
+                try:
+                    with observe_improvements(forward):
+                        result = frontend.submit(request)
+                    spans = [span.to_dict() for span in tracer.drain()]
+                finally:
+                    configure_tracer(False)
+            else:
+                with observe_improvements(forward):
+                    result = frontend.submit(request)
+            send(("result", job_id, result.to_dict(), spans))
+        except (BrokenPipeError, OSError):
+            break
+        except Exception as exc:  # noqa: BLE001 — one bad job must not kill the shard
+            failure = {"job_id": job_id, "error": f"{type(exc).__name__}: {exc}"}
+            try:
+                send(("result", job_id, failure, []))
+            except (BrokenPipeError, OSError):
+                break
+    conn.close()
+
+
+class _Shard:
+    """Parent-side handle of one shard slot."""
+
+    def __init__(self, index: int, process: Any, conn: Connection) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.ready = False
+        self.dead = False
+        self.stop_sent = False
+        #: Jobs dispatched to this shard and not yet finished.
+        self.assigned: Dict[str, ServerJob] = {}
+        #: Dispatcher → sender queue; ``None`` is the stop sentinel.
+        self.outbox: "asyncio.Queue[Optional[Tuple[ServerJob, Tuple[Any, ...]]]]" = (
+            asyncio.Queue(maxsize=_OUTBOX_CAPACITY)
+        )
+        self.exited = asyncio.Event()
+
+    @property
+    def pid(self) -> Optional[int]:
+        """OS pid of the shard process (``None`` before start)."""
+        return self.process.pid
+
+
+class ShardPool(BasePool):
+    """Multi-process worker tier: hash-routed shards behind one queue.
+
+    Mirrors :class:`~repro.server.workers.WorkerPool`'s surface (admit /
+    start / join / shutdown) so :class:`~repro.server.app.SolverServer`
+    can run either tier; see the module docstring for the architecture.
+
+    Parameters
+    ----------
+    frontend_factory:
+        Zero-argument callable building a shard's private
+        :class:`ServiceFrontend`, invoked *inside* each child process.
+        Under the default ``fork`` start method any callable works;
+        under ``spawn`` it must be picklable (module-level).
+    queue / broker / metrics / coalesce:
+        See :class:`BasePool`.
+    num_shards:
+        Shard process count (``-1`` = one per CPU core).
+    retry_on_shard_death:
+        Retry a dead shard's in-flight jobs once on a live shard before
+        failing them (default); ``False`` fails them immediately.
+    mp_context:
+        Multiprocessing start method; default ``fork`` where available
+        (required for closure factories), else ``spawn``.
+    max_restarts_per_shard:
+        Respawn budget per slot; beyond it the slot stays dead and
+        routing permanently heals around it.
+    """
+
+    def __init__(
+        self,
+        frontend_factory: Callable[[], ServiceFrontend],
+        queue: JobQueue,
+        broker: StreamBroker,
+        metrics: ServerMetrics,
+        num_shards: int = -1,
+        coalesce: bool = True,
+        retry_on_shard_death: bool = True,
+        mp_context: Optional[str] = None,
+        max_restarts_per_shard: int = 5,
+    ) -> None:
+        super().__init__(queue=queue, broker=broker, metrics=metrics, coalesce=coalesce)
+        if num_shards == -1:
+            num_shards = default_shard_count()
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive (or -1 = auto), got {num_shards}")
+        self.frontend_factory = frontend_factory
+        self.num_shards = num_shards
+        self.retry_on_shard_death = retry_on_shard_death
+        self.max_restarts_per_shard = max_restarts_per_shard
+        if mp_context is None:
+            mp_context = "fork" if "fork" in get_all_start_methods() else "spawn"
+        self._mp = get_context(mp_context)
+        self.shards: List[_Shard] = []
+        self._restarts: Dict[int, int] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        # One send thread per shard: a sender blocked on one shard's full
+        # pipe must not stall writes to the others.
+        self._send_executor = ThreadPoolExecutor(
+            max_workers=num_shards, thread_name_prefix="repro-shard-send"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def active(self) -> int:
+        """Jobs currently executing inside shard processes."""
+        return sum(
+            1
+            for shard in self.shards
+            for job in shard.assigned.values()
+            if job.started_at is not None
+        )
+
+    def pending_jobs(self) -> int:
+        """Queued plus dispatched-but-unfinished jobs."""
+        return self.queue.depth + sum(len(shard.assigned) for shard in self.shards)
+
+    def live_shards(self) -> int:
+        """Shard processes currently accepting work."""
+        return sum(1 for shard in self.shards if not shard.dead)
+
+    def ready_shards(self) -> int:
+        """Shard processes that completed startup (frontend built)."""
+        return sum(1 for shard in self.shards if shard.ready and not shard.dead)
+
+    def extra_stats(self) -> Dict[str, object]:
+        """Per-shard block merged into the ``stats`` snapshot."""
+        return {
+            "shards": {
+                "count": len(self.shards),
+                "live": self.live_shards(),
+                "ready": self.ready_shards(),
+                "restarts": sum(self._restarts.values()),
+                "per_shard": {
+                    str(shard.index): {
+                        "pid": shard.pid,
+                        "assigned": len(shard.assigned),
+                        "ready": shard.ready,
+                        "dead": shard.dead,
+                        "restarts": self._restarts.get(shard.index, 0),
+                    }
+                    for shard in self.shards
+                },
+            }
+        }
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Fork the shard processes and spawn dispatcher/sender tasks."""
+        if self._tasks or self.shards:
+            raise RuntimeError("shard pool already started")
+        self._loop = asyncio.get_running_loop()
+        for slot in range(self.num_shards):
+            self.shards.append(self._spawn(slot))
+        self._tasks.append(
+            self._loop.create_task(self._dispatcher(), name="repro-shard-dispatcher")
+        )
+
+    def _spawn(self, slot: int) -> _Shard:
+        """Start one shard process plus its sender task and reader thread."""
+        parent_conn, child_conn = self._mp.Pipe()
+        process = self._mp.Process(
+            target=_shard_main,
+            args=(slot, child_conn, self.frontend_factory),
+            name=f"repro-shard-{slot}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        shard = _Shard(index=slot, process=process, conn=parent_conn)
+        loop = self._loop if self._loop is not None else asyncio.get_running_loop()
+        self._tasks.append(
+            loop.create_task(self._sender(shard), name=f"repro-shard-sender-{slot}")
+        )
+        reader = threading.Thread(
+            target=self._reader, args=(shard,), name=f"repro-shard-reader-{slot}", daemon=True
+        )
+        reader.start()
+        return shard
+
+    async def join(self) -> None:
+        """Wait for the dispatcher, the senders and every shard process."""
+        await super().join()
+        if self.shards:
+            await asyncio.gather(*(shard.exited.wait() for shard in self.shards))
+
+    def shutdown_executor(self) -> None:
+        """Force-stop anything still alive (after :meth:`join` or on abort)."""
+        for shard in self.shards:
+            if shard.process.is_alive():
+                shard.process.terminate()
+        for shard in self.shards:
+            if shard.process.is_alive():
+                shard.process.join(timeout=2.0)
+            if shard.process.is_alive():  # pragma: no cover — stuck in kernel
+                shard.process.kill()
+                shard.process.join(timeout=1.0)
+            try:
+                shard.conn.close()
+            except OSError:  # pragma: no cover — already closed by the reader
+                pass
+        self._send_executor.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch path (event-loop thread)
+    # ------------------------------------------------------------------ #
+    def _route(self, job: ServerJob) -> Optional[_Shard]:
+        """The shard a job belongs on: hash slot, healing around dead slots."""
+        slot = shard_for(job.request.problem.canonical_hash(), len(self.shards))
+        shard = self.shards[slot]
+        if not shard.dead:
+            return shard
+        live = [candidate for candidate in self.shards if not candidate.dead]
+        if not live:
+            return None
+        return live[slot % len(live)]
+
+    async def _dispatch(self, job: ServerJob) -> None:
+        """Assign one job to its shard and hand it to the shard's sender."""
+        shard = self._route(job)
+        if shard is None:
+            self._finish(
+                job,
+                SolveResult.from_error(job.request, "ServerError: no live shards available"),
+            )
+            return
+        shard.assigned[job.job_id] = job
+        tracer = get_tracer()
+        message = (
+            "job",
+            job.job_id,
+            encode_shard_request(job.request),
+            bool(tracer.enabled),
+        )
+        await shard.outbox.put((job, message))
+
+    async def _dispatcher(self) -> None:
+        """Pump the central queue into the shard outboxes until drained."""
+        while True:
+            job = await self.queue.get()
+            if job is None:
+                break
+            await self._dispatch(job)
+        # Drain: one stop sentinel per *current* shard, behind its backlog.
+        for shard in self.shards:
+            await shard.outbox.put(None)
+
+    async def _sender(self, shard: _Shard) -> None:
+        """Serialise and write one shard's outbox onto its pipe.
+
+        Pickling and the (potentially blocking) pipe write run on the
+        send executor so a full pipe never stalls the event loop.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await shard.outbox.get()
+            if item is None:
+                if not shard.dead:
+                    try:
+                        await loop.run_in_executor(
+                            self._send_executor, send_message, shard.conn, ("stop",)
+                        )
+                    except (OSError, ValueError):
+                        pass
+                shard.stop_sent = True
+                return
+            job, message = item
+            if shard.dead:
+                self._reassign_or_fail(job, shard)
+                continue
+            try:
+                await loop.run_in_executor(
+                    self._send_executor, send_message, shard.conn, message
+                )
+            except (OSError, ValueError):
+                # Pipe broke under us; if the reader's EOF handling has
+                # already disowned the job, it was dealt with there.
+                if shard.assigned.pop(job.job_id, None) is not None:
+                    self._reassign_or_fail(job, shard)
+
+    # ------------------------------------------------------------------ #
+    # Shard → parent messages (reader threads hop onto the loop)
+    # ------------------------------------------------------------------ #
+    def _reader(self, shard: _Shard) -> None:
+        """Reader-thread body: pump shard messages onto the event loop."""
+        assert self._loop is not None
+        try:
+            while True:
+                message = recv_message(shard.conn)
+                self._loop.call_soon_threadsafe(self._on_message, shard, message)
+        except (EOFError, OSError):
+            pass
+        finally:
+            try:
+                self._loop.call_soon_threadsafe(self._on_shard_exit, shard)
+            except RuntimeError:  # loop already closed mid-shutdown
+                pass
+
+    def _on_message(self, shard: _Shard, message: Tuple[Any, ...]) -> None:
+        """Handle one shard message on the event-loop thread."""
+        kind = message[0]
+        if kind == "ready":
+            shard.ready = True
+        elif kind == "started":
+            job = shard.assigned.get(message[1])
+            if job is not None and job.started_at is None:
+                job.started_at = time.monotonic()
+        elif kind == "update":
+            _, job_id, solver_name, elapsed_ms, cost = message
+            self.broker.publish_improvement(job_id, solver_name, elapsed_ms, cost)
+        elif kind == "result":
+            _, job_id, result_dict, spans = message
+            job = shard.assigned.pop(job_id, None)
+            if spans:
+                get_tracer().adopt(spans)
+            if job is None:
+                return  # already failed over by fault handling
+            if job.started_at is None:
+                job.started_at = time.monotonic()
+            if "winner" in result_dict:
+                result = SolveResult.from_dict(result_dict)
+            else:  # the shard's bare-failure shape (solve crashed early)
+                result = SolveResult.from_error(job.request, result_dict["error"])
+            self.metrics.observe_shard_job(shard.index, failed=not result.ok)
+            self._finish(job, result)
+
+    def _on_shard_exit(self, shard: _Shard) -> None:
+        """Pipe EOF: normal exit after drain, or a mid-job shard death."""
+        if shard.exited.is_set():
+            return
+        shard.dead = True
+        shard.exited.set()
+        try:
+            shard.conn.close()
+        except OSError:  # pragma: no cover — race with the reader thread
+            pass
+        orphans = list(shard.assigned.values())
+        shard.assigned.clear()
+        # Unsent jobs parked in the outbox: disown them here so the sender
+        # (which sees shard.dead) fails them over instead of writing to a
+        # closed pipe.
+        unexpected = bool(orphans) or not shard.stop_sent
+        if unexpected and not self.queue.draining:
+            self._respawn(shard)
+        # Release this slot's sender task: after a respawn (or a death
+        # during drain) the dispatcher's stop sentinel goes to the
+        # *replacement* shard's outbox, so without one here the old
+        # sender would wait forever and stall ``join()``.  Queued items
+        # ahead of the sentinel flow through the sender's dead-shard
+        # fail-over path first.
+        assert self._loop is not None
+        self._tasks.append(self._loop.create_task(shard.outbox.put(None)))
+        for job in orphans:
+            self._reassign_or_fail(job, shard)
+
+    def _respawn(self, shard: _Shard) -> None:
+        """Replace a dead slot with a fresh process (within the budget)."""
+        restarts = self._restarts.get(shard.index, 0)
+        if restarts >= self.max_restarts_per_shard:
+            return
+        self._restarts[shard.index] = restarts + 1
+        self.metrics.observe_shard_restart(shard.index)
+        self.shards[shard.index] = self._spawn(shard.index)
+
+    def _reassign_or_fail(self, job: ServerJob, shard: _Shard) -> None:
+        """Fault policy for a job stranded on a dead shard: retry once."""
+        can_retry = (
+            self.retry_on_shard_death
+            and job.retries < 1
+            and not self.queue.draining
+            and any(not candidate.dead for candidate in self.shards)
+        )
+        if can_retry:
+            job.retries += 1
+            job.started_at = None
+            self.metrics.increment("jobs_retried")
+            assert self._loop is not None
+            self._loop.create_task(self._dispatch(job))
+            return
+        self.metrics.observe_shard_job(shard.index, failed=True)
+        self._finish(
+            job,
+            SolveResult.from_error(
+                job.request,
+                f"ServerError: shard {shard.index} (pid {shard.pid}) "
+                "died while executing this job",
+            ),
+        )

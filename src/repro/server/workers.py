@@ -41,7 +41,7 @@ from repro.server.streaming import StreamBroker
 from repro.service.frontend import ServiceFrontend
 from repro.service.jobs import SolveResult, dedupe_key, echo_result_for_duplicate
 
-__all__ = ["WorkerPool"]
+__all__ = ["BasePool", "WorkerPool"]
 
 
 def _result_payload(job: ServerJob) -> Dict[str, object]:
@@ -54,61 +54,75 @@ def _result_payload(job: ServerJob) -> Dict[str, object]:
     }
 
 
-class WorkerPool:
-    """Asyncio workers that execute queued jobs on executor threads.
+class BasePool:
+    """Shared admission, coalescing and completion bookkeeping.
+
+    The server can execute jobs on two tiers — executor threads
+    (:class:`WorkerPool`) or shard processes
+    (:class:`~repro.server.sharding.ShardPool`) — but admission control,
+    in-flight coalescing, follower echoing and completion accounting are
+    tier-independent: they live here, run only on the event-loop thread,
+    and the tiers plug in their execution machinery around them.
 
     Parameters
     ----------
-    frontend:
-        The service facade jobs are executed through (cache-aware).
     queue:
-        Source of admitted jobs; ``None`` popped from it stops a worker.
+        Source of admitted jobs; ``None`` popped from it signals drain.
     broker:
         Stream broker updates and final results are published through.
     metrics:
         Counter/latency sink.
-    num_workers:
-        Number of concurrent jobs (asyncio tasks *and* executor threads).
     coalesce:
         Fold duplicate in-flight requests onto one execution (default).
     """
 
     def __init__(
         self,
-        frontend: ServiceFrontend,
         queue: JobQueue,
         broker: StreamBroker,
         metrics: ServerMetrics,
-        num_workers: int = 2,
         coalesce: bool = True,
     ) -> None:
-        if num_workers <= 0:
-            raise ValueError(f"num_workers must be positive, got {num_workers}")
-        self.frontend = frontend
         self.queue = queue
         self.broker = broker
         self.metrics = metrics
-        self.num_workers = num_workers
         self.coalesce = coalesce
-        self._executor = ThreadPoolExecutor(
-            max_workers=num_workers, thread_name_prefix="repro-server-worker"
-        )
         self._tasks: List["asyncio.Task[None]"] = []
         self._inflight_by_key: Dict[str, ServerJob] = {}
         self._followers: Dict[str, List[ServerJob]] = {}
-        self._active = 0
 
     # ------------------------------------------------------------------ #
-    # Introspection
+    # Introspection / lifecycle surface shared by the tiers
     # ------------------------------------------------------------------ #
     @property
     def active(self) -> int:
-        """Number of jobs currently executing."""
-        return self._active
+        """Number of jobs currently executing (tier-specific)."""
+        raise NotImplementedError
 
     def pending_jobs(self) -> int:
         """Queued plus executing jobs (drain waits for this to hit zero)."""
-        return self.queue.depth + self._active
+        return self.queue.depth + self.active
+
+    def start(self) -> None:
+        """Spawn the tier's tasks on the running event loop."""
+        raise NotImplementedError
+
+    async def join(self) -> None:
+        """Wait for every pool task to exit (requires ``queue.drain()`` first)."""
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+
+    def cancel_tasks(self) -> None:
+        """Cancel the pool's event-loop tasks (drain timed out / hard stop)."""
+        for task in self._tasks:
+            task.cancel()
+
+    def shutdown_executor(self) -> None:
+        """Tear down tier-specific execution resources (after :meth:`join`)."""
+
+    def extra_stats(self) -> Dict[str, object]:
+        """Tier-specific additions to the ``stats`` snapshot (may be empty)."""
+        return {}
 
     # ------------------------------------------------------------------ #
     # Admission
@@ -160,6 +174,72 @@ class WorkerPool:
         return "queued"
 
     # ------------------------------------------------------------------ #
+    # Completion
+    # ------------------------------------------------------------------ #
+    def _finish(self, job: ServerJob, result: SolveResult) -> None:
+        """Publish a finished job's result to it and all its followers."""
+        job.result = result
+        job.finished_at = time.monotonic()
+        self.metrics.observe_job(
+            queue_wait_ms=job.queue_wait_ms(),
+            run_ms=job.run_time_ms(),
+            failed=not result.ok,
+        )
+        self._inflight_by_key.pop(job.coalesce_key, None)
+        followers = self._followers.pop(job.job_id, [])
+        self.broker.close(job.job_id, _result_payload(job))
+        for follower in followers:
+            follower.result = echo_result_for_duplicate(result, follower.request)
+            # A follower admitted after its representative started never
+            # waited past its own admission; clamp so queue-wait samples
+            # stay non-negative.
+            if follower.started_at is None:
+                follower.started_at = max(job.started_at or follower.enqueued_at,
+                                          follower.enqueued_at)
+            follower.finished_at = time.monotonic()
+            self.metrics.observe_job(queue_wait_ms=follower.queue_wait_ms(), run_ms=0.0,
+                                     failed=not follower.result.ok)
+            self.broker.close(follower.job_id, _result_payload(follower))
+
+
+class WorkerPool(BasePool):
+    """Asyncio workers that execute queued jobs on executor threads.
+
+    Parameters
+    ----------
+    frontend:
+        The service facade jobs are executed through (cache-aware).
+    queue / broker / metrics / coalesce:
+        See :class:`BasePool`.
+    num_workers:
+        Number of concurrent jobs (asyncio tasks *and* executor threads).
+    """
+
+    def __init__(
+        self,
+        frontend: ServiceFrontend,
+        queue: JobQueue,
+        broker: StreamBroker,
+        metrics: ServerMetrics,
+        num_workers: int = 2,
+        coalesce: bool = True,
+    ) -> None:
+        if num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        super().__init__(queue=queue, broker=broker, metrics=metrics, coalesce=coalesce)
+        self.frontend = frontend
+        self.num_workers = num_workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=num_workers, thread_name_prefix="repro-server-worker"
+        )
+        self._active = 0
+
+    @property
+    def active(self) -> int:
+        """Number of jobs currently executing."""
+        return self._active
+
+    # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
     def start(self) -> None:
@@ -171,11 +251,6 @@ class WorkerPool:
                 self._worker(), name=f"repro-server-worker-{index}"
             )
             self._tasks.append(task)
-
-    async def join(self) -> None:
-        """Wait for every worker to exit (requires ``queue.drain()`` first)."""
-        if self._tasks:
-            await asyncio.gather(*self._tasks, return_exceptions=True)
 
     def shutdown_executor(self) -> None:
         """Tear down the thread pool (after :meth:`join`)."""
@@ -222,27 +297,3 @@ class WorkerPool:
             # solver errors; this guards the executor/serialisation path.
             result = SolveResult.from_error(job.request, f"{type(exc).__name__}: {exc}")
         self._finish(job, result)
-
-    def _finish(self, job: ServerJob, result: SolveResult) -> None:
-        """Publish a finished job's result to it and all its followers."""
-        job.result = result
-        job.finished_at = time.monotonic()
-        self.metrics.observe_job(
-            queue_wait_ms=job.queue_wait_ms(),
-            run_ms=job.run_time_ms(),
-            failed=not result.ok,
-        )
-        self._inflight_by_key.pop(job.coalesce_key, None)
-        followers = self._followers.pop(job.job_id, [])
-        self.broker.close(job.job_id, _result_payload(job))
-        for follower in followers:
-            follower.result = echo_result_for_duplicate(result, follower.request)
-            # A follower admitted after its representative started never
-            # waited past its own admission; clamp so queue-wait samples
-            # stay non-negative.
-            if follower.started_at is None:
-                follower.started_at = max(job.started_at, follower.enqueued_at)
-            follower.finished_at = time.monotonic()
-            self.metrics.observe_job(queue_wait_ms=follower.queue_wait_ms(), run_ms=0.0,
-                                     failed=not follower.result.ok)
-            self.broker.close(follower.job_id, _result_payload(follower))

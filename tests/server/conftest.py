@@ -101,6 +101,16 @@ def scripted_registry() -> SolverRegistry:
     return registry
 
 
+def scripted_shard_frontend() -> ServiceFrontend:
+    """Module-level shard frontend factory over the scripted registry.
+
+    Shard processes rebuild their frontend from this factory; keeping it
+    a plain module-level function (not a fixture closure) means it works
+    under the fork start method today and stays picklable for spawn.
+    """
+    return ServiceFrontend(registry=scripted_registry())
+
+
 @pytest.fixture()
 def scripted_frontend() -> ServiceFrontend:
     """A service frontend over the scripted solver registry (no cache)."""
@@ -109,17 +119,26 @@ def scripted_frontend() -> ServiceFrontend:
 
 @pytest.fixture()
 def server_factory(scripted_frontend):
-    """Start servers on background threads; stop them all at teardown."""
+    """Start servers on background threads; stop them all at teardown.
+
+    Sharded configs (``config.shards != 0``) automatically get the
+    scripted shard-frontend factory, and readiness additionally waits
+    for every shard process to report ready.
+    """
     handles = []
 
     def start(config: ServerConfig | None = None, frontend: ServiceFrontend | None = None):
+        config = config if config is not None else ServerConfig()
+        sharded = config.shards != 0
         handle = run_server_in_thread(
-            config if config is not None else ServerConfig(),
+            config,
             frontend if frontend is not None else scripted_frontend,
+            frontend_factory=scripted_shard_frontend if sharded else None,
         )
         handles.append(handle)
         # Same readiness probe CI uses: a served ping, not a sleep.
-        wait_for_server(port=handle.port, timeout_s=10.0)
+        min_shards = config.shards if sharded and config.shards > 0 else None
+        wait_for_server(port=handle.port, timeout_s=15.0, min_shards=min_shards)
         return handle
 
     yield start

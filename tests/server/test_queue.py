@@ -11,6 +11,20 @@ from repro.service.jobs import SolveRequest
 from tests.server.conftest import tiny_problem
 
 
+async def _until_waiting(queue: JobQueue, count: int = 1) -> None:
+    """Yield until ``count`` ``get()`` calls are parked on the queue.
+
+    Condition polling on :attr:`JobQueue.waiting` instead of a fixed
+    sleep: resolves on the first scheduler pass on a fast machine and
+    cannot race a slow one.
+    """
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + 1.0
+    while queue.waiting < count:
+        assert loop.time() < deadline, "get() never started waiting"
+        await asyncio.sleep(0)
+
+
 def _job(job_id: str, client: str = "c1", priority: int = 1) -> ServerJob:
     return ServerJob(
         job_id=job_id,
@@ -137,7 +151,7 @@ class TestAsyncJobQueue:
         async def scenario():
             queue = JobQueue(capacity=4)
             getter = asyncio.create_task(queue.get())
-            await asyncio.sleep(0.02)
+            await _until_waiting(queue)
             assert not getter.done()  # genuinely waiting
             queue.push(_job("late"))
             job = await asyncio.wait_for(getter, timeout=1.0)
@@ -149,7 +163,7 @@ class TestAsyncJobQueue:
         async def scenario():
             queue = JobQueue(capacity=4)
             getter = asyncio.create_task(queue.get())
-            await asyncio.sleep(0.02)
+            await _until_waiting(queue)
             queue.drain()
             return await asyncio.wait_for(getter, timeout=1.0)
 

@@ -12,8 +12,6 @@ scripted solver registry from ``conftest``) and talks to it through
   before the server exits.
 """
 
-import time
-
 import pytest
 
 from repro.exceptions import AdmissionError, ProtocolError, ServerError
@@ -263,7 +261,5 @@ class TestGracefulDrain:
         with SolverClient(port=handle.port) as client:
             client.solve(tiny_problem(), solver="STEP", budget_ms=300.0)
             client.shutdown(drain=True)
-        deadline = time.monotonic() + 10.0
-        while handle.thread.is_alive() and time.monotonic() < deadline:
-            time.sleep(0.02)
+        handle.thread.join(timeout=10.0)
         assert not handle.thread.is_alive()

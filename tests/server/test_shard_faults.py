@@ -1,0 +1,146 @@
+"""Fault-injection tests: SIGKILLed shard processes, mid-job.
+
+The sharded tier's failure contract, each clause pinned by a test here:
+
+* a shard killed **mid-job** fails that job with a clean
+  ``ServerError`` result naming the dead shard (retry disabled), or
+  transparently retries it once on a live shard (retry enabled),
+* the surviving shards keep serving throughout,
+* the dead slot is respawned and counted in metrics,
+* graceful drain still completes after a kill.
+
+These run under the ``stress`` marker (deselected by default, CI runs
+them as a dedicated ``pytest -m stress`` lane): they kill real OS
+processes and depend on respawn timing, so they are kept out of the
+fast default lane.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.server.app import ServerConfig
+from repro.server.client import SolverClient
+
+from tests.server.conftest import tiny_problem
+
+pytestmark = pytest.mark.stress
+
+#: Generous ceiling for condition polls (kill detection, respawn).
+_WAIT_S = 15.0
+
+
+def wait_until(predicate, timeout_s: float = _WAIT_S, interval_s: float = 0.05):
+    """Poll ``predicate`` until truthy; fail the test on timeout."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval_s)
+    raise AssertionError(f"condition not reached within {timeout_s}s: {predicate}")
+
+
+def executing_shard(client: SolverClient):
+    """The ``(index, state)`` of the shard currently running a job."""
+    per_shard = client.stats()["shards"]["per_shard"]
+    busy = [(index, state) for index, state in per_shard.items() if state["assigned"] > 0]
+    return busy[0] if len(busy) == 1 else None
+
+
+def submit_sleepy_and_kill_its_shard(client: SolverClient) -> tuple:
+    """Submit a long job, SIGKILL the shard executing it.
+
+    Returns ``(job_id, killed_index, killed_pid)``.  SLEEPY holds the
+    shard for 400 ms — plenty to observe it via ``stats`` and deliver
+    the signal while the job is genuinely in flight.
+    """
+    job_id = client.submit(tiny_problem(), solver="SLEEPY", budget_ms=5000.0)
+    index, state = wait_until(lambda: executing_shard(client))
+    os.kill(state["pid"], signal.SIGKILL)
+    return job_id, index, state["pid"]
+
+
+class TestShardKilledMidJob:
+    def test_fails_with_clean_server_error_when_retry_disabled(self, server_factory):
+        handle = server_factory(ServerConfig(workers=2, shards=2, shard_retry=False))
+        with SolverClient(port=handle.port) as client:
+            job_id, index, pid = submit_sleepy_and_kill_its_shard(client)
+            result = client.wait(job_id)
+            # A clean failure result — not a hung client, not a torn
+            # connection — naming exactly which shard died under the job.
+            assert not result.ok
+            assert "ServerError" in result.error
+            assert f"shard {index}" in result.error
+            assert str(pid) in result.error
+            # The remaining shard keeps serving.
+            survivor = client.solve(tiny_problem("after"), solver="STEP", budget_ms=500.0)
+            assert survivor.ok
+
+    def test_retried_once_on_a_live_shard_when_enabled(self, server_factory):
+        handle = server_factory(ServerConfig(workers=2, shards=2, shard_retry=True))
+        with SolverClient(port=handle.port) as client:
+            job_id, index, pid = submit_sleepy_and_kill_its_shard(client)
+            result = client.wait(job_id)
+            # The client never sees the fault: the job re-ran elsewhere.
+            assert result.ok
+            assert result.winner == "SLEEPY"
+            stats = client.stats()
+            assert stats["counters"].get("jobs_retried", 0) >= 1
+            assert stats["shards"]["restarts"] >= 1
+
+    def test_dead_slot_is_respawned_with_a_new_pid(self, server_factory):
+        handle = server_factory(ServerConfig(workers=2, shards=2, shard_retry=True))
+        with SolverClient(port=handle.port) as client:
+            job_id, index, pid = submit_sleepy_and_kill_its_shard(client)
+            client.wait(job_id)
+
+            def respawned():
+                state = client.stats()["shards"]["per_shard"][index]
+                return state if state["ready"] and state["pid"] != pid else None
+
+            state = wait_until(respawned)
+            assert state["dead"] is False
+            assert state["restarts"] == 1
+            # Both shards answer work again; the restart shows up in the
+            # Prometheus exposition with the shard label.
+            for seed in range(8):
+                spec = {"queries": 4, "plans": 2, "seed": seed}
+                assert client.solve(spec, solver="STEP", budget_ms=500.0).ok
+            text = client.metrics_text()
+            assert f'repro_server_shard_restarts_total{{shard="{index}"}} 1' in text
+
+
+class TestIdleKill:
+    def test_idle_shard_kill_heals_without_failing_anything(self, server_factory):
+        handle = server_factory(ServerConfig(workers=2, shards=2))
+        with SolverClient(port=handle.port) as client:
+            pid = client.stats()["shards"]["per_shard"]["0"]["pid"]
+            os.kill(pid, signal.SIGKILL)
+            wait_until(
+                lambda: (
+                    client.stats()["shards"]["ready"] == 2
+                    and client.stats()["shards"]["restarts"] >= 1
+                )
+            )
+            for seed in range(4):
+                spec = {"queries": 4, "plans": 2, "seed": seed}
+                assert client.solve(spec, solver="STEP", budget_ms=500.0).ok
+            assert client.stats()["counters"].get("jobs_failed", 0) == 0
+
+
+class TestDrainAfterFault:
+    def test_graceful_drain_completes_after_a_kill(self, server_factory):
+        handle = server_factory(ServerConfig(workers=2, shards=2, shard_retry=True))
+        with SolverClient(port=handle.port) as client:
+            job_id, index, pid = submit_sleepy_and_kill_its_shard(client)
+            ack = client.shutdown(drain=True)
+            assert ack["type"] == "draining"
+            # The in-flight job resolves (retried or cleanly failed —
+            # draining servers do not retry) and the process tree exits.
+            result = client.wait(job_id)
+            assert result.ok or "ServerError" in (result.error or "")
+        handle.thread.join(timeout=20.0)
+        assert not handle.thread.is_alive()

@@ -256,7 +256,10 @@ class TestLateFollowerAccounting:
             broker.open(rep.job_id)
             pool.admit(rep)
             pool.start()
-            await asyncio.sleep(0.05)  # the representative is now running
+            deadline = time.monotonic() + 5.0
+            while not frontend.calls and time.monotonic() < deadline:
+                await asyncio.sleep(0.005)
+            assert frontend.calls  # the representative is now running
             twin = _job("twin", seed=7)
             broker.open(twin.job_id)
             assert pool.admit(twin) == "coalesced"
