@@ -638,7 +638,9 @@ def _build_shard_frontend(
     Each shard owns a private frontend and result cache, so hash-routed
     jobs always land on the shard whose cache already holds their
     problem.  A ``--cache-file`` is loaded once at shard boot as a warm
-    start; only the parent process checkpoints it back to disk.
+    start; fresh shard results are mirrored back into the parent's
+    cache (see :class:`~repro.server.sharding.ShardPool`), and only the
+    parent process checkpoints that cache back to disk.
     """
     cache = ResultCache(path=cache_file, ttl_seconds=cache_ttl_s) if cache_file else None
     return ServiceFrontend(cache=cache, portfolio_solvers=solvers)

@@ -177,11 +177,14 @@ class SolverServer:
     frontend_factory:
         Zero-argument frontend builder for the sharded tier
         (``config.shards != 0``): invoked once inside every shard
-        process, so each shard owns private caches.  When omitted, a
-        provided ``frontend`` instance is reused per shard (works under
-        the ``fork`` start method), else the default frontend is built
-        per shard.  The parent keeps its own instance for ``hello`` /
-        ``stats`` introspection.
+        process, so each shard owns private caches.  Must be picklable
+        (module-level function or :func:`functools.partial`) — shard
+        processes start via ``forkserver``/``spawn``.  When omitted,
+        every shard builds a *default* :class:`ServiceFrontend`; a
+        custom registry or cache line-up needs an explicit factory.
+        The parent keeps its own instance for ``hello`` / ``stats``
+        introspection and (sharded tier) as the accumulating result
+        cache that gets checkpointed to disk.
     """
 
     def __init__(
@@ -208,11 +211,11 @@ class SolverServer:
             from repro.server.sharding import ShardPool
 
             if frontend_factory is None:
-                if frontend is not None:
-                    shard_frontend = frontend  # reused per shard (fork)
-                    frontend_factory = lambda: shard_frontend  # noqa: E731
-                else:
-                    frontend_factory = ServiceFrontend
+                # A frontend *instance* cannot cross the forkserver/spawn
+                # process boundary (registries and executors rarely
+                # pickle); shards fall back to default frontends.  Pass a
+                # picklable factory to give shards a custom line-up.
+                frontend_factory = ServiceFrontend
             self.pool: Any = ShardPool(
                 frontend_factory=frontend_factory,
                 queue=self.queue,
@@ -221,6 +224,7 @@ class SolverServer:
                 num_shards=self.config.shards,
                 coalesce=self.config.coalesce,
                 retry_on_shard_death=self.config.shard_retry,
+                result_cache=self.frontend.cache,
             )
         else:
             self.pool = WorkerPool(

@@ -32,7 +32,17 @@ Design points:
   retried once on a live shard (when ``retry_on_shard_death``) or
   failed with a clean error result; the dead slot is respawned (up to
   ``max_restarts_per_shard`` times) and routing heals around it in the
-  meantime.
+  meantime.  Fail-over is **single-owner**: a job is failed over by
+  whichever path pops it from the shard's ``assigned`` map first
+  (:meth:`ShardPool._on_shard_exit` on pipe EOF, or the sender on a
+  send error), so one job is never retried twice or finished twice.
+* **Dispatch.** The dispatcher never blocks on one shard: a job whose
+  shard's bounded outbox is full is parked in that shard's unbounded
+  overflow deque instead, so a saturated shard cannot head-of-line
+  block dispatch to idle shards.  The global bound that the outbox
+  capacity used to provide moves to admission:
+  :meth:`ShardPool.admit` rejects new jobs once queued plus dispatched
+  jobs exceed the queue capacity plus a per-shard in-flight allowance.
 * **Drain.** ``queue.drain()`` stops admission; the dispatcher forwards
   the backlog, every shard receives a ``stop`` sentinel *behind* its
   queued jobs (pipes are FIFO), finishes them, and exits; ``join()``
@@ -52,18 +62,21 @@ import pickle
 import struct
 import threading
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from multiprocessing import get_all_start_methods, get_context
 from multiprocessing.connection import Connection
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.baselines.anytime import observe_improvements
+from repro.exceptions import AdmissionError
 from repro.mqo.arrays import problem_from_arrays
 from repro.obs.trace import configure_tracer, get_tracer
 from repro.server.metrics import ServerMetrics
 from repro.server.queue import JobQueue, ServerJob
 from repro.server.streaming import StreamBroker
 from repro.server.workers import BasePool
+from repro.service.cache import ResultCache
 from repro.service.frontend import ServiceFrontend
 from repro.service.jobs import SolveRequest, SolveResult
 
@@ -80,15 +93,34 @@ __all__ = [
 #: Hex digits of the canonical hash used for routing (64 bits is plenty).
 _ROUTE_PREFIX = 16
 
-#: Per-shard bound on dispatched-but-unsent jobs.  Small on purpose: the
-#: central queue is where backpressure is accounted, so jobs should pile
-#: up there (where admission control can see them), not in outboxes.
+#: Per-shard bound on dispatched-but-unsent jobs.  Small on purpose:
+#: beyond it the dispatcher parks jobs in the shard's overflow deque,
+#: and the per-shard in-flight allowance :meth:`ShardPool.admit` grants
+#: on top of the queue capacity is sized from it.
 _OUTBOX_CAPACITY = 4
 
 
 def default_shard_count() -> int:
     """The shard count ``shards=-1`` resolves to: one per CPU core."""
     return max(os.cpu_count() or 1, 1)
+
+
+def _default_mp_context() -> str:
+    """The start method used when none is requested.
+
+    ``forkserver`` where available (Unix): shard processes fork from a
+    clean, single-threaded server process, so spawning (and *re*-spawning
+    after a fault) is safe even though the parent runs reader threads,
+    the send executor and — under :func:`~repro.server.app.run_server_in_thread`
+    — the whole event loop off the main thread.  A bare ``fork`` in that
+    parent could deadlock the child on locks held mid-fork (and is
+    deprecated with threads from Python 3.12).  ``spawn`` is the
+    fallback where ``forkserver`` does not exist.
+    """
+    methods = get_all_start_methods()
+    if "forkserver" in methods:
+        return "forkserver"
+    return "spawn" if "spawn" in methods else "fork"
 
 
 def shard_for(canonical_hash: str, num_shards: int) -> int:
@@ -261,12 +293,18 @@ class _Shard:
         self.ready = False
         self.dead = False
         self.stop_sent = False
-        #: Jobs dispatched to this shard and not yet finished.
+        #: Jobs dispatched to this shard and not yet finished.  This map
+        #: is also the fail-over ownership record: whichever path pops a
+        #: job from it owns (and is alone responsible for) its fail-over.
         self.assigned: Dict[str, ServerJob] = {}
         #: Dispatcher → sender queue; ``None`` is the stop sentinel.
         self.outbox: "asyncio.Queue[Optional[Tuple[ServerJob, Tuple[Any, ...]]]]" = (
             asyncio.Queue(maxsize=_OUTBOX_CAPACITY)
         )
+        #: Items parked when the outbox is full, drained by the sender
+        #: after the outbox — one logical FIFO, so dispatch to other
+        #: shards never blocks on this shard's backlog.
+        self.overflow: Deque[Optional[Tuple[ServerJob, Tuple[Any, ...]]]] = deque()
         self.exited = asyncio.Event()
 
     @property
@@ -287,8 +325,10 @@ class ShardPool(BasePool):
     frontend_factory:
         Zero-argument callable building a shard's private
         :class:`ServiceFrontend`, invoked *inside* each child process.
-        Under the default ``fork`` start method any callable works;
-        under ``spawn`` it must be picklable (module-level).
+        Must be picklable (a module-level function or
+        :func:`functools.partial` over one) under the default
+        ``forkserver``/``spawn`` start methods; only an explicit
+        ``mp_context="fork"`` admits closures.
     queue / broker / metrics / coalesce:
         See :class:`BasePool`.
     num_shards:
@@ -297,11 +337,18 @@ class ShardPool(BasePool):
         Retry a dead shard's in-flight jobs once on a live shard before
         failing them (default); ``False`` fails them immediately.
     mp_context:
-        Multiprocessing start method; default ``fork`` where available
-        (required for closure factories), else ``spawn``.
+        Multiprocessing start method; defaults to ``forkserver`` where
+        available, else ``spawn`` (see :func:`_default_mp_context` for
+        why ``fork`` is unsafe in this multi-threaded parent).
     max_restarts_per_shard:
         Respawn budget per slot; beyond it the slot stays dead and
         routing permanently heals around it.
+    result_cache:
+        Optional parent-side :class:`~repro.service.cache.ResultCache`
+        that every fresh shard result is mirrored into.  Shard caches
+        are process-private, so without this the parent's cache (the
+        one ``--cache-file`` checkpoints to disk) would never see what
+        the shards solved.
     """
 
     def __init__(
@@ -315,6 +362,7 @@ class ShardPool(BasePool):
         retry_on_shard_death: bool = True,
         mp_context: Optional[str] = None,
         max_restarts_per_shard: int = 5,
+        result_cache: Optional[ResultCache] = None,
     ) -> None:
         super().__init__(queue=queue, broker=broker, metrics=metrics, coalesce=coalesce)
         if num_shards == -1:
@@ -325,9 +373,16 @@ class ShardPool(BasePool):
         self.num_shards = num_shards
         self.retry_on_shard_death = retry_on_shard_death
         self.max_restarts_per_shard = max_restarts_per_shard
+        self._result_cache = result_cache
         if mp_context is None:
-            mp_context = "fork" if "fork" in get_all_start_methods() else "spawn"
+            mp_context = _default_mp_context()
         self._mp = get_context(mp_context)
+        if mp_context == "forkserver":
+            # Warm the forkserver with this module (pulls in numpy and
+            # the solver stack), so every shard spawn — and every
+            # respawn after a fault — forks from a preloaded process
+            # instead of re-importing from scratch.
+            self._mp.set_forkserver_preload(["repro.server.sharding"])
         self.shards: List[_Shard] = []
         self._restarts: Dict[int, int] = {}
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -384,10 +439,37 @@ class ShardPool(BasePool):
         }
 
     # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+    def admit(self, job: ServerJob) -> str:
+        """Admit with the dispatched backlog counted against capacity.
+
+        Dispatch never blocks (full outboxes park into overflow), so
+        jobs leave the central queue — where ``queue.push`` enforces the
+        capacity — the moment the dispatcher runs.  Counting dispatched
+        but unfinished jobs here restores the global bound: the server
+        holds at most ``capacity`` jobs beyond a per-shard in-flight
+        allowance, and everything past that is told to retry.
+        Coalescable duplicates are exempt — they fold onto an in-flight
+        representative instead of adding backlog.
+        """
+        dispatched = sum(len(shard.assigned) for shard in self.shards)
+        allowance = len(self.shards) * (_OUTBOX_CAPACITY + 1)
+        if self.queue.depth + dispatched >= self.queue.capacity + allowance and not (
+            self.coalesce and self.coalesce_key(job) in self._inflight_by_key
+        ):
+            raise AdmissionError(
+                f"server backlog is full ({self.queue.depth} queued + "
+                f"{dispatched} dispatched jobs); retry later",
+                code="queue_full",
+            )
+        return super().admit(job)
+
+    # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
     def start(self) -> None:
-        """Fork the shard processes and spawn dispatcher/sender tasks."""
+        """Start the shard processes and spawn dispatcher/sender tasks."""
         if self._tasks or self.shards:
             raise RuntimeError("shard pool already started")
         self._loop = asyncio.get_running_loop()
@@ -456,8 +538,34 @@ class ShardPool(BasePool):
             return None
         return live[slot % len(live)]
 
-    async def _dispatch(self, job: ServerJob) -> None:
-        """Assign one job to its shard and hand it to the shard's sender."""
+    def _outbox_put(
+        self, shard: _Shard, item: Optional[Tuple[ServerJob, Tuple[Any, ...]]]
+    ) -> None:
+        """Hand one item (or the ``None`` sentinel) to a shard's sender.
+
+        Never blocks: once the bounded outbox is full — or the overflow
+        already holds items, which must stay behind them — the item
+        parks in the overflow deque instead.  The sender consumes the
+        outbox first and the overflow second, so the two form one FIFO
+        and a saturated shard cannot stall the dispatcher (and with it
+        every other shard's dispatch).
+        """
+        if shard.overflow:
+            shard.overflow.append(item)
+            return
+        try:
+            shard.outbox.put_nowait(item)
+        except asyncio.QueueFull:
+            shard.overflow.append(item)
+
+    def _dispatch(self, job: ServerJob) -> None:
+        """Assign one job to its shard and hand it to the shard's sender.
+
+        Synchronous on purpose: admission, routing, the ``assigned``
+        bookkeeping and the outbox hand-off all happen in one event-loop
+        slice, so no drain sentinel or fault handling can interleave
+        between them.
+        """
         shard = self._route(job)
         if shard is None:
             self._finish(
@@ -473,7 +581,7 @@ class ShardPool(BasePool):
             encode_shard_request(job.request),
             bool(tracer.enabled),
         )
-        await shard.outbox.put((job, message))
+        self._outbox_put(shard, (job, message))
 
     async def _dispatcher(self) -> None:
         """Pump the central queue into the shard outboxes until drained."""
@@ -481,20 +589,28 @@ class ShardPool(BasePool):
             job = await self.queue.get()
             if job is None:
                 break
-            await self._dispatch(job)
+            self._dispatch(job)
         # Drain: one stop sentinel per *current* shard, behind its backlog.
         for shard in self.shards:
-            await shard.outbox.put(None)
+            self._outbox_put(shard, None)
 
     async def _sender(self, shard: _Shard) -> None:
         """Serialise and write one shard's outbox onto its pipe.
 
         Pickling and the (potentially blocking) pipe write run on the
-        send executor so a full pipe never stalls the event loop.
+        send executor so a full pipe never stalls the event loop.  The
+        bounded outbox is drained before the overflow deque — overflow
+        items are always the younger ones — so send order matches
+        dispatch order.
         """
         loop = asyncio.get_running_loop()
         while True:
-            item = await shard.outbox.get()
+            if not shard.outbox.empty():
+                item = shard.outbox.get_nowait()
+            elif shard.overflow:
+                item = shard.overflow.popleft()
+            else:
+                item = await shard.outbox.get()
             if item is None:
                 if not shard.dead:
                     try:
@@ -507,7 +623,14 @@ class ShardPool(BasePool):
                 return
             job, message = item
             if shard.dead:
-                self._reassign_or_fail(job, shard)
+                # Single-owner fail-over: on pipe EOF, _on_shard_exit
+                # pops *every* assigned job — including ones still
+                # parked here — and fails them over itself.  Only a job
+                # this sender still owns (not reassigned yet) may be
+                # failed over here; a disowned one is simply dropped,
+                # never retried or finished a second time.
+                if shard.assigned.pop(job.job_id, None) is not None:
+                    self._reassign_or_fail(job, shard)
                 continue
             try:
                 await loop.run_in_executor(
@@ -562,6 +685,16 @@ class ShardPool(BasePool):
                 result = SolveResult.from_dict(result_dict)
             else:  # the shard's bare-failure shape (solve crashed early)
                 result = SolveResult.from_error(job.request, result_dict["error"])
+            if (
+                self._result_cache is not None
+                and result.ok
+                and not result.from_cache
+                and result.cache_key
+            ):
+                # Shard caches are process-private; mirroring every fresh
+                # result here keeps the parent's cache — the one that is
+                # checkpointed to --cache-file — accumulating entries.
+                self._result_cache.put(result.cache_key, result.to_dict())
             self.metrics.observe_shard_job(shard.index, failed=not result.ok)
             self._finish(job, result)
 
@@ -575,22 +708,22 @@ class ShardPool(BasePool):
             shard.conn.close()
         except OSError:  # pragma: no cover — race with the reader thread
             pass
+        # Take single ownership of every unfinished job — executing,
+        # in the pipe, or still parked in the outbox/overflow — by
+        # popping them all from ``assigned``.  The sender drops any
+        # parked item it later pulls for a job it no longer owns, so
+        # nothing is retried twice or failed while its retry runs.
         orphans = list(shard.assigned.values())
         shard.assigned.clear()
-        # Unsent jobs parked in the outbox: disown them here so the sender
-        # (which sees shard.dead) fails them over instead of writing to a
-        # closed pipe.
         unexpected = bool(orphans) or not shard.stop_sent
         if unexpected and not self.queue.draining:
             self._respawn(shard)
         # Release this slot's sender task: after a respawn (or a death
         # during drain) the dispatcher's stop sentinel goes to the
         # *replacement* shard's outbox, so without one here the old
-        # sender would wait forever and stall ``join()``.  Queued items
-        # ahead of the sentinel flow through the sender's dead-shard
-        # fail-over path first.
-        assert self._loop is not None
-        self._tasks.append(self._loop.create_task(shard.outbox.put(None)))
+        # sender would wait forever and stall ``join()``.  Parked items
+        # ahead of the sentinel are disowned and dropped by the sender.
+        self._outbox_put(shard, None)
         for job in orphans:
             self._reassign_or_fail(job, shard)
 
@@ -604,7 +737,14 @@ class ShardPool(BasePool):
         self.shards[shard.index] = self._spawn(shard.index)
 
     def _reassign_or_fail(self, job: ServerJob, shard: _Shard) -> None:
-        """Fault policy for a job stranded on a dead shard: retry once."""
+        """Fault policy for a job stranded on a dead shard: retry once.
+
+        The re-dispatch is synchronous: the draining check and the
+        outbox hand-off happen in the same event-loop slice, so a drain
+        beginning concurrently cannot slip its stop sentinel in front of
+        the retried job (which would strand it behind the sentinel and
+        hang its client until the drain timeout).
+        """
         can_retry = (
             self.retry_on_shard_death
             and job.retries < 1
@@ -615,8 +755,7 @@ class ShardPool(BasePool):
             job.retries += 1
             job.started_at = None
             self.metrics.increment("jobs_retried")
-            assert self._loop is not None
-            self._loop.create_task(self._dispatch(job))
+            self._dispatch(job)
             return
         self.metrics.observe_shard_job(shard.index, failed=True)
         self._finish(

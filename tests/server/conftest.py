@@ -104,9 +104,9 @@ def scripted_registry() -> SolverRegistry:
 def scripted_shard_frontend() -> ServiceFrontend:
     """Module-level shard frontend factory over the scripted registry.
 
-    Shard processes rebuild their frontend from this factory; keeping it
-    a plain module-level function (not a fixture closure) means it works
-    under the fork start method today and stays picklable for spawn.
+    Shard processes rebuild their frontend from this factory; it must be
+    a plain module-level function (not a fixture closure) to stay
+    picklable under the forkserver/spawn start methods shards boot with.
     """
     return ServiceFrontend(registry=scripted_registry())
 

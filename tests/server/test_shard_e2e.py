@@ -12,8 +12,10 @@ import pytest
 
 from repro.server.app import ServerConfig
 from repro.server.client import SolverClient
+from repro.service.cache import ResultCache
+from repro.service.frontend import ServiceFrontend
 
-from tests.server.conftest import tiny_problem
+from tests.server.conftest import scripted_registry, tiny_problem
 
 
 @pytest.fixture()
@@ -105,6 +107,25 @@ class TestShardedCoalescing:
         # and its twin was answered from the parent without a dispatch.
         per_shard = stats["shards"]["per_shard"]
         assert sum(state["assigned"] for state in per_shard.values()) == 0
+
+
+class TestShardedCaching:
+    def test_parent_cache_accumulates_shard_results(self, server_factory):
+        """Fresh shard results are mirrored into the parent's cache.
+
+        Shard caches are process-private; the parent's cache is the one
+        ``--cache-file`` checkpoints to disk, so without the mirror a
+        sharded server would persist an eternally-empty cache.
+        """
+        frontend = ServiceFrontend(registry=scripted_registry(), cache=ResultCache())
+        handle = server_factory(ServerConfig(workers=2, shards=2), frontend=frontend)
+        with SolverClient(port=handle.port) as client:
+            result = client.solve(tiny_problem(), solver="STEP", budget_ms=500.0)
+        assert result.ok and not result.from_cache
+        assert len(frontend.cache) == 1
+        mirrored = frontend.cache.get(result.cache_key)
+        assert mirrored is not None
+        assert mirrored["best_cost"] == pytest.approx(result.best_cost)
 
 
 class TestShardedDrain:

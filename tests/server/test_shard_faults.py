@@ -113,6 +113,43 @@ class TestShardKilledMidJob:
             assert f'repro_server_shard_restarts_total{{shard="{index}"}} 1' in text
 
 
+class TestShardKilledWithBacklog:
+    def test_every_in_flight_job_retried_exactly_once(self, server_factory):
+        """Killing a shard with a *backlog* retries each job once.
+
+        Three SLEEPY jobs on the same instance with distinct seeds all
+        route to one shard (routing ignores the seed) without coalescing
+        (the dedupe key includes it); the shard executes one at a time,
+        so the kill catches one job mid-execution and two parked behind
+        it.  Single-owner fail-over must hand every one of them over —
+        exactly once each: no job may be spuriously failed because two
+        code paths both tried to rescue it.
+        """
+        handle = server_factory(ServerConfig(workers=2, shards=2, shard_retry=True))
+        with SolverClient(port=handle.port) as client:
+            job_ids = [
+                client.submit(tiny_problem(), solver="SLEEPY", budget_ms=5000.0, seed=seed)
+                for seed in range(3)
+            ]
+
+            def shard_with_full_backlog():
+                per_shard = client.stats()["shards"]["per_shard"]
+                busy = [(i, s) for i, s in per_shard.items() if s["assigned"] == 3]
+                return busy[0] if busy else None
+
+            index, state = wait_until(shard_with_full_backlog)
+            os.kill(state["pid"], signal.SIGKILL)
+
+            results = [client.wait(job_id) for job_id in job_ids]
+            assert all(result.ok for result in results)
+            assert all(result.winner == "SLEEPY" for result in results)
+            stats = client.stats()
+            assert stats["counters"].get("jobs_retried", 0) == 3
+            assert stats["counters"].get("jobs_failed", 0) == 0
+            assert stats["counters"]["jobs_finished"] == 3
+            assert stats["shards"]["restarts"] >= 1
+
+
 class TestIdleKill:
     def test_idle_shard_kill_heals_without_failing_anything(self, server_factory):
         handle = server_factory(ServerConfig(workers=2, shards=2))
