@@ -75,27 +75,43 @@ STAGE_SPAN_NAMES = {
 
 def stage_breakdown_from_spans(
     spans: List[Span], queue_wait: Optional[Dict[str, Any]] = None
-) -> Dict[str, Dict[str, float]]:
+) -> Dict[str, Any]:
     """Aggregate finished spans into the per-stage latency breakdown.
 
     Every stage in :data:`STAGE_SPAN_NAMES` plus ``queue_wait`` is
     always present with ``count``/``total_ms``/``mean_ms``; ``queue_wait``
     comes from the server's metrics snapshot in server mode and stays
     zero in service mode (there is no queue in-process).
+
+    Spans adopted from shard processes carry a ``shard`` attribute
+    (tagged by the parent as results arrive); when any are present a
+    ``per_shard`` block repeats the stage aggregation per shard, so a
+    sharded server-mode run shows which shard the time was burned on.
     """
     by_name: Dict[str, List[float]] = {}
+    by_shard: Dict[str, Dict[str, List[float]]] = {}
     for span in spans:
-        if span.duration_ms is not None:
-            by_name.setdefault(span.name, []).append(span.duration_ms)
-    breakdown: Dict[str, Dict[str, float]] = {}
-    for stage, span_name in STAGE_SPAN_NAMES.items():
-        durations = by_name.get(span_name, [])
-        total = float(sum(durations))
-        breakdown[stage] = {
-            "count": len(durations),
-            "total_ms": round(total, 3),
-            "mean_ms": round(total / len(durations), 3) if durations else 0.0,
-        }
+        if span.duration_ms is None:
+            continue
+        by_name.setdefault(span.name, []).append(span.duration_ms)
+        shard = span.attributes.get("shard")
+        if shard is not None:
+            shard_names = by_shard.setdefault(str(shard), {})
+            shard_names.setdefault(span.name, []).append(span.duration_ms)
+
+    def aggregate(groups: Dict[str, List[float]]) -> Dict[str, Dict[str, float]]:
+        block: Dict[str, Dict[str, float]] = {}
+        for stage, span_name in STAGE_SPAN_NAMES.items():
+            durations = groups.get(span_name, [])
+            total = float(sum(durations))
+            block[stage] = {
+                "count": len(durations),
+                "total_ms": round(total, 3),
+                "mean_ms": round(total / len(durations), 3) if durations else 0.0,
+            }
+        return block
+
+    breakdown: Dict[str, Any] = aggregate(by_name)
     wait_count = int(queue_wait.get("count", 0)) if queue_wait else 0
     wait_mean = float(queue_wait.get("mean_ms", 0.0)) if queue_wait else 0.0
     breakdown["queue_wait"] = {
@@ -103,6 +119,11 @@ def stage_breakdown_from_spans(
         "total_ms": round(wait_count * wait_mean, 3),
         "mean_ms": round(wait_mean, 3),
     }
+    if by_shard:
+        breakdown["per_shard"] = {
+            shard: aggregate(groups)
+            for shard, groups in sorted(by_shard.items(), key=lambda item: item[0])
+        }
     return breakdown
 
 

@@ -1,6 +1,6 @@
 """Command-line interface: ``repro-mqo``.
 
-Eight subcommands cover the common workflows:
+Nine subcommands cover the common workflows:
 
 * ``solve``    — generate (or load) an instance and solve it on the
   simulated annealer plus selected classical baselines (``--json`` for
@@ -15,11 +15,16 @@ Eight subcommands cover the common workflows:
   (see ``docs/benchmarks.md`` and ``docs/workloads.md``),
 * ``metrics``  — fetch the Prometheus exposition text from a running
   server (see ``docs/observability.md``),
+* ``top``      — live per-shard view of a running server (throughput,
+  latency percentiles, queue depths, restarts), refreshing in place on
+  a terminal and degrading to a one-shot dump when piped,
 * ``capacity`` — print the Figure 7 capacity frontier for a qubit budget,
 * ``info``     — print the device model and profile configuration.
 
-``solve``, ``batch`` and ``bench`` accept ``--trace PATH`` to record
-pipeline spans and write them as NDJSON (one span per line).
+``solve``, ``batch``, ``bench`` and ``serve`` accept ``--trace PATH`` to
+record pipeline spans and write them as NDJSON (one span per line);
+``serve`` writes its buffer — including spans adopted from shard
+processes — when the server stops.
 """
 
 from __future__ import annotations
@@ -28,7 +33,9 @@ import argparse
 import asyncio
 import functools
 import json
+import re
 import sys
+import time
 from collections import OrderedDict, deque
 from typing import Iterator, Optional, Sequence, Tuple
 
@@ -177,6 +184,12 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--shard-heartbeat-s",
+        type=float,
+        default=1.0,
+        help="shard metrics/health heartbeat period in seconds",
+    )
+    serve.add_argument(
         "--queue-capacity", type=int, default=128, help="admission-control queue bound"
     )
     serve.add_argument(
@@ -209,6 +222,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="expire cached results older than this many seconds",
+    )
+    serve.add_argument(
+        "--trace",
+        type=str,
+        metavar="PATH",
+        default=None,
+        help=(
+            "record pipeline spans (including spans adopted from shard "
+            "processes) and write them as NDJSON here on shutdown"
+        ),
     )
 
     submit = subparsers.add_parser(
@@ -358,6 +381,32 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--port", type=int, default=7337, help="server port")
     metrics.add_argument(
         "--timeout-s", type=float, default=10.0, help="socket timeout for the reply"
+    )
+
+    top = subparsers.add_parser(
+        "top",
+        help="live per-shard view of a running server",
+        description=(
+            "Poll a running repro-mqo server's stats, health and metrics "
+            "ops and render a per-shard table (throughput, latency "
+            "percentiles, queue depths, restarts). On a terminal the view "
+            "refreshes in place until interrupted; when stdout is piped it "
+            "degrades to a single snapshot."
+        ),
+    )
+    top.add_argument("--host", type=str, default="127.0.0.1", help="server address")
+    top.add_argument("--port", type=int, default=7337, help="server port")
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between refreshes"
+    )
+    top.add_argument(
+        "--count",
+        type=int,
+        default=0,
+        help="stop after this many refreshes (0 = until interrupted)",
+    )
+    top.add_argument(
+        "--timeout-s", type=float, default=10.0, help="socket timeout per poll"
     )
 
     capacity = subparsers.add_parser(
@@ -647,7 +696,19 @@ def _build_shard_frontend(
 
 
 def _run_serve(args: argparse.Namespace) -> int:
-    """Run the solver server until SIGINT/SIGTERM or a client shutdown."""
+    """Run the solver server until SIGINT/SIGTERM or a client shutdown.
+
+    With ``--trace`` the process tracer is enabled for the server's
+    lifetime; shard processes see the enablement through the per-job
+    ``collect_spans`` flag, so their spans are adopted into this buffer
+    and written alongside the parent's own on shutdown.
+    """
+    with _TraceRecorder(args.trace):
+        return _run_serve_traced(args)
+
+
+def _run_serve_traced(args: argparse.Namespace) -> int:
+    """The ``serve`` body, run inside the optional trace recorder."""
     cache = (
         ResultCache(path=args.cache_file, ttl_seconds=args.cache_ttl_s)
         if args.cache_file
@@ -662,6 +723,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         max_jobs_per_client=args.max_jobs_per_client,
         max_budget_ms=args.budget_cap_ms,
         shards=args.shards,
+        shard_heartbeat_s=args.shard_heartbeat_s,
     )
     # functools.partial over a module-level function keeps the factory
     # picklable, so shards can boot under the spawn start method too.
@@ -949,6 +1011,142 @@ def _run_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+#: One ``repro_server_shard_*`` sample in the Prometheus exposition.
+#: Group 1 is the short series name with any ``_total`` suffix stripped
+#: (``jobs``, ``failures``, ``heartbeat_age_seconds``, ...), group 2 the
+#: shard index, group 3 the value.
+_SHARD_SERIES_RE = re.compile(
+    r'^repro_server_shard_([a-z0-9_]+?)(?:_total)?\{shard="(\d+)"\}\s+(\S+)$'
+)
+
+
+def _parse_shard_series(metrics_text: str) -> dict:
+    """Per-shard samples parsed out of the federated exposition text.
+
+    Returns ``{shard_index: {short_name: value}}`` covering every
+    ``repro_server_shard_*{shard="N"}`` series.  The parser is
+    deliberately narrow — it reads only the series this module's ``top``
+    view renders, not general Prometheus text.
+    """
+    series: dict = {}
+    for line in metrics_text.splitlines():
+        match = _SHARD_SERIES_RE.match(line.strip())
+        if match is None:
+            continue
+        short, shard, value = match.groups()
+        try:
+            series.setdefault(shard, {})[short] = float(value)
+        except ValueError:
+            continue
+    return series
+
+
+def _render_top(host: str, port: int, stats: dict, health: dict, metrics_text: str) -> str:
+    """Render one ``top`` frame from the three op payloads (pure).
+
+    ``stats`` supplies throughput and latency percentiles, ``health``
+    the per-shard liveness state, and ``metrics_text`` the per-shard
+    counters (jobs, failures, retries) that only exist as labelled
+    Prometheus series.
+    """
+    counters = stats.get("counters", {})
+    queue_wait = stats.get("queue_wait", {})
+    job_run = stats.get("job_run", {})
+    lines = [
+        f"repro-mqo top — {host}:{port} — verdict {health.get('verdict', '?')} "
+        f"(tier {health.get('tier', '?')}), uptime {stats.get('uptime_s', 0.0):.1f}s",
+        f"jobs: {counters.get('jobs_finished', 0)} finished, "
+        f"{counters.get('jobs_failed', 0)} failed, "
+        f"{stats.get('jobs_finished_per_second', 0.0):.2f}/s | "
+        f"queue: {stats.get('queue_depth', 0)} queued, "
+        f"{stats.get('inflight', 0)} running | "
+        f"streams: {stats.get('stream_channels', 0)}",
+        f"queue wait p50/p99: {queue_wait.get('p50_ms', 0.0):.1f}/"
+        f"{queue_wait.get('p99_ms', 0.0):.1f} ms | "
+        f"run p50/p99: {job_run.get('p50_ms', 0.0):.1f}/"
+        f"{job_run.get('p99_ms', 0.0):.1f} ms",
+    ]
+    shards = health.get("shards")
+    if not shards:
+        lines.append(f"workers active: {health.get('active', stats.get('inflight', 0))}")
+        return "\n".join(lines) + "\n"
+    per_shard = _parse_shard_series(metrics_text)
+    lines.append(
+        f"shards: {health.get('alive', 0)}/{health.get('count', 0)} alive, "
+        f"{health.get('restarts', 0)} restarts"
+    )
+    lines.append("")
+    rows = []
+    for index in sorted(shards, key=int):
+        state = shards[index]
+        samples = per_shard.get(index, {})
+        if state.get("dead"):
+            verdict = "dead"
+        elif not state.get("ready"):
+            verdict = "boot"
+        elif state.get("stale"):
+            verdict = "stale"
+        else:
+            verdict = "up"
+        rows.append(
+            (
+                index,
+                state.get("pid") or "-",
+                verdict,
+                int(samples.get("jobs", 0)),
+                int(samples.get("failures", 0)),
+                int(samples.get("retries", 0)),
+                state.get("restarts", 0),
+                state.get("assigned", 0),
+                state.get("outbox", 0),
+                state.get("overflow", 0),
+                f"{state.get('heartbeat_age_s', 0.0):.1f}s",
+            )
+        )
+    lines.append(
+        format_table(
+            [
+                "shard", "pid", "state", "jobs", "fail", "retry",
+                "restarts", "assigned", "outbox", "overflow", "hb age",
+            ],
+            rows,
+        )
+    )
+    return "\n".join(lines) + "\n"
+
+
+def _run_top(args: argparse.Namespace) -> int:
+    """Poll a running server and render the live per-shard view.
+
+    On a terminal the frame redraws in place (ANSI clear) every
+    ``--interval`` seconds until ``--count`` frames were shown or the
+    user interrupts; with stdout piped and no explicit ``--count`` it
+    prints a single frame and exits, so scripts get one parseable dump.
+    """
+    interactive = sys.stdout.isatty()
+    limit: Optional[int] = args.count if args.count > 0 else (None if interactive else 1)
+    rendered = 0
+    try:
+        while True:
+            with SolverClient(
+                host=args.host, port=args.port, timeout_s=args.timeout_s
+            ) as client:
+                stats = client.stats()
+                health = client.health()
+                metrics_text = client.metrics_text()
+            frame = _render_top(args.host, args.port, stats, health, metrics_text)
+            if interactive:
+                sys.stdout.write("\x1b[2J\x1b[H")  # clear screen, home cursor
+            sys.stdout.write(frame)
+            sys.stdout.flush()
+            rendered += 1
+            if limit is not None and rendered >= limit:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def _run_capacity(args: argparse.Namespace) -> int:
     print(figure7_table(qubit_budgets=tuple(args.qubits), pattern=args.pattern))
     return 0
@@ -990,6 +1188,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_bench(args)
         if args.command == "metrics":
             return _run_metrics(args)
+        if args.command == "top":
+            return _run_top(args)
         if args.command == "capacity":
             return _run_capacity(args)
         if args.command == "info":

@@ -18,8 +18,13 @@ every stage a name and a number:
 
 ``export``
     NDJSON span export and Prometheus text-format exposition.
+
+``events``
+    A bounded ring of structured lifecycle events (shard spawns/exits,
+    retries, admission rejects, drain) served by the ``health`` op.
 """
 
+from repro.obs.events import EventLog, get_event_log, record_event
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -39,6 +44,7 @@ from repro.obs.export import (
 
 __all__ = [
     "Counter",
+    "EventLog",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -46,8 +52,10 @@ __all__ = [
     "SpanContext",
     "Tracer",
     "configure_tracer",
+    "get_event_log",
     "get_registry",
     "get_tracer",
+    "record_event",
     "percentile",
     "percentiles",
     "render_prometheus",

@@ -1,0 +1,95 @@
+"""A bounded ring of structured lifecycle events.
+
+Metrics answer *how much*; traces answer *how long*; this module answers
+*what happened* — shard spawns and exits, respawns, job retries,
+admission rejects, drain begin/end.  Events are tiny dictionaries
+(``{"ts", "kind", ...}``) kept in a fixed-size ring so a long-running
+server never grows without bound; the most recent window is served by
+the ``health`` protocol op and can be dumped to NDJSON (the same
+line-per-record format the trace exporter uses).
+
+The log is process-global, mirroring the tracer and metrics registry:
+emitters (``server/sharding.py``, ``server/queue.py``, ``server/app.py``)
+call :func:`record_event` without plumbing a handle through every layer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Union
+
+__all__ = [
+    "EventLog",
+    "get_event_log",
+    "record_event",
+]
+
+#: Default ring capacity — generous for ops triage, bounded for memory.
+DEFAULT_CAPACITY = 1024
+
+
+class EventLog:
+    """Thread-safe bounded ring of event dictionaries."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = int(capacity)
+        self._events: Deque[Dict[str, Any]] = deque(maxlen=self.capacity)
+        self._dropped = 0
+        self._lock = threading.Lock()
+
+    def record(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Append one event; returns the stored record."""
+        event: Dict[str, Any] = {"ts": time.time(), "kind": str(kind)}
+        event.update(fields)
+        with self._lock:
+            if len(self._events) == self.capacity:
+                self._dropped += 1
+            self._events.append(event)
+        return event
+
+    def tail(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """The most recent ``limit`` events, oldest first (all when None)."""
+        with self._lock:
+            events = list(self._events)
+        if limit is not None and limit >= 0:
+            events = events[-limit:] if limit else []
+        return [dict(event) for event in events]
+
+    def clear(self) -> None:
+        """Empty the ring (tests; the dropped count is reset too)."""
+        with self._lock:
+            self._events.clear()
+            self._dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring because it was full."""
+        with self._lock:
+            return self._dropped
+
+    def write_ndjson(self, path: Union[str, Path], append: bool = False) -> Path:
+        """Dump the buffered events to ``path`` as NDJSON; returns the path."""
+        from repro.obs.export import write_ndjson
+
+        return write_ndjson(self.tail(), path, append=append)
+
+
+#: The process-wide event log shared by all server layers.
+_GLOBAL_EVENT_LOG = EventLog()
+
+
+def get_event_log() -> EventLog:
+    """The process-wide event log."""
+    return _GLOBAL_EVENT_LOG
+
+
+def record_event(kind: str, **fields: Any) -> Dict[str, Any]:
+    """Record one event on the process-wide log (emitter convenience)."""
+    return _GLOBAL_EVENT_LOG.record(kind, **fields)

@@ -234,6 +234,46 @@ class Histogram:
         pairs.append((math.inf, running + counts[-1]))
         return pairs
 
+    def state_snapshot(self) -> Dict[str, Any]:
+        """The mergeable lifetime state (buckets, counts, sum, max).
+
+        The recent-sample window is deliberately excluded: percentiles
+        cannot be merged across processes, only bucket counts can.
+        """
+        with self._lock:
+            return {
+                "buckets": list(self.buckets),
+                "bucket_counts": list(self._bucket_counts),
+                "count": self.count,
+                "total": self.total,
+                "max": self.max_value,
+            }
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Add another histogram's :meth:`state_snapshot` into this one.
+
+        Bucket bounds must match exactly — merging differently-bucketed
+        histograms of the same name is a registration error upstream.
+        """
+        bounds = [float(b) for b in state.get("buckets", ())]
+        if bounds != list(self.buckets):
+            raise ReproError(
+                f"histogram {self.name!r}: cannot merge mismatched buckets "
+                f"{bounds} into {list(self.buckets)}"
+            )
+        counts = state.get("bucket_counts", ())
+        if len(counts) != len(self._bucket_counts):
+            raise ReproError(
+                f"histogram {self.name!r}: snapshot has {len(counts)} bucket "
+                f"counts, expected {len(self._bucket_counts)}"
+            )
+        with self._lock:
+            for index, count in enumerate(counts):
+                self._bucket_counts[index] += int(count)
+            self.count += int(state.get("count", 0))
+            self.total += float(state.get("total", 0.0))
+            self.max_value = max(self.max_value, float(state.get("max", 0.0)))
+
 
 # ------------------------------------------------------------------ #
 # Registry
@@ -312,6 +352,68 @@ class MetricsRegistry:
         """Every family, name-sorted (the exporters iterate this)."""
         with self._lock:
             return [self._families[name] for name in sorted(self._families)]
+
+    def to_snapshot(self) -> Dict[str, Any]:
+        """The whole registry as one plain-data, pickle/JSON-safe dict.
+
+        This is the federation wire format: shard processes ship it over
+        the control pipe and the parent rebuilds it with
+        :meth:`merge_snapshot`.  Counters and gauges carry their value;
+        histograms carry their mergeable lifetime state (bucket counts,
+        count, sum, max — the percentile window does not travel).
+        """
+        families: List[Dict[str, Any]] = []
+        for family in self.collect():
+            children: List[Dict[str, Any]] = []
+            for key, instrument in sorted(family.children.items()):
+                child: Dict[str, Any] = {"labels": dict(key)}
+                if family.kind == "histogram":
+                    child.update(instrument.state_snapshot())
+                else:
+                    child["value"] = instrument.value
+                children.append(child)
+            families.append(
+                {
+                    "name": family.name,
+                    "kind": family.kind,
+                    "help": family.help,
+                    "children": children,
+                }
+            )
+        return {"families": families}
+
+    def merge_snapshot(
+        self, snapshot: Dict[str, Any], extra_labels: Optional[Dict[str, str]] = None
+    ) -> None:
+        """Merge a :meth:`to_snapshot` payload into this registry.
+
+        Merge semantics per kind: counters **sum**, gauges are
+        **last-write-wins** per label set, histograms merge
+        **bucket-wise** (bounds must match).  ``extra_labels`` is applied
+        to every merged series — the server uses ``{"shard": "N"}`` to
+        keep per-shard series distinct, then merges the same snapshot
+        again *without* extra labels to synthesize the cluster rollup.
+        """
+        for family in snapshot.get("families", ()):
+            name = family["name"]
+            kind = family["kind"]
+            help_text = family.get("help", "")
+            for child in family.get("children", ()):
+                labels = dict(child.get("labels") or {})
+                if extra_labels:
+                    labels.update(extra_labels)
+                label_arg = labels or None
+                if kind == "counter":
+                    self.counter(name, help_text, label_arg).inc(int(child["value"]))
+                elif kind == "gauge":
+                    self.gauge(name, help_text, label_arg).set(float(child["value"]))
+                elif kind == "histogram":
+                    histogram = self.histogram(
+                        name, help_text, label_arg, buckets=tuple(child["buckets"])
+                    )
+                    histogram.merge_state(child)
+                else:
+                    raise ReproError(f"unknown metric kind {kind!r} in snapshot")
 
     def counters_snapshot(self) -> Dict[str, int]:
         """Unlabelled counters as one flat ``{name: value}`` dictionary."""

@@ -37,7 +37,23 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Any, Dict, Iterable, Iterator, List, Optional
 
+from repro.obs.metrics import get_registry
+
 __all__ = ["Span", "SpanContext", "Tracer", "get_tracer", "configure_tracer"]
+
+#: Spans discarded because the tracer ring buffer was full — a real
+#: counter (not just :attr:`Tracer.dropped`) so lost telemetry is itself
+#: visible in the Prometheus exposition, including federated shards.
+_SPANS_DROPPED = get_registry().counter(
+    "repro_obs_spans_dropped_total",
+    "Finished spans dropped because the tracer ring buffer was full.",
+)
+
+#: Current tracer ring-buffer occupancy (finished, undrained spans).
+_BUFFER_OCCUPANCY = get_registry().gauge(
+    "repro_obs_span_buffer_spans",
+    "Finished spans currently buffered by the tracer.",
+)
 
 #: The ambient span context of the running task (None outside any span).
 _CURRENT: ContextVar[Optional["SpanContext"]] = ContextVar("repro_obs_span", default=None)
@@ -269,7 +285,9 @@ class Tracer:
         with self._lock:
             if len(self._finished) == self.buffer_size:
                 self.dropped += 1
+                _SPANS_DROPPED.inc()
             self._finished.append(span)
+            _BUFFER_OCCUPANCY.set(len(self._finished))
 
     def adopt(self, records: Iterable[Dict[str, Any]]) -> int:
         """Ingest span dictionaries produced in another process.
@@ -282,8 +300,10 @@ class Tracer:
             for record in records:
                 if len(self._finished) == self.buffer_size:
                     self.dropped += 1
+                    _SPANS_DROPPED.inc()
                 self._finished.append(Span.from_dict(record))
                 count += 1
+            _BUFFER_OCCUPANCY.set(len(self._finished))
         return count
 
     def drain(self) -> List[Span]:
@@ -291,6 +311,7 @@ class Tracer:
         with self._lock:
             spans = list(self._finished)
             self._finished.clear()
+            _BUFFER_OCCUPANCY.set(0)
         return spans
 
     def __len__(self) -> int:

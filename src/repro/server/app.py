@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Set
 
 from repro.exceptions import AdmissionError, ProtocolError, ReproError, ServerError
+from repro.obs.events import get_event_log, record_event
 from repro.server import protocol
 from repro.server.metrics import ServerMetrics
 from repro.server.queue import JobQueue, ServerJob
@@ -63,6 +64,9 @@ class ServerConfig:
     shard_retry:
         Whether a shard death mid-job retries the job once on a live
         shard (default) instead of failing it immediately.
+    shard_heartbeat_s:
+        Cadence of each shard's metrics-snapshot heartbeat (sharded
+        tier only); also feeds the ``health`` op's staleness verdict.
     queue_capacity / max_jobs_per_client:
         Admission-control bounds of the job queue.
     default_budget_ms / max_budget_ms:
@@ -93,6 +97,7 @@ class ServerConfig:
     workers: int = 2
     shards: int = 0
     shard_retry: bool = True
+    shard_heartbeat_s: float = 1.0
     queue_capacity: int = 128
     max_jobs_per_client: Optional[int] = None
     default_budget_ms: float = 1000.0
@@ -225,6 +230,7 @@ class SolverServer:
                 coalesce=self.config.coalesce,
                 retry_on_shard_death=self.config.shard_retry,
                 result_cache=self.frontend.cache,
+                heartbeat_interval_s=self.config.shard_heartbeat_s,
             )
         else:
             self.pool = WorkerPool(
@@ -264,6 +270,9 @@ class SolverServer:
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
         self.pool.start()
+        record_event(
+            "server_started", host=self.host, port=self.port, shards=self.config.shards
+        )
 
     async def wait_stopped(self) -> None:
         """Block until :meth:`stop` (or a client ``shutdown``) completes."""
@@ -285,6 +294,7 @@ class SolverServer:
             await self._stopped.wait()
             return
         self._stopping = True
+        record_event("drain_begin", pending=self.pool.pending_jobs(), graceful=drain)
         self.queue.drain()
         if drain:
             try:
@@ -299,6 +309,7 @@ class SolverServer:
         for connection in list(self._connections):
             await connection.close()
         self.pool.shutdown_executor()
+        record_event("drain_end", host=self.host, port=self.port)
         self._stopped.set()
 
     # ------------------------------------------------------------------ #
@@ -628,7 +639,14 @@ class SolverServer:
         )
 
     def _op_metrics(self, connection: _Connection, request: protocol.Request) -> None:
-        """Serve the Prometheus text exposition of the server metrics."""
+        """Serve the cluster-wide Prometheus exposition.
+
+        ``refresh_gauges`` runs first (on the event-loop thread, where
+        pool state is owned) so per-shard gauges are point-in-time
+        accurate; the render then federates the parent registries with
+        every shard's latest heartbeat snapshot.
+        """
+        self.pool.refresh_gauges()
         connection.send_nowait(
             protocol.metrics_frame(
                 request.id,
@@ -637,6 +655,13 @@ class SolverServer:
                 ),
             )
         )
+
+    def _op_health(self, connection: _Connection, request: protocol.Request) -> None:
+        """Serve structured liveness state plus the recent event tail."""
+        health = self.pool.health()
+        health["uptime_s"] = round(self.metrics.uptime_s(), 3)
+        health["events"] = get_event_log().tail(32)
+        connection.send_nowait(protocol.health_frame(request.id, health))
 
     def _op_shutdown(self, connection: _Connection, request: protocol.Request) -> None:
         """Begin a graceful drain (when permitted by the config)."""

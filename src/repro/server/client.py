@@ -350,6 +350,16 @@ class SolverClient:
         self._send({"op": "metrics", "id": request_id})
         return str(self._pump(request_id, ("metrics",))["text"])
 
+    def health(self) -> Dict[str, Any]:
+        """The server's structured liveness state (``health`` op).
+
+        Carries the overall ``ok|degraded|draining`` verdict, per-shard
+        state on the sharded tier, and the recent lifecycle-event tail.
+        """
+        request_id = self._next_id()
+        self._send({"op": "health", "id": request_id})
+        return self._pump(request_id, ("health",))["health"]
+
     def shutdown(self, drain: bool = True) -> Dict[str, Any]:
         """Ask the server to shut down (gracefully draining by default)."""
         request_id = self._next_id()

@@ -13,6 +13,13 @@ JSON ``stats`` snapshot (:meth:`ServerMetrics.snapshot`, persisted into
 text exposition served by the ``metrics`` protocol op
 (:meth:`ServerMetrics.prometheus_text`).
 
+The sharded tier federates: each shard process ships its process-global
+registry as a :meth:`~repro.obs.metrics.MetricsRegistry.to_snapshot`
+payload over the control pipe (heartbeat ticks and drain), the parent
+stores the latest snapshot per slot (:meth:`ServerMetrics.record_shard_snapshot`)
+and the exposition merges everything — per-shard series under a
+``shard="N"`` label plus an unlabelled cluster rollup.
+
 Counting semantics: ``jobs_completed`` counts **successes only**,
 ``jobs_failed`` counts failures, and ``jobs_finished`` is their total —
 so ``jobs_per_second`` (successes per second of uptime) can no longer be
@@ -26,7 +33,7 @@ import time
 from typing import Any, Dict, Optional
 
 from repro.obs.export import render_prometheus
-from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry, get_registry
 
 __all__ = ["LatencyStats", "EndpointStats", "ServerMetrics"]
 
@@ -169,6 +176,7 @@ class ServerMetrics:
         self.registry = registry if registry is not None else MetricsRegistry()
         self._endpoints: Dict[str, EndpointStats] = {}
         self._shard_counters: Dict[tuple, Counter] = {}
+        self._shard_metric_snapshots: Dict[int, Dict[str, Any]] = {}
         self._counters: Dict[str, Counter] = {
             name: self.registry.counter(_prom_counter_name(name), _COUNTER_HELP.get(name, ""))
             for name in _JOB_COUNTERS
@@ -240,6 +248,7 @@ class ServerMetrics:
         "jobs": "Jobs finished per shard process.",
         "failures": "Jobs failed per shard process.",
         "restarts": "Shard process respawns after an unexpected death.",
+        "retries": "Jobs re-dispatched after their owning shard died.",
     }
 
     def _shard_counter(self, short: str, shard: int) -> Counter:
@@ -265,6 +274,16 @@ class ServerMetrics:
         """Record one respawn of shard ``shard`` after an unexpected death."""
         self._shard_counter("restarts", shard).inc()
 
+    def observe_shard_retry(self, shard: int) -> None:
+        """Record one job retried away from dead shard ``shard``."""
+        self._shard_counter("retries", shard).inc()
+
+    def set_shard_gauge(self, short: str, shard: int, value: float, help: str = "") -> None:
+        """Set the ``{shard="<i>"}``-labelled gauge ``repro_server_shard_<short>``."""
+        self.registry.gauge(
+            f"repro_server_shard_{short}", help, {"shard": str(shard)}
+        ).set(value)
+
     def shard_snapshot(self) -> Dict[str, Dict[str, int]]:
         """Per-shard counter values keyed by shard index (may be empty)."""
         with self._lock:
@@ -273,6 +292,46 @@ class ServerMetrics:
         for (short, shard), instrument in items:
             snapshot.setdefault(str(shard), {})[short] = instrument.value
         return snapshot
+
+    # ------------------------------------------------------------------ #
+    # Metrics federation (shard registry snapshots)
+    # ------------------------------------------------------------------ #
+    def record_shard_snapshot(self, shard: int, snapshot: Dict[str, Any]) -> None:
+        """Store the latest registry snapshot shipped by shard ``shard``.
+
+        Shards send *cumulative* snapshots on every heartbeat, so the
+        parent keeps only the newest one per slot — merging happens
+        afresh at exposition time, never destructively.  The store is
+        guarded by the metrics lock: heartbeats land on the event loop
+        while :meth:`snapshot`/:meth:`prometheus_text` may run from a
+        benchmark thread mid-drain.
+        """
+        with self._lock:
+            self._shard_metric_snapshots[int(shard)] = snapshot
+
+    def shard_metric_snapshots(self) -> Dict[int, Dict[str, Any]]:
+        """The latest federated snapshot per shard slot (may be empty)."""
+        with self._lock:
+            return dict(self._shard_metric_snapshots)
+
+    def federated_registry(self) -> MetricsRegistry:
+        """One merged registry: server + process-global + shard snapshots.
+
+        Per-shard series carry a ``shard="N"`` label; each shard snapshot
+        is additionally merged *unlabelled* so the plain series act as the
+        cluster rollup (parent + every shard).  Counter semantics: a
+        respawned shard restarts its counters from zero, so a federated
+        counter may step down after a respawn — the standard Prometheus
+        counter-reset, which ``rate()`` absorbs.  Rollup gauges are
+        last-write-wins across shards; prefer the labelled series.
+        """
+        merged = MetricsRegistry()
+        merged.merge_snapshot(self.registry.to_snapshot())
+        merged.merge_snapshot(get_registry().to_snapshot())
+        for shard, snapshot in sorted(self.shard_metric_snapshots().items()):
+            merged.merge_snapshot(snapshot, extra_labels={"shard": str(shard)})
+            merged.merge_snapshot(snapshot)
+        return merged
 
     # ------------------------------------------------------------------ #
     # Reporting
@@ -319,10 +378,13 @@ class ServerMetrics:
     def prometheus_text(
         self, queue_depth: Optional[int] = None, inflight: Optional[int] = None
     ) -> str:
-        """The whole registry in Prometheus text exposition format.
+        """The cluster-wide exposition in Prometheus text format.
 
         Point-in-time gauges (uptime, and queue depth / inflight when
-        the caller supplies them) are refreshed just before rendering.
+        the caller supplies them) are refreshed just before rendering;
+        the output federates this instance's registry, the process-global
+        registry and every shard's latest snapshot (see
+        :meth:`federated_registry`).
         """
         self._uptime_gauge.set(self.uptime_s())
         if queue_depth is not None:
@@ -333,4 +395,4 @@ class ServerMetrics:
             self.registry.gauge("repro_server_inflight_jobs", "Jobs currently executing.").set(
                 inflight
             )
-        return render_prometheus(self.registry)
+        return render_prometheus(self.federated_registry())

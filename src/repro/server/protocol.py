@@ -18,6 +18,7 @@ result     the final :class:`~repro.service.jobs.SolveResult`
 subscribed acknowledgement of a ``subscribe`` (job state included)
 stats      server metrics snapshot
 metrics    Prometheus text exposition of the server metrics
+health     structured liveness state (per-shard when sharded)
 draining   graceful shutdown has begun
 error      the request failed (``code`` + human-readable ``error``)
 ========== ==========================================================
@@ -58,6 +59,7 @@ __all__ = [
     "subscribed_frame",
     "stats_frame",
     "metrics_frame",
+    "health_frame",
     "draining_frame",
 ]
 
@@ -78,6 +80,7 @@ REQUEST_OPS = (
     "subscribe",
     "stats",
     "metrics",
+    "health",
     "shutdown",
 )
 
@@ -299,6 +302,16 @@ def metrics_frame(request_id: str, text: str) -> Dict[str, Any]:
     """
     return {"id": request_id, "type": "metrics", "content_type": "text/plain; version=0.0.4",
             "text": str(text)}
+
+
+def health_frame(request_id: str, health: Mapping[str, Any]) -> Dict[str, Any]:
+    """Structured liveness state (reply to ``health``).
+
+    ``health`` carries the pool's verdict (``ok|degraded|draining``),
+    per-shard state when the server runs the sharded tier, and the tail
+    of the structured event log.
+    """
+    return {"id": request_id, "type": "health", "health": dict(health)}
 
 
 def draining_frame(request_id: str, pending_jobs: int) -> Dict[str, Any]:

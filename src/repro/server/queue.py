@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Optional
 
 from repro.exceptions import AdmissionError
+from repro.obs.events import record_event
 from repro.server.protocol import DEFAULT_PRIORITY, PRIORITY_NAMES
 from repro.service.jobs import SolveRequest, SolveResult
 
@@ -163,12 +164,18 @@ class FairScheduler:
     def push(self, job: ServerJob) -> None:
         """Admit ``job`` or raise :class:`AdmissionError` (backpressure)."""
         if self._depth >= self.capacity:
+            record_event(
+                "admission_reject", code="queue_full", client=job.client_id, depth=self._depth
+            )
             raise AdmissionError(
                 f"queue is full ({self._depth}/{self.capacity} jobs); retry later",
                 code="queue_full",
             )
         pending = self._per_client.get(job.client_id, 0)
         if self.max_per_client is not None and pending >= self.max_per_client:
+            record_event(
+                "admission_reject", code="client_quota", client=job.client_id, pending=pending
+            )
             raise AdmissionError(
                 f"client {job.client_id!r} already has {pending} queued jobs "
                 f"(quota {self.max_per_client}); retry later",
@@ -287,6 +294,7 @@ class JobQueue:
         draining.
         """
         if self._draining:
+            record_event("admission_reject", code="draining", client=job.client_id)
             raise AdmissionError("server is draining; no new jobs accepted", code="draining")
         self._scheduler.push(job)
         self._wake(1)

@@ -37,10 +37,13 @@ def wait_for_server(
 ) -> float:
     """Block until a solver server answers a ping at ``host:port``.
 
-    With ``min_shards`` the probe additionally polls the ``stats`` op
-    until at least that many shard processes report ready — a sharded
-    server accepts connections before its children finish booting, and
-    fault tests must not race a respawning shard.
+    After the ping the probe performs a liveness check through the
+    ``health`` op: a server whose verdict is ``draining`` is shutting
+    down, not becoming ready, so polling continues.  With ``min_shards``
+    the probe additionally waits until at least that many shard
+    processes report alive — a sharded server accepts connections
+    before its children finish booting, and fault tests must not race a
+    respawning shard.
 
     Returns the seconds spent waiting.  Raises
     :class:`~repro.exceptions.ServerError` when the deadline passes
@@ -66,14 +69,19 @@ def wait_for_server(
         try:
             with SolverClient(host=host, port=port, timeout_s=2.0) as client:
                 if client.ping():
-                    if min_shards is None:
+                    health = client.health()
+                    verdict = health.get("verdict")
+                    if verdict == "draining":
+                        last_error = ServerError("server is draining, not ready")
+                    elif min_shards is None:
                         return time.perf_counter() - start
-                    shards = client.stats().get("shards", {})
-                    if int(shards.get("ready", 0)) >= min_shards:
+                    elif int(health.get("alive", 0)) >= min_shards:
                         return time.perf_counter() - start
-                    last_error = ServerError(
-                        f"only {shards.get('ready', 0)}/{min_shards} shards ready"
-                    )
+                    else:
+                        last_error = ServerError(
+                            f"only {health.get('alive', 0)}/{min_shards} shards alive "
+                            f"(verdict {verdict})"
+                        )
         except ReproError as exc:
             # Listening but not answering yet (or a stale socket from a
             # dying server): keep polling until the deadline.

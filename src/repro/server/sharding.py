@@ -43,6 +43,13 @@ Design points:
   capacity used to provide moves to admission:
   :meth:`ShardPool.admit` rejects new jobs once queued plus dispatched
   jobs exceed the queue capacity plus a per-shard in-flight allowance.
+* **Telemetry.** Each shard heartbeats its process-global metrics
+  registry over the pipe (``heartbeat_interval_s``, plus an initial and
+  a final drain-time snapshot); the parent stores the latest snapshot
+  per slot and federates them into the Prometheus exposition under a
+  ``shard="N"`` label.  Any inbound message refreshes the slot's
+  ``last_heartbeat``, which the ``health`` op turns into a per-shard
+  liveness age and an overall ``ok|degraded|draining`` verdict.
 * **Drain.** ``queue.drain()`` stops admission; the dispatcher forwards
   the backlog, every shard receives a ``stop`` sentinel *behind* its
   queued jobs (pipes are FIFO), finishes them, and exits; ``join()``
@@ -71,6 +78,8 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 from repro.baselines.anytime import observe_improvements
 from repro.exceptions import AdmissionError
 from repro.mqo.arrays import problem_from_arrays
+from repro.obs.events import record_event
+from repro.obs.metrics import get_registry
 from repro.obs.trace import configure_tracer, get_tracer
 from repro.server.metrics import ServerMetrics
 from repro.server.queue import JobQueue, ServerJob
@@ -216,6 +225,7 @@ def _shard_main(
     shard_index: int,
     conn: Connection,
     frontend_factory: Callable[[], ServiceFrontend],
+    heartbeat_interval_s: float = 1.0,
 ) -> None:
     """Child-process body: serve jobs off the pipe until ``stop`` or EOF.
 
@@ -224,6 +234,13 @@ def _shard_main(
     thread is blocked inside ``frontend.submit``, so every pipe write
     goes through one lock — frames never interleave, and updates always
     precede their job's result frame.
+
+    A daemon heartbeat thread ships the shard's process-global metrics
+    registry (:meth:`~repro.obs.metrics.MetricsRegistry.to_snapshot`)
+    every ``heartbeat_interval_s`` seconds; a final snapshot goes out on
+    drain so the parent's federated exposition never misses the tail of
+    a shard's counters.  The heartbeat doubles as the parent's liveness
+    signal for the ``health`` op.
     """
     configure_tracer(False)  # never inherit the parent's tracer state
     send_lock = threading.Lock()
@@ -232,11 +249,28 @@ def _shard_main(
         with send_lock:
             send_message(conn, message)
 
+    def send_metrics() -> None:
+        send(("metrics", get_registry().to_snapshot()))
+
     frontend = frontend_factory()
     try:
         send(("ready", shard_index, os.getpid()))
+        send_metrics()
     except (BrokenPipeError, OSError):
         return
+    heartbeat_stop = threading.Event()
+
+    def heartbeat_loop() -> None:
+        while not heartbeat_stop.wait(heartbeat_interval_s):
+            try:
+                send_metrics()
+            except (BrokenPipeError, OSError):
+                return
+
+    if heartbeat_interval_s > 0:
+        threading.Thread(
+            target=heartbeat_loop, name=f"repro-shard-{shard_index}-hb", daemon=True
+        ).start()
     while True:
         try:
             message = recv_message(conn)
@@ -266,6 +300,10 @@ def _shard_main(
                     with observe_improvements(forward):
                         result = frontend.submit(request)
                     spans = [span.to_dict() for span in tracer.drain()]
+                    for record in spans:
+                        # Attribute every shipped span to this shard so
+                        # the bench's stage breakdown can group by shard.
+                        record.setdefault("attributes", {})["shard"] = shard_index
                 finally:
                     configure_tracer(False)
             else:
@@ -280,6 +318,11 @@ def _shard_main(
                 send(("result", job_id, failure, []))
             except (BrokenPipeError, OSError):
                 break
+    heartbeat_stop.set()
+    try:
+        send_metrics()  # final snapshot: the drain tail must federate too
+    except (BrokenPipeError, OSError):
+        pass
     conn.close()
 
 
@@ -293,6 +336,10 @@ class _Shard:
         self.ready = False
         self.dead = False
         self.stop_sent = False
+        #: ``time.monotonic()`` of the last message received from this
+        #: shard (any kind counts — heartbeats, results, updates).
+        #: Initialised to spawn time so the age is always defined.
+        self.last_heartbeat: float = time.monotonic()
         #: Jobs dispatched to this shard and not yet finished.  This map
         #: is also the fail-over ownership record: whichever path pops a
         #: job from it owns (and is alone responsible for) its fail-over.
@@ -349,6 +396,11 @@ class ShardPool(BasePool):
         are process-private, so without this the parent's cache (the
         one ``--cache-file`` checkpoints to disk) would never see what
         the shards solved.
+    heartbeat_interval_s:
+        Cadence of each shard's metrics-snapshot heartbeat (seconds);
+        ``0`` disables the ticker (the initial and drain snapshots are
+        still sent).  The heartbeat also feeds the ``health`` op's
+        staleness verdict.
     """
 
     def __init__(
@@ -363,6 +415,7 @@ class ShardPool(BasePool):
         mp_context: Optional[str] = None,
         max_restarts_per_shard: int = 5,
         result_cache: Optional[ResultCache] = None,
+        heartbeat_interval_s: float = 1.0,
     ) -> None:
         super().__init__(queue=queue, broker=broker, metrics=metrics, coalesce=coalesce)
         if num_shards == -1:
@@ -373,6 +426,7 @@ class ShardPool(BasePool):
         self.num_shards = num_shards
         self.retry_on_shard_death = retry_on_shard_death
         self.max_restarts_per_shard = max_restarts_per_shard
+        self.heartbeat_interval_s = heartbeat_interval_s
         self._result_cache = result_cache
         if mp_context is None:
             mp_context = _default_mp_context()
@@ -419,6 +473,7 @@ class ShardPool(BasePool):
 
     def extra_stats(self) -> Dict[str, object]:
         """Per-shard block merged into the ``stats`` snapshot."""
+        now = time.monotonic()
         return {
             "shards": {
                 "count": len(self.shards),
@@ -432,11 +487,103 @@ class ShardPool(BasePool):
                         "ready": shard.ready,
                         "dead": shard.dead,
                         "restarts": self._restarts.get(shard.index, 0),
+                        "outbox": shard.outbox.qsize(),
+                        "overflow": len(shard.overflow),
+                        "heartbeat_age_s": round(now - shard.last_heartbeat, 3),
                     }
                     for shard in self.shards
                 },
             }
         }
+
+    def _heartbeat_stale_after(self) -> Optional[float]:
+        """Heartbeat age beyond which a shard counts as unhealthy."""
+        if self.heartbeat_interval_s <= 0:
+            return None  # ticker disabled: staleness cannot be judged
+        return max(5.0 * self.heartbeat_interval_s, 3.0)
+
+    def health(self) -> Dict[str, Any]:
+        """Structured per-shard state with an overall verdict.
+
+        The verdict is ``draining`` while the queue refuses admission,
+        ``degraded`` when any slot is dead, not yet ready, or silent for
+        longer than the staleness threshold (five heartbeat intervals,
+        floor three seconds — generous so a busy box never flaps), and
+        ``ok`` otherwise.  Pipe EOF marks a killed shard dead within
+        milliseconds; staleness is the backstop for a *hung* shard.
+        """
+        now = time.monotonic()
+        stale_after = self._heartbeat_stale_after()
+        shards: Dict[str, Dict[str, Any]] = {}
+        alive = 0
+        degraded = False
+        for shard in self.shards:
+            age = now - shard.last_heartbeat
+            ok = shard.ready and not shard.dead
+            stale = stale_after is not None and age > stale_after
+            if ok and not stale:
+                alive += 1
+            else:
+                degraded = True
+            shards[str(shard.index)] = {
+                "pid": shard.pid,
+                "ready": shard.ready,
+                "dead": shard.dead,
+                "stale": stale,
+                "assigned": len(shard.assigned),
+                "outbox": shard.outbox.qsize(),
+                "overflow": len(shard.overflow),
+                "restarts": self._restarts.get(shard.index, 0),
+                "heartbeat_age_s": round(age, 3),
+            }
+        if self.queue.draining:
+            verdict = "draining"
+        elif degraded:
+            verdict = "degraded"
+        else:
+            verdict = "ok"
+        return {
+            "verdict": verdict,
+            "tier": "shards",
+            "count": len(self.shards),
+            "alive": alive,
+            "restarts": sum(self._restarts.values()),
+            "queue_depth": self.queue.depth,
+            "draining": self.queue.draining,
+            "shards": shards,
+        }
+
+    def refresh_gauges(self) -> None:
+        """Refresh the per-shard gauges just before a metrics render."""
+        now = time.monotonic()
+        backlog = 0
+        for shard in self.shards:
+            backlog += len(shard.assigned)
+            index = shard.index
+            self.metrics.set_shard_gauge(
+                "inflight_jobs", index, len(shard.assigned),
+                "Jobs dispatched to the shard and not yet finished.",
+            )
+            self.metrics.set_shard_gauge(
+                "outbox_depth", index, shard.outbox.qsize(),
+                "Jobs waiting in the shard's bounded outbox.",
+            )
+            self.metrics.set_shard_gauge(
+                "overflow_depth", index, len(shard.overflow),
+                "Jobs parked in the shard's overflow deque.",
+            )
+            self.metrics.set_shard_gauge(
+                "heartbeat_age_seconds", index, round(now - shard.last_heartbeat, 3),
+                "Seconds since the shard last sent any message.",
+            )
+            self.metrics.set_shard_gauge(
+                "up", index, 1.0 if (shard.ready and not shard.dead) else 0.0,
+                "Whether the shard slot is ready and alive (1) or not (0).",
+            )
+        self.metrics.registry.gauge(
+            "repro_server_dispatched_jobs",
+            "Jobs dispatched to shards and not yet finished (all slots).",
+        ).set(backlog)
 
     # ------------------------------------------------------------------ #
     # Admission
@@ -484,13 +631,14 @@ class ShardPool(BasePool):
         parent_conn, child_conn = self._mp.Pipe()
         process = self._mp.Process(
             target=_shard_main,
-            args=(slot, child_conn, self.frontend_factory),
+            args=(slot, child_conn, self.frontend_factory, self.heartbeat_interval_s),
             name=f"repro-shard-{slot}",
             daemon=True,
         )
         process.start()
         child_conn.close()
         shard = _Shard(index=slot, process=process, conn=parent_conn)
+        record_event("shard_spawn", shard=slot, pid=process.pid)
         loop = self._loop if self._loop is not None else asyncio.get_running_loop()
         self._tasks.append(
             loop.create_task(self._sender(shard), name=f"repro-shard-sender-{slot}")
@@ -663,8 +811,11 @@ class ShardPool(BasePool):
     def _on_message(self, shard: _Shard, message: Tuple[Any, ...]) -> None:
         """Handle one shard message on the event-loop thread."""
         kind = message[0]
+        shard.last_heartbeat = time.monotonic()  # any message proves liveness
         if kind == "ready":
             shard.ready = True
+        elif kind == "metrics":
+            self.metrics.record_shard_snapshot(shard.index, message[1])
         elif kind == "started":
             job = shard.assigned.get(message[1])
             if job is not None and job.started_at is None:
@@ -716,6 +867,13 @@ class ShardPool(BasePool):
         orphans = list(shard.assigned.values())
         shard.assigned.clear()
         unexpected = bool(orphans) or not shard.stop_sent
+        record_event(
+            "shard_exit",
+            shard=shard.index,
+            pid=shard.pid,
+            unexpected=unexpected,
+            orphans=len(orphans),
+        )
         if unexpected and not self.queue.draining:
             self._respawn(shard)
         # Release this slot's sender task: after a respawn (or a death
@@ -735,6 +893,7 @@ class ShardPool(BasePool):
         self._restarts[shard.index] = restarts + 1
         self.metrics.observe_shard_restart(shard.index)
         self.shards[shard.index] = self._spawn(shard.index)
+        record_event("shard_respawn", shard=shard.index, restarts=restarts + 1)
 
     def _reassign_or_fail(self, job: ServerJob, shard: _Shard) -> None:
         """Fault policy for a job stranded on a dead shard: retry once.
@@ -755,6 +914,8 @@ class ShardPool(BasePool):
             job.retries += 1
             job.started_at = None
             self.metrics.increment("jobs_retried")
+            self.metrics.observe_shard_retry(shard.index)
+            record_event("job_retry", job_id=job.job_id, shard=shard.index)
             self._dispatch(job)
             return
         self.metrics.observe_shard_job(shard.index, failed=True)

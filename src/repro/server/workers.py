@@ -124,6 +124,25 @@ class BasePool:
         """Tier-specific additions to the ``stats`` snapshot (may be empty)."""
         return {}
 
+    def health(self) -> Dict[str, object]:
+        """Structured liveness state served by the ``health`` protocol op.
+
+        The thread tier is in-process — its workers cannot die without
+        taking the server with them — so the verdict is simply ``ok``
+        or ``draining``.  :class:`~repro.server.sharding.ShardPool`
+        overrides this with real per-shard state.
+        """
+        return {
+            "verdict": "draining" if self.queue.draining else "ok",
+            "tier": "threads",
+            "active": self.active,
+            "queue_depth": self.queue.depth,
+            "draining": self.queue.draining,
+        }
+
+    def refresh_gauges(self) -> None:
+        """Refresh tier-specific gauges before a metrics render (no-op here)."""
+
     # ------------------------------------------------------------------ #
     # Admission
     # ------------------------------------------------------------------ #

@@ -53,6 +53,46 @@ class TestStageBreakdownFromSpans:
         assert len(set(STAGE_SPAN_NAMES.values())) == len(STAGE_SPAN_NAMES)
 
 
+class TestPerShardAttribution:
+    def _shard_spans(self, shard, name, durations):
+        tracer = Tracer(enabled=True)
+        for duration in durations:
+            with tracer.span(name) as span:
+                span.set_attribute("shard", shard)
+            span.duration_ms = duration
+        return tracer.drain()
+
+    def test_shard_tagged_spans_get_a_per_shard_block(self):
+        spans = self._shard_spans(0, "service.execute", [10.0, 20.0])
+        spans += self._shard_spans(1, "service.execute", [40.0])
+        breakdown = stage_breakdown_from_spans(spans)
+        # The flat totals still cover everything...
+        assert breakdown["solve"] == {"count": 3, "total_ms": 70.0, "mean_ms": 23.333}
+        # ...and the per-shard block attributes them to their shard.
+        per_shard = breakdown["per_shard"]
+        assert set(per_shard) == {"0", "1"}
+        assert per_shard["0"]["solve"] == {"count": 2, "total_ms": 30.0, "mean_ms": 15.0}
+        assert per_shard["1"]["solve"] == {"count": 1, "total_ms": 40.0, "mean_ms": 40.0}
+
+    def test_untagged_spans_produce_no_per_shard_block(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("service.execute"):
+            pass
+        breakdown = stage_breakdown_from_spans(tracer.drain())
+        assert "per_shard" not in breakdown
+
+    def test_mixed_tagged_and_untagged_spans(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("service.execute") as span:
+            pass
+        span.duration_ms = 5.0
+        spans = tracer.drain() + self._shard_spans(1, "service.execute", [15.0])
+        breakdown = stage_breakdown_from_spans(spans)
+        assert breakdown["solve"]["count"] == 2  # flat view counts both
+        assert breakdown["per_shard"]["1"]["solve"]["count"] == 1
+        assert "0" not in breakdown["per_shard"]
+
+
 class TestOrchestratorEmbedding:
     def test_totals_carry_the_breakdown_and_document_stays_valid(self):
         orchestrator = BenchOrchestrator(

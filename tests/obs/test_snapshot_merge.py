@@ -1,0 +1,142 @@
+"""Unit tests of the registry snapshot/merge federation wire format."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+def build_registry() -> MetricsRegistry:
+    """A registry exercising all three kinds plus labelled series."""
+    registry = MetricsRegistry()
+    registry.counter("repro_test_jobs_total", "jobs").inc(5)
+    registry.counter("repro_test_jobs_total", "jobs", {"op": "solve"}).inc(2)
+    registry.gauge("repro_test_depth", "depth").set(7.0)
+    histogram = registry.histogram("repro_test_latency_ms", "lat", buckets=(10.0, 100.0))
+    for value in (5.0, 50.0, 500.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestToSnapshot:
+    def test_snapshot_is_plain_data(self):
+        snapshot = build_registry().to_snapshot()
+        # The federation payload crosses a process pipe (pickle) and may
+        # be logged (JSON); both must survive without custom types.
+        assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_counter_and_gauge_children_carry_values(self):
+        snapshot = build_registry().to_snapshot()
+        families = {family["name"]: family for family in snapshot["families"]}
+        jobs = families["repro_test_jobs_total"]
+        assert jobs["kind"] == "counter"
+        values = {tuple(sorted(child["labels"].items())): child["value"]
+                  for child in jobs["children"]}
+        assert values == {(): 5, (("op", "solve"),): 2}
+        depth = families["repro_test_depth"]
+        assert depth["children"][0]["value"] == 7.0
+
+    def test_histogram_children_carry_mergeable_state_not_samples(self):
+        snapshot = build_registry().to_snapshot()
+        families = {family["name"]: family for family in snapshot["families"]}
+        child = families["repro_test_latency_ms"]["children"][0]
+        assert child["buckets"] == [10.0, 100.0]
+        assert child["bucket_counts"] == [1, 1, 1]  # 5.0, 50.0, overflow 500.0
+        assert child["count"] == 3
+        assert child["total"] == 555.0
+        assert child["max"] == 500.0
+        assert "window" not in child  # percentile samples never travel
+
+
+class TestMergeSnapshot:
+    def test_counters_sum_and_gauges_last_write_wins(self):
+        target = MetricsRegistry()
+        target.counter("repro_test_jobs_total").inc(10)
+        target.gauge("repro_test_depth").set(1.0)
+        target.merge_snapshot(build_registry().to_snapshot())
+        assert target.counter("repro_test_jobs_total").value == 15
+        assert target.gauge("repro_test_depth").value == 7.0
+
+    def test_histograms_merge_bucket_wise(self):
+        target = MetricsRegistry()
+        own = target.histogram("repro_test_latency_ms", buckets=(10.0, 100.0))
+        own.observe(3.0)
+        target.merge_snapshot(build_registry().to_snapshot())
+        assert own.count == 4
+        assert own.total == 558.0
+        assert own.max_value == 500.0
+        assert [count for _, count in own.cumulative_buckets()] == [2, 3, 4]
+
+    def test_extra_labels_keep_shard_series_distinct(self):
+        target = MetricsRegistry()
+        target.merge_snapshot(build_registry().to_snapshot(), extra_labels={"shard": "0"})
+        target.merge_snapshot(build_registry().to_snapshot(), extra_labels={"shard": "1"})
+        assert target.counter("repro_test_jobs_total", labels={"shard": "0"}).value == 5
+        assert target.counter("repro_test_jobs_total", labels={"shard": "1"}).value == 5
+        # Labelled children keep their own labels plus the shard label.
+        labelled = target.counter(
+            "repro_test_jobs_total", labels={"op": "solve", "shard": "1"}
+        )
+        assert labelled.value == 2
+
+    def test_rollup_merge_without_labels_sums_across_shards(self):
+        target = MetricsRegistry()
+        snapshot = build_registry().to_snapshot()
+        for shard in ("0", "1"):
+            target.merge_snapshot(snapshot, extra_labels={"shard": shard})
+            target.merge_snapshot(snapshot)
+        assert target.counter("repro_test_jobs_total").value == 10
+
+    def test_merge_is_idempotent_on_a_fresh_registry_per_render(self):
+        # The server never merges twice into one registry for the same
+        # shard; it rebuilds from the latest snapshots.  Two rebuilds of
+        # the same snapshot must agree exactly.
+        snapshot = build_registry().to_snapshot()
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.merge_snapshot(snapshot)
+        second.merge_snapshot(snapshot)
+        assert first.to_snapshot() == second.to_snapshot()
+
+    def test_mismatched_histogram_buckets_are_rejected(self):
+        target = MetricsRegistry()
+        target.histogram("repro_test_latency_ms", buckets=(1.0, 2.0))
+        source = MetricsRegistry()
+        source.histogram("repro_test_latency_ms", buckets=(10.0, 100.0)).observe(1.0)
+        with pytest.raises(ReproError):
+            target.merge_snapshot(source.to_snapshot())
+
+    def test_unknown_kind_is_rejected(self):
+        snapshot = {
+            "families": [
+                {"name": "x", "kind": "summary", "help": "", "children": [{"labels": {}}]}
+            ]
+        }
+        with pytest.raises(ReproError):
+            MetricsRegistry().merge_snapshot(snapshot)
+
+    def test_kind_conflict_with_existing_registration_is_rejected(self):
+        target = MetricsRegistry()
+        target.gauge("repro_test_jobs_total")
+        with pytest.raises(ReproError):
+            target.merge_snapshot(build_registry().to_snapshot())
+
+
+class TestHistogramMergeState:
+    def test_merge_state_validates_bucket_count_length(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ReproError):
+            histogram.merge_state(
+                {"buckets": [1.0, 2.0], "bucket_counts": [1], "count": 1, "total": 1.0}
+            )
+
+    def test_round_trip_through_state_snapshot(self):
+        source = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            source.observe(value)
+        target = Histogram("h", buckets=(1.0, 10.0))
+        target.merge_state(source.state_snapshot())
+        assert target.state_snapshot() == source.state_snapshot()

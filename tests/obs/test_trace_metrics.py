@@ -1,0 +1,74 @@
+"""Tests of the tracer's self-telemetry (drop counter, occupancy gauge).
+
+The instruments live on the process-global registry and are shared by
+every :class:`Tracer` instance, so the assertions are delta-based — the
+suite runs other tracer tests in the same process.
+"""
+
+from repro.obs.metrics import get_registry
+from repro.obs.trace import Tracer
+
+
+def _dropped_total() -> int:
+    return get_registry().counter("repro_obs_spans_dropped_total").value
+
+
+def _occupancy() -> float:
+    return get_registry().gauge("repro_obs_span_buffer_spans").value
+
+
+def _finish_span(tracer: Tracer, name: str = "stage") -> None:
+    with tracer.span(name):
+        pass
+
+
+class TestDropCounter:
+    def test_ring_overflow_increments_the_global_counter(self):
+        tracer = Tracer(enabled=True, buffer_size=2)
+        before = _dropped_total()
+        for _ in range(5):
+            _finish_span(tracer)
+        assert tracer.dropped == 3
+        assert _dropped_total() - before == 3
+
+    def test_adopted_records_count_drops_too(self):
+        tracer = Tracer(enabled=True, buffer_size=1)
+        before = _dropped_total()
+        records = [
+            {"name": f"s{i}", "trace_id": "t", "span_id": str(i), "duration_ms": 1.0}
+            for i in range(3)
+        ]
+        tracer.adopt(records)
+        assert _dropped_total() - before == tracer.dropped
+        assert tracer.dropped == 2
+
+    def test_no_drops_while_the_ring_has_room(self):
+        tracer = Tracer(enabled=True, buffer_size=16)
+        before = _dropped_total()
+        for _ in range(4):
+            _finish_span(tracer)
+        assert tracer.dropped == 0
+        assert _dropped_total() == before
+
+
+class TestOccupancyGauge:
+    def test_gauge_tracks_buffered_spans(self):
+        tracer = Tracer(enabled=True, buffer_size=8)
+        for _ in range(3):
+            _finish_span(tracer)
+        assert _occupancy() == 3.0
+
+    def test_drain_zeroes_the_gauge(self):
+        tracer = Tracer(enabled=True, buffer_size=8)
+        _finish_span(tracer)
+        assert _occupancy() >= 1.0
+        tracer.drain()
+        assert _occupancy() == 0.0
+
+    def test_adopt_updates_the_gauge(self):
+        tracer = Tracer(enabled=True, buffer_size=8)
+        tracer.adopt(
+            [{"name": "s", "trace_id": "t", "span_id": "1", "duration_ms": 1.0}]
+        )
+        assert _occupancy() == 1.0
+        tracer.drain()

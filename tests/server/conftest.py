@@ -25,6 +25,22 @@ from repro.service.frontend import ServiceFrontend
 from repro.service.registry import SolverRegistry
 
 
+def wait_until(predicate, timeout_s: float = 15.0, interval_s: float = 0.05):
+    """Poll ``predicate`` until truthy; fail the test on timeout.
+
+    Condition polling instead of fixed sleeps: returns on the first
+    pass on a fast machine and cannot race a loaded CI runner.  Shared
+    by the fault-injection and cluster-observability suites.
+    """
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval_s)
+    raise AssertionError(f"condition not reached within {timeout_s}s: {predicate}")
+
+
 def tiny_problem(name: str = "server-test") -> MQOProblem:
     """The paper's worked example: 3 distinct solution costs (5, 3, 2)."""
     return MQOProblem(

@@ -17,30 +17,15 @@ fast default lane.
 
 import os
 import signal
-import time
 
 import pytest
 
 from repro.server.app import ServerConfig
 from repro.server.client import SolverClient
 
-from tests.server.conftest import tiny_problem
+from tests.server.conftest import tiny_problem, wait_until
 
 pytestmark = pytest.mark.stress
-
-#: Generous ceiling for condition polls (kill detection, respawn).
-_WAIT_S = 15.0
-
-
-def wait_until(predicate, timeout_s: float = _WAIT_S, interval_s: float = 0.05):
-    """Poll ``predicate`` until truthy; fail the test on timeout."""
-    deadline = time.monotonic() + timeout_s
-    while time.monotonic() < deadline:
-        value = predicate()
-        if value:
-            return value
-        time.sleep(interval_s)
-    raise AssertionError(f"condition not reached within {timeout_s}s: {predicate}")
 
 
 def executing_shard(client: SolverClient):
@@ -166,6 +151,49 @@ class TestIdleKill:
                 spec = {"queries": 4, "plans": 2, "seed": seed}
                 assert client.solve(spec, solver="STEP", budget_ms=500.0).ok
             assert client.stats()["counters"].get("jobs_failed", 0) == 0
+
+
+class TestHealthDuringFault:
+    def test_health_degrades_on_kill_and_recovers_after_respawn(self, server_factory):
+        """The ``health`` op tracks a kill through degraded back to ok.
+
+        Between the parent noticing the SIGKILL and the replacement
+        shard reporting ready, the slot is dead or booting — the op
+        must report ``degraded`` in that window (polled tightly; the
+        respawn takes a process boot, so the window is wide enough to
+        observe), then return to ``ok`` with the restart counted in
+        both the health payload and the Prometheus exposition.
+        """
+        handle = server_factory(ServerConfig(workers=2, shards=2))
+        with SolverClient(port=handle.port) as client:
+            before = client.health()
+            assert before["verdict"] == "ok"
+            assert before["alive"] == 2
+            pid = before["shards"]["0"]["pid"]
+            os.kill(pid, signal.SIGKILL)
+
+            def degraded():
+                health = client.health()
+                return health if health["verdict"] == "degraded" else None
+
+            health = wait_until(degraded, interval_s=0.005)
+            assert health["alive"] < 2
+
+            def recovered():
+                health = client.health()
+                return health if health["verdict"] == "ok" else None
+
+            health = wait_until(recovered)
+            assert health["alive"] == 2
+            assert health["restarts"] >= 1
+            assert health["shards"]["0"]["restarts"] >= 1
+            assert health["shards"]["0"]["pid"] != pid
+            text = client.metrics_text()
+            assert 'repro_server_shard_restarts_total{shard="0"} 1' in text
+            # The lifecycle left an audit trail on the event log.
+            kinds = [event["kind"] for event in health["events"]]
+            assert "shard_exit" in kinds
+            assert "shard_respawn" in kinds
 
 
 class TestDrainAfterFault:

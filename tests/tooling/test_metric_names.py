@@ -1,0 +1,85 @@
+"""Tier-1 enforcement of the metric naming lint CI gate."""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TOOL_PATH = REPO_ROOT / "tools" / "check_metric_names.py"
+
+spec = importlib.util.spec_from_file_location("check_metric_names", TOOL_PATH)
+_lint = importlib.util.module_from_spec(spec)
+sys.modules["check_metric_names"] = _lint
+spec.loader.exec_module(_lint)
+
+
+def _violations(source: str):
+    return _lint.check_source(Path("snippet.py"), source)
+
+
+class TestCheckSource:
+    def test_conforming_names_pass(self):
+        source = (
+            "registry.counter('repro_jobs_total', 'help')\n"
+            "registry.gauge('repro_queue_depth')\n"
+            "registry.histogram('repro_latency_ms')\n"
+        )
+        assert _violations(source) == []
+
+    def test_counter_without_total_suffix_fails(self):
+        (violation,) = _violations("registry.counter('repro_jobs')")
+        assert "_total" in violation[1]
+
+    def test_gauge_with_total_suffix_fails(self):
+        (violation,) = _violations("registry.gauge('repro_depth_total')")
+        assert "must not end" in violation[1]
+
+    def test_histogram_without_unit_suffix_fails(self):
+        (violation,) = _violations("registry.histogram('repro_latency')")
+        assert "unit suffix" in violation[1]
+
+    def test_unprefixed_or_uppercase_names_fail(self):
+        assert _violations("r.counter('jobs_total')")
+        assert _violations("r.counter('repro_Jobs_total')")
+
+    def test_dynamic_names_are_skipped(self):
+        source = (
+            "r.counter(f'repro_server_shard_{short}_total')\n"
+            "r.gauge(name)\n"
+            "unrelated('repro_bad')\n"
+        )
+        assert _violations(source) == []
+
+    def test_syntax_errors_are_reported_not_raised(self):
+        (violation,) = _violations("def broken(:\n")
+        assert "cannot parse" in violation[1]
+
+
+class TestRepositoryGate:
+    def test_src_and_benchmarks_conform(self):
+        # The same invocation .github/workflows/ci.yml runs.
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "tools" / "check_metric_names.py"),
+                "src",
+                "benchmarks",
+            ],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_cli_flags_violations(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("registry.counter('repro_jobs')\n")
+        result = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "check_metric_names.py"), str(bad)],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 1
+        assert "repro_jobs" in result.stdout

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Static lint for Prometheus metric naming conventions.
+
+Walks the given Python files (or directories of them) and inspects
+every ``.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)`` call
+whose first argument is a string literal.  Names must follow the
+repository conventions so the exposition stays scrapable and greppable:
+
+* every series is ``repro_``-prefixed lowercase snake case,
+* counters end in ``_total`` (Prometheus counter convention),
+* gauges and histograms do **not** end in ``_total``,
+* histograms carry an explicit unit suffix (``_ms``, ``_seconds``
+  or ``_bytes``), since the bucket bounds are meaningless without one.
+
+Dynamically built names (f-strings, variables) are skipped — the lint
+is a cheap net for the common literal case, not a type system.
+
+Usage::
+
+    python tools/check_metric_names.py src benchmarks
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+#: Registry methods whose first argument is a metric name.
+_INSTRUMENT_METHODS = ("counter", "gauge", "histogram")
+
+_NAME_PATTERN = re.compile(r"^repro_[a-z0-9]+(_[a-z0-9]+)*$")
+
+#: Unit suffixes accepted on histogram names.
+_HISTOGRAM_UNITS = ("_ms", "_seconds", "_bytes")
+
+
+def check_source(path: Path, source: str) -> List[Tuple[int, str]]:
+    """Convention violations in one file as ``(line, message)``."""
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [(exc.lineno or 0, f"cannot parse file: {exc.msg}")]
+    violations: List[Tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _INSTRUMENT_METHODS:
+            continue
+        first = node.args[0]
+        if not isinstance(first, ast.Constant) or not isinstance(first.value, str):
+            continue  # dynamic name; out of scope
+        name = first.value
+        kind = func.attr
+        if not _NAME_PATTERN.match(name):
+            violations.append(
+                (node.lineno, f"{kind} {name!r} is not repro_-prefixed lowercase snake case")
+            )
+            continue
+        if kind == "counter" and not name.endswith("_total"):
+            violations.append((node.lineno, f"counter {name!r} must end in '_total'"))
+        if kind != "counter" and name.endswith("_total"):
+            violations.append(
+                (node.lineno, f"{kind} {name!r} must not end in '_total' (counters only)")
+            )
+        if kind == "histogram" and not name.endswith(_HISTOGRAM_UNITS):
+            violations.append(
+                (
+                    node.lineno,
+                    f"histogram {name!r} needs a unit suffix "
+                    f"({', '.join(_HISTOGRAM_UNITS)})",
+                )
+            )
+    return violations
+
+
+def main(argv: List[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="+", help="python files or directories")
+    args = parser.parse_args(argv)
+
+    files: List[Path] = []
+    for raw in args.paths:
+        root = Path(raw)
+        files.extend(sorted(root.rglob("*.py")) if root.is_dir() else [root])
+    if not files:
+        print("no python files found", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for file in files:
+        for line_number, message in check_source(file, file.read_text()):
+            print(f"{file}:{line_number}: {message}")
+            failures += 1
+    if failures:
+        print(f"FAIL: {failures} metric naming violation(s) across {len(files)} file(s)")
+        return 1
+    print(f"OK: metric names conform in {len(files)} python file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
