@@ -116,6 +116,22 @@ def bench_sparse_annealer(benchmark, save_exhibit):
     benchmark.pedantic(run_sparse, rounds=1, iterations=1)
     speedup = dense_s / sparse_s
 
+    # Optional lane: the native numba sweep kernel (skips cleanly when
+    # the optional dependency is absent, e.g. in CI).
+    from repro.annealer.numba_kernels import HAVE_NUMBA
+
+    numba_s = None
+    if HAVE_NUMBA:
+        native = SimulatedAnnealingSampler(
+            num_sweeps=NUM_SWEEPS, backend="numba", compile_cache=CompileCache(maxsize=0)
+        )
+
+        def run_numba():
+            return native.sample_states(qubo, num_reads=NUM_READS, seed=SEED)
+
+        run_numba()  # warm up (triggers JIT compilation)
+        numba_s = _best_of(run_numba)
+
     compiled = compile_qubo(qubo)
     dense_bytes = compiled.num_variables**2 * 8
     sparse_bytes = compiled.nbytes_sparse()
@@ -157,6 +173,9 @@ def bench_sparse_annealer(benchmark, save_exhibit):
         "gauge_batch_looped_ms": round(looped_s * 1000, 2),
         "gauge_batch_speedup": round(looped_s / fused_s, 2),
     }
+    if numba_s is not None:
+        record["numba_ms"] = round(numba_s * 1000, 2)
+        record["numba_speedup_vs_sparse"] = round(sparse_s / numba_s, 2)
     results_dir = Path(__file__).resolve().parent.parent / "benchmark_results"
     results_dir.mkdir(exist_ok=True)
     (results_dir / "sparse_annealer.json").write_text(json.dumps(record, indent=2))

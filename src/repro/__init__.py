@@ -111,7 +111,7 @@ from repro.service import (
     default_registry,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 from repro.server import (  # noqa: E402 — needs __version__ for the hello frame
     ServerConfig,

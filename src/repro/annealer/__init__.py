@@ -23,9 +23,11 @@ from repro.annealer.compile import (
 )
 from repro.annealer.simulated_annealing import SimulatedAnnealingSampler
 from repro.annealer.batched import BatchedAnnealer, BlockResult
+from repro.annealer.fusion import FusionGroup, FusionWindow, fused_sample_block_states
 from repro.annealer.gauge import GaugeTransform, random_gauge
 from repro.annealer.noise import NoiseModel
-from repro.annealer.device import DWaveSamplerSimulator
+from repro.annealer.device import DWaveSamplerSimulator, ProgrammedAnneal
+from repro.annealer.numba_kernels import HAVE_NUMBA
 
 __all__ = [
     "AnnealingSchedule",
@@ -40,8 +42,13 @@ __all__ = [
     "SimulatedAnnealingSampler",
     "BatchedAnnealer",
     "BlockResult",
+    "FusionGroup",
+    "FusionWindow",
+    "fused_sample_block_states",
     "GaugeTransform",
     "random_gauge",
     "NoiseModel",
     "DWaveSamplerSimulator",
+    "ProgrammedAnneal",
+    "HAVE_NUMBA",
 ]

@@ -19,7 +19,10 @@ substitution preserves the experiments' structure.
 
 from __future__ import annotations
 
-from typing import Hashable, List
+from dataclasses import dataclass
+from typing import Dict, Hashable, List
+
+import numpy as np
 
 from repro.annealer.batched import BatchedAnnealer
 from repro.annealer.gauge import GaugeTransform, random_gauge
@@ -43,9 +46,44 @@ _GAUGES_TOTAL = get_registry().counter(
     "repro_anneal_gauge_batches_total", "Gauge batches programmed."
 )
 
-__all__ = ["DWaveSamplerSimulator"]
+__all__ = ["DWaveSamplerSimulator", "ProgrammedAnneal"]
 
 Variable = Hashable
+
+
+@dataclass
+class ProgrammedAnneal:
+    """A request after gauge/noise programming, before any annealing.
+
+    Splitting :meth:`DWaveSamplerSimulator.sample_qubo` at this seam
+    lets the cross-request fusion path program many jobs first, anneal
+    them all in one :class:`~repro.annealer.fusion.FusionWindow`, and
+    assemble each job's :class:`SampleSet` afterwards — with exactly
+    the draws the solo path would have made (programming consumes the
+    request stream before any sweep does, in both paths).
+
+    Attributes
+    ----------
+    qubo:
+        The original (noiseless) physical QUBO energies are read under.
+    gauges / programmed_qubos:
+        Per gauge batch: the gauge transform and the programmed
+        (gauged, noise-perturbed) QUBO handed to the annealer.
+    batch_sizes:
+        Reads of each gauge batch (sums to ``num_reads``).
+    num_reads:
+        Total reads requested.
+    rng:
+        The request stream, positioned after the programming draws —
+        the annealing stage continues it.
+    """
+
+    qubo: QUBOModel
+    gauges: List[GaugeTransform]
+    programmed_qubos: List[QUBOModel]
+    batch_sizes: List[int]
+    num_reads: int
+    rng: np.random.Generator
 
 
 class DWaveSamplerSimulator:
@@ -157,6 +195,11 @@ class DWaveSamplerSimulator:
     ) -> SampleSet:
         """Run annealing reads for a physical QUBO.
 
+        Composed of the three stages the fusion path splits apart:
+        :meth:`program_anneal` (validation, gauge + noise draws),
+        :meth:`anneal_programmed` (the annealing sweeps) and
+        :meth:`assemble_samples` (gauge inversion, energies, timing).
+
         Parameters
         ----------
         qubo:
@@ -166,6 +209,26 @@ class DWaveSamplerSimulator:
             paper's 1000 reads in 10 gauges.
         seed:
             Optional per-request seed (falls back to the device stream).
+        """
+        programmed = self.program_anneal(
+            qubo, num_reads=num_reads, num_gauges=num_gauges, seed=seed
+        )
+        return self.assemble_samples(programmed, self.anneal_programmed(programmed))
+
+    def program_anneal(
+        self,
+        qubo: QUBOModel,
+        num_reads: int | None = None,
+        num_gauges: int | None = None,
+        seed: SeedLike = None,
+    ) -> ProgrammedAnneal:
+        """Validate a request and program its gauge batches.
+
+        All gauge and noise draws happen here, in batch order, leaving
+        the returned :attr:`ProgrammedAnneal.rng` positioned exactly
+        where the annealing stage expects it — whether the sweeps then
+        run solo (:meth:`anneal_programmed`) or fused across requests
+        (:class:`~repro.annealer.fusion.FusionWindow`).
         """
         num_reads = self.spec.default_num_reads if num_reads is None else num_reads
         num_gauges = self.spec.default_num_gauges if num_gauges is None else num_gauges
@@ -182,9 +245,6 @@ class DWaveSamplerSimulator:
         scale = ising.max_abs_weight()
 
         batch_sizes = self._batch_sizes(num_reads, num_gauges)
-        # Program every gauge batch up front (gauge + noise draws happen in
-        # batch order either way), then anneal: fused in one block-diagonal
-        # problem when batching is on, sequentially otherwise.
         gauges: List[GaugeTransform] = []
         programmed_qubos: List[QUBOModel] = []
         for _ in batch_sizes:
@@ -193,33 +253,76 @@ class DWaveSamplerSimulator:
             noisy = self.noise.perturb_ising(gauged, self._static_bias, scale, seed=rng)
             gauges.append(gauge)
             programmed_qubos.append(ising_to_qubo(noisy))
+        return ProgrammedAnneal(
+            qubo=qubo,
+            gauges=gauges,
+            programmed_qubos=programmed_qubos,
+            batch_sizes=batch_sizes,
+            num_reads=num_reads,
+            rng=rng,
+        )
 
+    def anneal_programmed(
+        self, programmed: ProgrammedAnneal
+    ) -> List[List[Dict[Variable, int]]]:
+        """Anneal a programmed request, returning per-batch assignments.
+
+        Fused in one block-diagonal problem when gauge batching is on,
+        sequentially otherwise.
+        """
+        batch_sizes = programmed.batch_sizes
+        rng = programmed.rng
         if self.batch_gauges and len(batch_sizes) > 1:
             # Fused blocks share one read count; anneal the maximum and let
             # each batch keep only its first batch_size reads.  The raw
             # state matrices are consumed directly — energies are evaluated
-            # below on the noiseless problem anyway.
+            # during assembly on the noiseless problem anyway.
             block_states, block_compiled = self.batched_sampler.sample_block_states(
-                programmed_qubos, num_reads=max(batch_sizes), seed=rng
+                programmed.programmed_qubos, num_reads=max(batch_sizes), seed=rng
             )
-            per_batch_assignments = [
-                [
-                    {var: int(states[r, i]) for i, var in enumerate(block.variables)}
-                    for r in range(batch_size)
-                ]
-                for states, block, batch_size in zip(
-                    block_states, block_compiled, batch_sizes
-                )
-            ]
-        else:
-            per_batch_assignments = [
-                self.sampler.sample(programmed, num_reads=batch_size, seed=rng)[0]
-                for programmed, batch_size in zip(programmed_qubos, batch_sizes)
-            ]
+            return self.batch_assignments(block_states, block_compiled, batch_sizes)
+        return [
+            self.sampler.sample(programmed_qubo, num_reads=batch_size, seed=rng)[0]
+            for programmed_qubo, batch_size in zip(programmed.programmed_qubos, batch_sizes)
+        ]
 
+    @staticmethod
+    def batch_assignments(
+        block_states: List[np.ndarray],
+        block_compiled: List[object],
+        batch_sizes: List[int],
+    ) -> List[List[Dict[Variable, int]]]:
+        """Per-batch assignment dicts from raw block state matrices.
+
+        Shared by the solo batched path and the cross-request fusion
+        path so both decode fused states identically (each batch keeps
+        only its first ``batch_size`` reads).
+        """
+        return [
+            [
+                {var: int(states[r, i]) for i, var in enumerate(block.variables)}
+                for r in range(batch_size)
+            ]
+            for states, block, batch_size in zip(block_states, block_compiled, batch_sizes)
+        ]
+
+    def assemble_samples(
+        self,
+        programmed: ProgrammedAnneal,
+        per_batch_assignments: List[List[Dict[Variable, int]]],
+    ) -> SampleSet:
+        """Undo the gauges and account the reads into a :class:`SampleSet`.
+
+        Energies are evaluated under the original (noiseless) QUBO;
+        device time follows the spec's per-read constant regardless of
+        how long the simulation took on the host.
+        """
+        qubo = programmed.qubo
         samples: List[Sample] = []
         read_index = 0
-        for gauge_index, (gauge, assignments) in enumerate(zip(gauges, per_batch_assignments)):
+        for gauge_index, (gauge, assignments) in enumerate(
+            zip(programmed.gauges, per_batch_assignments)
+        ):
             for assignment in assignments:
                 original = gauge.apply_to_binary(assignment)
                 energy = qubo.energy(original)
@@ -233,17 +336,17 @@ class DWaveSamplerSimulator:
                 )
                 read_index += 1
 
-        _READS_TOTAL.inc(num_reads)
-        _GAUGES_TOTAL.inc(len(batch_sizes))
+        _READS_TOTAL.inc(programmed.num_reads)
+        _GAUGES_TOTAL.inc(len(programmed.batch_sizes))
         return SampleSet(
             samples=samples,
             per_read_time_ms=self.time_per_read_ms,
-            programming_time_ms=self.programming_time_ms * len(batch_sizes),
+            programming_time_ms=self.programming_time_ms * len(programmed.batch_sizes),
             info={
                 "device": self.spec.name,
-                "num_reads": num_reads,
-                "num_gauges": len(batch_sizes),
-                "num_problem_qubits": len(variables),
+                "num_reads": programmed.num_reads,
+                "num_gauges": len(programmed.batch_sizes),
+                "num_problem_qubits": len(qubo.variables),
             },
         )
 

@@ -1,0 +1,117 @@
+"""Optional numba-compiled Metropolis sweep kernel.
+
+The numpy sparse backend pays a fixed dispatch cost per colour class per
+sweep (a CSR matvec plus a handful of elementwise ufuncs); on small
+Chimera problems that fixed cost dominates.  This module provides a
+single fused kernel that does the field gather, the Metropolis
+acceptance test and the state update of one colour class in one
+compiled loop — no intermediate arrays, no per-ufunc dispatch.
+
+numba is **optional**: the container image does not ship it and nothing
+here must force the import at package load.  :data:`HAVE_NUMBA` reports
+availability; when it is ``False`` the public entry point raises
+:class:`~repro.exceptions.DeviceError` with an actionable message and
+callers (the ``backend="numba"`` seam, the benchmark lane, the tests)
+skip cleanly.
+
+Bit-equivalence: the kernel consumes the *same* uniforms the numpy
+backends draw (the caller draws them before invoking the kernel, so the
+random stream is identical by construction) and accumulates each row's
+local field in CSR index order — the same order ``scipy``'s CSR matvec
+uses — so sums agree bit for bit.  The one genuinely different
+operation is ``exp``: numba lowers to libm's ``exp`` while numpy uses
+its own vectorised implementation, which may disagree in the last ulp.
+An acceptance decision flips only when a uniform lands inside that
+last-ulp gap — the same measure-zero caveat the sparse-vs-dense
+equivalence already carries.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import DeviceError
+
+__all__ = ["HAVE_NUMBA", "require_numba", "metropolis_class_update"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the default in this container
+    numba = None
+    HAVE_NUMBA = False
+
+
+def require_numba() -> None:
+    """Raise :class:`DeviceError` when numba is not importable.
+
+    Called at backend construction so a misconfigured ``backend="numba"``
+    fails fast with a clear message instead of deep inside a sweep.
+    """
+    if not HAVE_NUMBA:
+        raise DeviceError(
+            'backend="numba" requires the optional numba package, which is not '
+            'installed; use backend="sparse" (the default) or install numba'
+        )
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+
+    @numba.njit(cache=True, nogil=True)
+    def _class_update(indptr, indices, data, linear, members, states_t, uniforms, beta):
+        rows = members.shape[0]
+        num_reads = states_t.shape[1]
+        for i in range(rows):
+            member = members[i]
+            start, end = indptr[i], indptr[i + 1]
+            for r in range(num_reads):
+                # Local field in CSR index order — the same accumulation
+                # order as scipy's CSR matvec, so sums match bit for bit.
+                field = linear[i]
+                for k in range(start, end):
+                    field += data[k] * states_t[indices[k], r]
+                current = states_t[member, r]
+                tilt = 1.0 - 2.0 * current
+                delta = tilt * field
+                if delta <= 0.0 or uniforms[i, r] < math.exp(-beta * delta):
+                    states_t[member, r] = 1.0 - current
+
+    def metropolis_class_update(
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        linear: np.ndarray,
+        members: np.ndarray,
+        states_t: np.ndarray,
+        uniforms: np.ndarray,
+        beta: float,
+    ) -> None:
+        """Fused field/accept/update of one colour class, in place.
+
+        Parameters
+        ----------
+        indptr / indices / data:
+            CSR arrays of the class's ``(|class|, n)`` coupling rows.
+        linear:
+            Linear field of the class members (``compiled.linear[members]``).
+        members:
+            Global variable indices of the class (row order).
+        states_t:
+            The ``(n, num_reads)`` state tensor, updated in place.
+        uniforms:
+            Pre-drawn ``(|class|, num_reads)`` uniforms — drawing stays
+            with the caller so every backend consumes the random stream
+            identically.
+        beta:
+            Inverse temperature of this sweep.
+        """
+        _class_update(indptr, indices, data, linear, members, states_t, uniforms, beta)
+
+else:
+
+    def metropolis_class_update(*_args, **_kwargs) -> None:
+        """Unavailable without numba; see :func:`require_numba`."""
+        require_numba()

@@ -8,7 +8,7 @@ colour class (a proper colouring of the interaction graph guarantees
 that simultaneously updated variables do not interact, so the update is
 equivalent to sequential single-flip Metropolis within the class).
 
-Two backends share the Metropolis logic and the random stream:
+Three backends share the Metropolis logic and the random stream:
 
 * ``"sparse"`` (the default) computes each class's local field with the
   CSR gather plans of :mod:`repro.annealer.compile`, so a sweep costs
@@ -16,9 +16,13 @@ Two backends share the Metropolis logic and the random stream:
   orders of magnitude below the dense cost,
 * ``"dense"`` multiplies against the full coupling matrix exactly as
   the original implementation did; it is kept as the reference for the
-  sparse-vs-dense equivalence tests and the benchmark baseline.
+  sparse-vs-dense equivalence tests and the benchmark baseline,
+* ``"numba"`` (opt-in; requires the optional numba package, see
+  :mod:`repro.annealer.numba_kernels`) fuses the field gather, the
+  acceptance test and the state update of each class into one compiled
+  loop, removing the per-ufunc dispatch cost entirely.
 
-Both backends draw the same random numbers in the same order, so equal
+All backends draw the same random numbers in the same order, so equal
 seeds produce equal samples (up to floating-point ties of measure zero).
 """
 
@@ -106,13 +110,15 @@ class SimulatedAnnealingSampler:
         geometric schedule scaled to the problem's weights is used.
     backend:
         ``"sparse"`` (default) for the CSR gather path, ``"dense"`` for
-        the reference dense-matrix path.
+        the reference dense-matrix path, ``"numba"`` for the optional
+        compiled kernel (raises :class:`DeviceError` at construction
+        when numba is not installed).
     compile_cache:
         Structure cache consulted when compiling QUBOs; defaults to the
         process-wide cache.  Pass ``CompileCache(maxsize=0)`` to disable.
     """
 
-    BACKENDS = ("sparse", "dense")
+    BACKENDS = ("sparse", "dense", "numba")
 
     def __init__(
         self,
@@ -125,6 +131,10 @@ class SimulatedAnnealingSampler:
             raise DeviceError(f"num_sweeps must be positive, got {num_sweeps}")
         if backend not in self.BACKENDS:
             raise DeviceError(f"unknown backend {backend!r}; expected one of {self.BACKENDS}")
+        if backend == "numba":
+            from repro.annealer.numba_kernels import require_numba
+
+            require_numba()
         self.num_sweeps = num_sweeps
         self.schedule = schedule
         self.backend = backend
@@ -199,6 +209,8 @@ class SimulatedAnnealingSampler:
         states_t = np.ascontiguousarray(states.T)
         if self.backend == "dense":
             self._anneal_dense(states_t, compiled, betas, rng)
+        elif self.backend == "numba":
+            self._anneal_numba(states_t, compiled, betas, rng)
         else:
             self._anneal_sparse(states_t, compiled, betas, rng)
         return np.ascontiguousarray(states_t.T), compiled
@@ -281,6 +293,49 @@ class SimulatedAnnealingSampler:
 
         field_fns = [make_field_fn(k) for k in range(compiled.num_classes)]
         self._run_sweeps(states_t, compiled, betas, rng, field_fns)
+
+    def _anneal_numba(
+        self,
+        states_t: np.ndarray,
+        compiled: CompiledQUBO,
+        betas: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        """Sweep via the fused compiled kernel (optional numba backend).
+
+        The uniforms are drawn here, per class per sweep, with exactly
+        the shape the numpy backends draw inside
+        :func:`_metropolis_flips` — the kernel itself never touches the
+        generator, so all backends consume one identical random stream.
+        The CSR arrays are taken straight from the compiled gather plans
+        (not from scipy), so the backend works wherever compilation
+        does; the kernel accumulates each row's field in the same index
+        order as the CSR matvec.
+        """
+        from repro.annealer.numba_kernels import metropolis_class_update
+
+        classes = compiled.structure.classes
+        num_reads = states_t.shape[1]
+        per_class = []
+        for k, plan in enumerate(classes):
+            lengths = plan.segment_lengths
+            per_class.append(
+                (
+                    np.concatenate([[0], np.cumsum(lengths)]).astype(np.int64),
+                    plan.neighbor_cols.astype(np.int64),
+                    np.ascontiguousarray(compiled.class_neighbor_data[k], dtype=float),
+                    np.ascontiguousarray(compiled.linear[plan.members], dtype=float),
+                    plan.members.astype(np.int64),
+                    np.empty((plan.members.size, num_reads)),
+                )
+            )
+        for beta in betas:
+            beta = float(beta)
+            for indptr, indices, data, linear, members, uniforms in per_class:
+                rng.random(out=uniforms)
+                metropolis_class_update(
+                    indptr, indices, data, linear, members, states_t, uniforms, beta
+                )
 
     def _anneal_dense(
         self,

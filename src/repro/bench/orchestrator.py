@@ -148,6 +148,11 @@ class BenchRunConfig:
         scenario seeds, so the *problems* do not depend on this).
     workers:
         Server worker slots (``server`` mode only; 0 picks the default).
+    fusion_window_ms / fusion_max_jobs:
+        ``server`` mode only: a positive window selects the
+        :class:`~repro.server.workers.FusionPool`, which coalesces
+        annealing jobs admitted within the window into one fused
+        block-diagonal anneal (see ``docs/fusion.md``).
     quality_reference:
         Registered solver providing the best-known quality reference;
         empty string disables the quality pass.
@@ -160,6 +165,8 @@ class BenchRunConfig:
     instances: Optional[int] = None
     seed: int = 0
     workers: int = 0
+    fusion_window_ms: float = 0.0
+    fusion_max_jobs: int = 8
     quality_reference: str = "GREEDY"
     extra_config: Dict[str, Any] = field(default_factory=dict)
 
@@ -212,6 +219,10 @@ class BenchOrchestrator:
         #: Spans collected during the last :meth:`run` (the CLI's
         #: ``--trace`` flag writes these out as NDJSON).
         self.last_spans: List[Span] = []
+        #: Raw per-job latencies of the last :meth:`run`, in completion
+        #: order — lets composite benches (e.g. the fusion A/B) merge
+        #: several runs into one honest totals summary.
+        self.last_latencies: List[float] = []
         self._server_stats: Optional[Dict[str, Any]] = None
 
     @property
@@ -293,7 +304,14 @@ class BenchOrchestrator:
         """
         workers = self.config.workers or 2
         handle = run_server_in_thread(
-            ServerConfig(port=0, workers=workers, queue_capacity=1024), self.frontend
+            ServerConfig(
+                port=0,
+                workers=workers,
+                queue_capacity=1024,
+                fusion_window_ms=self.config.fusion_window_ms,
+                fusion_max_jobs=self.config.fusion_max_jobs,
+            ),
+            self.frontend,
         )
         try:
             if self.suite.arrival is not None:
@@ -482,6 +500,7 @@ class BenchOrchestrator:
             if spec.name in by_scenario
         ]
         all_latencies = [o.latency_ms for o in outcomes]
+        self.last_latencies = list(all_latencies)
         queue_wait = (self._server_stats or {}).get("queue_wait")
         totals = {
             "jobs": len(outcomes),
@@ -498,6 +517,9 @@ class BenchOrchestrator:
             "workers": self.config.workers,
             "quality_reference": self.config.quality_reference,
         }
+        if self.config.fusion_window_ms > 0:
+            config["fusion_window_ms"] = self.config.fusion_window_ms
+            config["fusion_max_jobs"] = self.config.fusion_max_jobs
         if self._open_loop:
             # Open-loop runs take their job count from the arrival
             # schedule; reporting instances_per_scenario here would

@@ -190,6 +190,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard metrics/health heartbeat period in seconds",
     )
     serve.add_argument(
+        "--fusion-window-ms",
+        type=float,
+        default=0.0,
+        help=(
+            "fuse annealing jobs admitted within this window into one "
+            "block-diagonal anneal (0 = off; see docs/fusion.md; "
+            "ignored with --shards)"
+        ),
+    )
+    serve.add_argument(
+        "--fusion-max-jobs",
+        type=int,
+        default=8,
+        help="flush a fusion window early once it holds this many jobs",
+    )
+    serve.add_argument(
         "--queue-capacity", type=int, default=128, help="admission-control queue bound"
     )
     serve.add_argument(
@@ -724,6 +740,8 @@ def _run_serve_traced(args: argparse.Namespace) -> int:
         max_budget_ms=args.budget_cap_ms,
         shards=args.shards,
         shard_heartbeat_s=args.shard_heartbeat_s,
+        fusion_window_ms=args.fusion_window_ms,
+        fusion_max_jobs=args.fusion_max_jobs,
     )
     # functools.partial over a module-level function keeps the factory
     # picklable, so shards can boot under the spawn start method too.
@@ -782,6 +800,7 @@ def _run_serve_traced(args: argparse.Namespace) -> int:
         print(
             f"repro-mqo serve: listening on {server.host}:{server.port} "
             f"(workers={config.workers}, shards={config.shards}, "
+            f"fusion_window_ms={config.fusion_window_ms}, "
             f"queue={config.queue_capacity})",
             file=sys.stderr,
             flush=True,

@@ -36,7 +36,7 @@ from repro.server import protocol
 from repro.server.metrics import ServerMetrics
 from repro.server.queue import JobQueue, ServerJob
 from repro.server.streaming import StreamBroker
-from repro.server.workers import WorkerPool
+from repro.server.workers import FusionPool, WorkerPool
 from repro.service.frontend import ServiceFrontend
 from repro.service.jobs import request_from_spec
 
@@ -86,6 +86,14 @@ class ServerConfig:
         bound (protects pipelined clients that wait() after submitting).
     coalesce:
         Fold duplicate in-flight requests onto one execution.
+    fusion_window_ms:
+        ``0`` (default) disables cross-request anneal fusion; a positive
+        value selects :class:`~repro.server.workers.FusionPool` on the
+        thread tier: annealing-backed jobs popped within this admission
+        window are executed as **one** fused block-diagonal anneal (see
+        ``docs/fusion.md``).  Ignored on the sharded tier.
+    fusion_max_jobs:
+        Jobs per fusion window before it flushes early.
     allow_shutdown:
         Whether clients may stop the server with the ``shutdown`` op.
     server_name:
@@ -107,6 +115,8 @@ class ServerConfig:
     completed_jobs_kept: int = 1024
     completed_job_retention_s: float = 300.0
     coalesce: bool = True
+    fusion_window_ms: float = 0.0
+    fusion_max_jobs: int = 8
     allow_shutdown: bool = True
     server_name: str = "repro-mqo"
 
@@ -231,6 +241,17 @@ class SolverServer:
                 retry_on_shard_death=self.config.shard_retry,
                 result_cache=self.frontend.cache,
                 heartbeat_interval_s=self.config.shard_heartbeat_s,
+            )
+        elif self.config.fusion_window_ms > 0:
+            self.pool = FusionPool(
+                frontend=self.frontend,
+                queue=self.queue,
+                broker=self.broker,
+                metrics=self.metrics,
+                num_workers=self.config.workers,
+                coalesce=self.config.coalesce,
+                fusion_window_ms=self.config.fusion_window_ms,
+                fusion_max_jobs=self.config.fusion_max_jobs,
             )
         else:
             self.pool = WorkerPool(
@@ -538,6 +559,7 @@ class SolverServer:
                     "max_budget_ms": self.config.max_budget_ms,
                     "workers": self.config.workers,
                     "shards": self.config.shards,
+                    "fusion_window_ms": self.config.fusion_window_ms,
                 },
             )
         )

@@ -35,13 +35,14 @@ from typing import Dict, List
 
 from repro.baselines.anytime import observe_improvements
 from repro.exceptions import AdmissionError
+from repro.obs.trace import get_tracer
 from repro.server.metrics import ServerMetrics
 from repro.server.queue import JobQueue, ServerJob
 from repro.server.streaming import StreamBroker
 from repro.service.frontend import ServiceFrontend
 from repro.service.jobs import SolveResult, dedupe_key, echo_result_for_duplicate
 
-__all__ = ["BasePool", "WorkerPool"]
+__all__ = ["BasePool", "WorkerPool", "FusionPool"]
 
 
 def _result_payload(job: ServerJob) -> Dict[str, object]:
@@ -315,4 +316,222 @@ class WorkerPool(BasePool):
         except Exception as exc:  # noqa: BLE001 — frontend.submit already captures
             # solver errors; this guards the executor/serialisation path.
             result = SolveResult.from_error(job.request, f"{type(exc).__name__}: {exc}")
+        self._finish(job, result)
+
+
+class FusionPool(WorkerPool):
+    """Worker pool with cross-request anneal fusion.
+
+    Enabled by ``ServerConfig(fusion_window_ms=...)``.  Jobs whose
+    solver can join a fused anneal (the annealing-backed solvers in
+    ``fusion_solvers``, ``"QA"`` by default) are *staged* instead of
+    executed immediately: the first staged job opens an **admission
+    window**; every fusable job popped within ``fusion_window_ms`` joins
+    it, and when the window expires — or fills up to
+    ``fusion_max_jobs`` — the whole batch executes as one fused
+    block-diagonal anneal via :meth:`ServiceFrontend.submit_fused`.
+    Everything else (portfolio requests, classical solvers) runs on the
+    inherited solo path concurrently with open windows.
+
+    Scatter: fused jobs produce no live improvement callbacks (the
+    annealer reports its trajectory on the device-time axis after the
+    fact — exactly like a solo QA job), so after the window completes
+    each job's monotone trajectory is published to its stream
+    subscribers before the final result closes the channel.  Two clients
+    sharing one window each receive their own stream.
+
+    Observability: every window records
+    ``repro_server_fusion_batch_size`` (gauge, last window),
+    ``repro_server_fusion_windows_total`` / ``repro_server_fusion_jobs_total``
+    (counters) and ``repro_server_fusion_window_ms`` (histogram —
+    compare against ``repro_server_job_run_ms`` for solo wall-clock),
+    plus ``server.fusion.window`` / ``server.fusion.scatter`` spans.
+    """
+
+    def __init__(
+        self,
+        frontend: ServiceFrontend,
+        queue: JobQueue,
+        broker: StreamBroker,
+        metrics: ServerMetrics,
+        num_workers: int = 2,
+        coalesce: bool = True,
+        fusion_window_ms: float = 2.0,
+        fusion_max_jobs: int = 8,
+        fusion_solvers: tuple = ("QA",),
+    ) -> None:
+        if fusion_window_ms <= 0:
+            raise ValueError(f"fusion_window_ms must be positive, got {fusion_window_ms}")
+        if fusion_max_jobs <= 1:
+            raise ValueError(f"fusion_max_jobs must be at least 2, got {fusion_max_jobs}")
+        super().__init__(
+            frontend=frontend,
+            queue=queue,
+            broker=broker,
+            metrics=metrics,
+            num_workers=num_workers,
+            coalesce=coalesce,
+        )
+        self.fusion_window_ms = fusion_window_ms
+        self.fusion_max_jobs = fusion_max_jobs
+        self.fusion_solvers = tuple(fusion_solvers)
+        self._staged: List[ServerJob] = []
+        self._fused_running = 0
+        self._window_running = False
+        self._window_timer: "asyncio.Task[None] | None" = None
+        self._aux_tasks: set = set()
+
+    @property
+    def active(self) -> int:
+        """Executing jobs plus jobs staged in or running through a window."""
+        return self._active + len(self._staged) + self._fused_running
+
+    def extra_stats(self) -> Dict[str, object]:
+        """Fusion-window state for the ``stats`` snapshot."""
+        return {
+            "fusion": {
+                "window_ms": self.fusion_window_ms,
+                "max_jobs": self.fusion_max_jobs,
+                "staged": len(self._staged),
+                "windows": self.metrics.counter_value("fusion_windows"),
+                "jobs_fused": self.metrics.counter_value("fusion_jobs"),
+            }
+        }
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def join(self) -> None:
+        """Wait for workers, open windows and the window timer to finish."""
+        await super().join()
+        while self._aux_tasks:
+            await asyncio.gather(*list(self._aux_tasks), return_exceptions=True)
+
+    def cancel_tasks(self) -> None:
+        """Cancel worker tasks plus any window timer/flush tasks."""
+        super().cancel_tasks()
+        for task in list(self._aux_tasks):
+            task.cancel()
+
+    def _spawn_aux(self, coro, name: str) -> "asyncio.Task[None]":
+        """Track a timer/flush task so join/cancel cover it."""
+        task = asyncio.get_running_loop().create_task(coro, name=name)
+        self._aux_tasks.add(task)
+        task.add_done_callback(self._aux_tasks.discard)
+        return task
+
+    # ------------------------------------------------------------------ #
+    # Admission window
+    # ------------------------------------------------------------------ #
+    def _fusable(self, job: ServerJob) -> bool:
+        """Whether a job may join a fused anneal window."""
+        return job.request.solver in self.fusion_solvers
+
+    async def _worker(self) -> None:
+        """Pop jobs; stage fusable ones into the window, run the rest solo."""
+        while True:
+            job = await self.queue.get()
+            if job is None:
+                # Drain: whatever is staged right now is the last window.
+                await self._flush_window()
+                return
+            if self._fusable(job):
+                self._stage(job)
+                continue
+            self._active += 1
+            try:
+                await self._run_job(job)
+            finally:
+                self._active -= 1
+
+    def _stage(self, job: ServerJob) -> None:
+        """Add a job to the open admission window (opening one if needed)."""
+        self._staged.append(job)
+        if len(self._staged) >= self.fusion_max_jobs:
+            self._spawn_aux(self._flush_window(), name="repro-server-fusion-flush")
+        elif self._window_timer is None or self._window_timer.done():
+            self._window_timer = self._spawn_aux(
+                self._window_expiry(), name="repro-server-fusion-window"
+            )
+
+    async def _window_expiry(self) -> None:
+        """Flush the window when the admission period ends."""
+        await asyncio.sleep(self.fusion_window_ms / 1000.0)
+        await self._flush_window()
+
+    async def _flush_window(self) -> None:
+        """Execute the staged jobs as one fused batch.
+
+        At most one window executes at a time (continuous batching):
+        while one runs, newly staged jobs keep accumulating, and the
+        running window's completion flushes them immediately — so under
+        load windows grow toward ``fusion_max_jobs`` instead of the
+        timer shaving off many tiny batches, while an idle server still
+        pays at most ``fusion_window_ms`` of added latency.
+        """
+        if self._window_running:
+            return  # the running window's completion re-flushes
+        jobs = self._staged[: self.fusion_max_jobs]
+        del self._staged[: len(jobs)]
+        # A job staged after this point belongs to a fresh window with its
+        # own timer, so drop the handle before any await.  A timer still
+        # sleeping (max-jobs or drain flush beat it) is cancelled so a
+        # graceful drain does not wait out its full admission window.
+        timer, self._window_timer = self._window_timer, None
+        if timer is not None and timer is not asyncio.current_task() and not timer.done():
+            timer.cancel()
+        if not jobs:
+            return
+        self._window_running = True
+        try:
+            await self._run_window(jobs)
+        finally:
+            self._window_running = False
+        if self._staged:
+            await self._flush_window()
+
+    # ------------------------------------------------------------------ #
+    # Fused execution
+    # ------------------------------------------------------------------ #
+    async def _run_window(self, jobs: List[ServerJob]) -> None:
+        """Run one fused batch on the executor and scatter the results."""
+        loop = asyncio.get_running_loop()
+        self._fused_running += len(jobs)
+        started = time.monotonic()
+        for job in jobs:
+            job.started_at = started
+        requests = [job.request for job in jobs]
+        tracer = get_tracer()
+        try:
+            with tracer.span(
+                "server.fusion.window", {"batch_size": len(jobs)}
+            ):
+                results = await loop.run_in_executor(
+                    self._executor, lambda: self.frontend.submit_fused(requests)
+                )
+        except Exception as exc:  # noqa: BLE001 — submit_fused captures solver
+            # errors per request; this guards the executor/window path.
+            results = [
+                SolveResult.from_error(request, f"{type(exc).__name__}: {exc}")
+                for request in requests
+            ]
+        window_ms = (time.monotonic() - started) * 1000.0
+        self.metrics.observe_fusion_window(batch_size=len(jobs), window_ms=window_ms)
+        try:
+            with tracer.span("server.fusion.scatter", {"batch_size": len(jobs)}):
+                for job, result in zip(jobs, results):
+                    self._scatter(job, result)
+        finally:
+            self._fused_running -= len(jobs)
+
+    def _scatter(self, job: ServerJob, result: SolveResult) -> None:
+        """Publish one fused job's stream updates and final result."""
+        # Solo QA jobs stream no live improvements (the trajectory exists
+        # only after decoding), so parity for fused jobs means publishing
+        # the monotone trajectory now, before the result closes the channel.
+        if job.stream and result.ok:
+            for time_ms, cost in result.trajectory:
+                self.broker.publish_improvement(
+                    job.job_id, result.winner or job.request.solver, time_ms, cost
+                )
         self._finish(job, result)

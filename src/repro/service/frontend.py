@@ -159,6 +159,56 @@ class ServiceFrontend:
                 self.cache.put(request.cache_key(), result.to_dict())
             return result
 
+    def submit_fused(self, requests: Sequence[SolveRequest]) -> List[SolveResult]:
+        """Solve a window of requests with their anneals fused.
+
+        The cross-request counterpart of :meth:`submit`, used by the
+        server's fusion window: cache hits are served per request
+        exactly as :meth:`submit` serves them, and the misses run
+        through :func:`~repro.service.fusion.execute_fused_requests`,
+        which anneals every annealing-backed request in one fused
+        block-diagonal sweep and falls back to the solo path for the
+        rest.  Results come back in request order; each is bit-identical
+        to what :meth:`submit` would have returned (wall-clock timing
+        aside).
+        """
+        from repro.service.fusion import execute_fused_requests
+
+        requests = [self._with_default_lineup(request) for request in requests]
+        results: List[Optional[SolveResult]] = [None] * len(requests)
+        misses: List[int] = []
+        tracer = get_tracer()
+        with tracer.span("service.submit_fused", {"jobs": len(requests)}) as span:
+            for index, request in enumerate(requests):
+                if self.cache is not None:
+                    cached = self.cache.get(request.cache_key())
+                    if cached is not None:
+                        _CACHE_HITS.inc()
+                        result = SolveResult.from_dict(cached)
+                        result.job_id = request.job_id
+                        result.metadata = dict(request.metadata)
+                        result.from_cache = True
+                        result.total_time_ms = 0.0
+                        results[index] = result
+                        continue
+                    _CACHE_MISSES.inc()
+                misses.append(index)
+            span.set_attribute("cache_hits", len(requests) - len(misses))
+            if misses:
+                executed = execute_fused_requests(
+                    [requests[index] for index in misses],
+                    registry=self.registry,
+                    portfolio_mode=self.scheduler.mode,
+                )
+                for index, result in zip(misses, executed):
+                    if result.ok:
+                        _attribute_winner(result.winner)
+                        if self.cache is not None:
+                            self.cache.put(requests[index].cache_key(), result.to_dict())
+                    results[index] = result
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
+
     def race(
         self,
         problem: MQOProblem,

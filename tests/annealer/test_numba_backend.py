@@ -1,0 +1,63 @@
+"""Tests of the opt-in numba Metropolis sweep backend.
+
+The numba kernel is an optional acceleration lane behind the existing
+``backend=`` seam of :class:`SimulatedAnnealingSampler`.  Without the
+package installed (the common case — it is not a dependency), selecting
+it must fail with a clear :class:`DeviceError` at construction, and the
+kernel-equivalence tests skip cleanly.  With it installed, the native
+sweep must reproduce the numpy sparse backend bit-for-bit (the same
+contract ``backend="dense"`` already honours), modulo the documented
+last-ulp ``exp`` caveat shared by every backend pair.
+"""
+
+import numpy as np
+import pytest
+
+from repro.annealer.numba_kernels import HAVE_NUMBA, require_numba
+from repro.annealer.simulated_annealing import SimulatedAnnealingSampler
+from repro.exceptions import DeviceError
+from repro.qubo.random_qubo import random_qubo
+
+needs_numba = pytest.mark.skipif(
+    not HAVE_NUMBA, reason="optional numba package not installed"
+)
+
+
+class TestBackendGating:
+    def test_numba_is_a_registered_backend(self):
+        assert "numba" in SimulatedAnnealingSampler.BACKENDS
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba is installed here")
+    def test_missing_numba_fails_at_construction(self):
+        """Selecting the backend without the package is an early, clear error."""
+        with pytest.raises(DeviceError, match="numba"):
+            SimulatedAnnealingSampler(backend="numba")
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba is installed here")
+    def test_require_numba_names_the_fallback(self):
+        with pytest.raises(DeviceError, match='backend="sparse"'):
+            require_numba()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(DeviceError):
+            SimulatedAnnealingSampler(backend="cuda")
+
+
+@needs_numba
+class TestNumbaEquivalence:
+    """Only runs where numba is installed; skips cleanly elsewhere."""
+
+    def test_matches_sparse_backend_exactly(self):
+        qubo = random_qubo(24, density=0.3, seed=5)
+        sparse = SimulatedAnnealingSampler(num_sweeps=60, backend="sparse")
+        native = SimulatedAnnealingSampler(num_sweeps=60, backend="numba")
+        sparse_states, _ = sparse.sample_states(qubo, num_reads=8, seed=9)
+        native_states, _ = native.sample_states(qubo, num_reads=8, seed=9)
+        assert np.array_equal(sparse_states, native_states)
+
+    def test_deterministic_given_seed(self):
+        qubo = random_qubo(12, density=0.5, seed=2)
+        native = SimulatedAnnealingSampler(num_sweeps=30, backend="numba")
+        first, _ = native.sample_states(qubo, num_reads=4, seed=3)
+        second, _ = native.sample_states(qubo, num_reads=4, seed=3)
+        assert np.array_equal(first, second)
