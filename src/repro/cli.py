@@ -91,6 +91,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the classical baselines (LIN-MQO, CLIMB, GA(50))",
     )
     solve.add_argument(
+        "--decompose",
+        action="store_true",
+        help=(
+            "solve via the parallel partition-solve-stitch decomposition "
+            "instead of one monolithic QUBO (the path for instances beyond "
+            "device capacity)"
+        ),
+    )
+    solve.add_argument(
+        "--max-cluster-size",
+        type=int,
+        default=32,
+        metavar="N",
+        help="queries per decomposition cluster (with --decompose; default 32)",
+    )
+    solve.add_argument(
         "--budget-ms", type=float, default=1000.0, help="classical time budget in milliseconds"
     )
     solve.add_argument(
@@ -484,31 +500,65 @@ def _run_solve_traced(args: argparse.Namespace) -> int:
     if not args.json:
         print(problem.describe())
 
-    pipeline = QuantumMQO(seed=args.seed)
-    result = pipeline.solve(problem, num_reads=args.reads)
-    rows = [
-        (
-            "QA",
-            result.best_solution.cost,
-            result.device_time_ms,
-            result.qubits_per_variable,
-        )
-    ]
     solver_payloads = []
-    if args.json:
-        solver_payloads.append(
-            SolveResult(
-                job_id=problem.name,
-                solver="QA",
-                winner="QA",
-                best_cost=result.best_solution.cost,
-                selected_plans=sorted(result.best_solution.selected_plans),
-                is_valid=result.best_solution.is_valid,
-                trajectory=list(result.trajectory),
-                total_time_ms=result.device_time_ms,
-                seed=args.seed,
-            )
+    qubits_per_variable = None  # no QUBO embedding on the decomposed path
+    if args.decompose:
+        from repro.core.decomposition import ParallelDecomposition
+
+        decomposition = ParallelDecomposition(max_cluster_size=args.max_cluster_size)
+        outcome = decomposition.solve(
+            problem, time_budget_ms=args.budget_ms, seed=args.seed
         )
+        trajectory = outcome.trajectory
+        if not args.json:
+            print(
+                f"decomposed into {outcome.num_clusters} clusters over "
+                f"{outcome.num_waves} waves"
+                + (f" ({len(outcome.errors)} cluster solves failed)" if outcome.errors else "")
+            )
+        rows = [
+            (
+                trajectory.solver_name,
+                trajectory.best_cost,
+                trajectory.total_time_ms,
+                float("nan"),
+            )
+        ]
+        if args.json:
+            request = SolveRequest(
+                problem=problem,
+                solver=trajectory.solver_name,
+                time_budget_ms=args.budget_ms,
+                seed=args.seed,
+                job_id=problem.name,
+            )
+            solver_payloads.append(SolveResult.from_trajectory(request, trajectory))
+    else:
+        pipeline = QuantumMQO(seed=args.seed)
+        result = pipeline.solve(problem, num_reads=args.reads)
+        qubits_per_variable = result.qubits_per_variable
+        rows = [
+            (
+                "QA",
+                result.best_solution.cost,
+                result.device_time_ms,
+                result.qubits_per_variable,
+            )
+        ]
+        if args.json:
+            solver_payloads.append(
+                SolveResult(
+                    job_id=problem.name,
+                    solver="QA",
+                    winner="QA",
+                    best_cost=result.best_solution.cost,
+                    selected_plans=sorted(result.best_solution.selected_plans),
+                    is_valid=result.best_solution.is_valid,
+                    trajectory=list(result.trajectory),
+                    total_time_ms=result.device_time_ms,
+                    seed=args.seed,
+                )
+            )
 
     if args.baselines:
         for solver in (
@@ -537,7 +587,7 @@ def _run_solve_traced(args: argparse.Namespace) -> int:
                 "num_savings": problem.num_savings,
                 "canonical_hash": problem.canonical_hash(),
             },
-            "qubits_per_variable": result.qubits_per_variable,
+            "qubits_per_variable": qubits_per_variable,
             "results": [payload.to_dict() for payload in solver_payloads],
         }
         print(json.dumps(document, indent=2))

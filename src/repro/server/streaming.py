@@ -125,6 +125,39 @@ class StreamBroker:
             self._on_update_streamed(delivered)
         return True
 
+    def publish_progress(
+        self, job_id: str, solver: str, completed: int, total: int
+    ) -> bool:
+        """Forward one coarse progress report (decomposition cluster counts).
+
+        Unlike :meth:`publish_improvement` there is no incumbent filter —
+        every completion is news — but the frames share the channel's
+        ``seq`` counter so subscribers still see one gap-free ordering.
+        Clients that predate the ``progress`` frame type ignore it.
+        """
+        channel = self._channels.get(job_id)
+        if channel is None:
+            return False
+        channel.seq += 1
+        payload = {
+            "type": "progress",
+            "job_id": job_id,
+            "seq": channel.seq,
+            "solver": solver,
+            "completed": int(completed),
+            "total": int(total),
+        }
+        delivered = 0
+        for sink in list(channel.update_sinks):
+            try:
+                sink(dict(payload))
+                delivered += 1
+            except Exception:  # noqa: BLE001 — see publish_improvement
+                pass
+        if delivered and self._on_update_streamed is not None:
+            self._on_update_streamed(delivered)
+        return True
+
     def close(self, job_id: str, final_payload: Dict[str, Any]) -> int:
         """Deliver the final payload to every sink and drop the channel.
 

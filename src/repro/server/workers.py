@@ -34,6 +34,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List
 
 from repro.baselines.anytime import observe_improvements
+from repro.core.decomposition import observe_decomposition_progress
 from repro.exceptions import AdmissionError
 from repro.obs.trace import get_tracer
 from repro.server.metrics import ServerMetrics
@@ -307,9 +308,20 @@ class WorkerPool(BasePool):
             except RuntimeError:  # loop already closed mid-shutdown
                 pass
 
+        def forward_progress(solver_name: str, completed: int, total: int) -> None:
+            # Decomposed solves report cluster completions; forwarded as
+            # "progress" frames (old clients ignore the unknown type).
+            try:
+                loop.call_soon_threadsafe(
+                    self.broker.publish_progress, job.job_id, solver_name, completed, total
+                )
+            except RuntimeError:  # loop already closed mid-shutdown
+                pass
+
         def execute() -> SolveResult:
             with observe_improvements(forward_improvement):
-                return self.frontend.submit(job.request)
+                with observe_decomposition_progress(forward_progress):
+                    return self.frontend.submit(job.request)
 
         try:
             result = await loop.run_in_executor(self._executor, execute)

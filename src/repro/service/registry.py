@@ -56,6 +56,11 @@ class SolverCapabilities:
         Upper bound on the total number of plans the solver accepts, or
         ``None`` for unbounded.  The QA pipeline is bounded by the
         number of functional qubits of its device.
+    min_plans:
+        Lower bound on the total number of plans, or ``None`` for no
+        bound.  Lets specialist paths (the decomposition solver) opt out
+        of small instances where the direct line-up is already strictly
+        better, so the portfolio only routes oversized instances to them.
     tags:
         Free-form labels for filtering (e.g. ``("quantum",)``).
     description:
@@ -66,12 +71,15 @@ class SolverCapabilities:
     exact: bool = False
     deterministic: bool = True
     max_plans: Optional[int] = None
+    min_plans: Optional[int] = None
     tags: tuple = ()
     description: str = ""
 
     def supports(self, problem: MQOProblem) -> bool:
         """Whether the solver accepts ``problem`` (size-wise)."""
-        return self.max_plans is None or problem.num_plans <= self.max_plans
+        if self.max_plans is not None and problem.num_plans > self.max_plans:
+            return False
+        return self.min_plans is None or problem.num_plans >= self.min_plans
 
 
 @dataclass(frozen=True)
@@ -257,6 +265,26 @@ def register_default_solvers(registry: SolverRegistry) -> SolverRegistry:
             anytime=False,
             tags=("heuristic", "constructive"),
             description="one-pass constructive greedy (warm-start quality)",
+        ),
+    )
+
+    from repro.core.decomposition import DecomposedAnytimeSolver
+
+    registry.register(
+        DecomposedAnytimeSolver.name,
+        DecomposedAnytimeSolver,
+        SolverCapabilities(
+            anytime=True,
+            exact=False,
+            deterministic=True,
+            # Only instances beyond the annealer's device capacity route
+            # here; below it the direct line-up is strictly better.
+            min_plans=QuantumAnnealingSolver.default_max_plans() + 1,
+            tags=("quantum", "decomposition", "parallel"),
+            description=(
+                "parallel partition-solve-stitch decomposition; farms "
+                "cluster sub-QUBOs through the service under a wave schedule"
+            ),
         ),
     )
     return registry

@@ -50,6 +50,7 @@ __all__ = [
     "build_paper",
     "build_random",
     "build_clustered",
+    "build_warehouse",
 ]
 
 
@@ -529,4 +530,99 @@ def build_clustered(
         intra_cluster_density=intra_density,
         inter_cluster_density=inter_density,
         seed=seed,
+    )
+
+
+@workload_family(
+    "warehouse",
+    "data-warehouse dashboards: dense subject areas, sparse conformed links",
+    tags=("topology", "scale"),
+)
+def build_warehouse(
+    seed: int,
+    num_queries: int = 400,
+    plans_per_query: int = 3,
+    group_size: int = 8,
+    intra_density: float = 0.6,
+    link_density: float = 0.3,
+    link_span: int = 3,
+    links_per_pair: int = 2,
+) -> MQOProblem:
+    """Giant-instance shape for the decomposition path (10k-50k plans).
+
+    Queries model dashboard panels grouped into *subject areas* of
+    ``group_size`` queries each: within an area (almost) every query
+    pair can reuse work (each cross plan pair shares with probability
+    ``intra_density``), while areas are connected only through sparse
+    *conformed dimension* links — an area links to each of its
+    ``link_span`` successors with probability ``link_density``, and a
+    linked pair shares just ``links_per_pair`` random plan pairs.
+
+    The result is exactly the structure the partition-solve-stitch
+    pipeline is built for: heavy intra-cluster savings, a thin chain of
+    cross-cluster edges (so the wave schedule stays shallow), and a
+    plan count past single-QUBO capacity (the default 400 queries x 3
+    plans already exceeds the simulated device; the decomposition bench
+    scales ``num_queries`` to 10k-50k plans).  Savings are batched per
+    area, so generating a 50k-plan instance takes about a second.
+    """
+    _check_dimensions(num_queries, plans_per_query)
+    if group_size <= 0:
+        raise WorkloadError(f"group_size must be positive, got {group_size}")
+    _check_density(intra_density, "intra_density")
+    _check_density(link_density, "link_density")
+    if link_span < 0 or links_per_pair < 0:
+        raise WorkloadError(
+            f"link_span and links_per_pair must be non-negative, got "
+            f"{link_span} and {links_per_pair}"
+        )
+    config = MQOGeneratorConfig()
+    rng = ensure_rng(seed)
+    choices = config.saving_choices
+
+    costs = rng.integers(
+        config.cost_low, config.cost_high + 1, size=(num_queries, plans_per_query)
+    )
+    plan_costs = [[float(c) for c in row] for row in costs]
+
+    savings: Dict[Tuple[int, int], float] = {}
+    num_groups = (num_queries + group_size - 1) // group_size
+    span = plans_per_query * plans_per_query
+    for group in range(num_groups):
+        members = range(group * group_size, min((group + 1) * group_size, num_queries))
+        pairs = [(qa, qb) for i, qa in enumerate(members) for qb in list(members)[i + 1 :]]
+        if not pairs:
+            continue
+        count = len(pairs) * span
+        hits = rng.random(count) < intra_density
+        values = rng.integers(0, len(choices), size=count)
+        for k in hits.nonzero()[0].tolist():
+            qa, qb = pairs[k // span]
+            pa, pb = (k % span) // plans_per_query, (k % span) % plans_per_query
+            savings[(qa * plans_per_query + pa, qb * plans_per_query + pb)] = float(
+                choices[int(values[k])]
+            )
+    for group in range(num_groups):
+        lo_a = group * group_size
+        size_a = min(group_size, num_queries - lo_a)
+        for offset in range(1, link_span + 1):
+            other = group + offset
+            if other >= num_groups:
+                break
+            if rng.random() >= link_density:
+                continue
+            lo_b = other * group_size
+            size_b = min(group_size, num_queries - lo_b)
+            for _ in range(links_per_pair):
+                qa = lo_a + int(rng.integers(0, size_a))
+                qb = lo_b + int(rng.integers(0, size_b))
+                pa = int(rng.integers(0, plans_per_query))
+                pb = int(rng.integers(0, plans_per_query))
+                savings[(qa * plans_per_query + pa, qb * plans_per_query + pb)] = float(
+                    choices[int(rng.integers(0, len(choices)))]
+                )
+    return MQOProblem(
+        plan_costs,
+        savings,
+        name=f"warehouse-q{num_queries}-l{plans_per_query}-g{group_size}",
     )

@@ -125,6 +125,51 @@ class TestSolveCommand:
             assert result["is_valid"]
             assert result["trajectory"]
 
+    def test_solve_decomposed(self, capsys):
+        exit_code = main(
+            [
+                "solve",
+                "--queries",
+                "12",
+                "--plans",
+                "2",
+                "--seed",
+                "3",
+                "--decompose",
+                "--max-cluster-size",
+                "4",
+                "--budget-ms",
+                "400",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "decomposed into" in output
+        assert "decomposed_qa" in output
+
+    def test_solve_decomposed_json(self, capsys):
+        exit_code = main(
+            [
+                "solve",
+                "--queries",
+                "10",
+                "--plans",
+                "2",
+                "--seed",
+                "3",
+                "--decompose",
+                "--budget-ms",
+                "400",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["qubits_per_variable"] is None  # no QUBO embedding
+        [result] = payload["results"]
+        assert result["winner"] == "decomposed_qa"
+        assert result["is_valid"]
+
 
 class TestBatchCommand:
     @staticmethod

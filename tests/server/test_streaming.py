@@ -150,3 +150,37 @@ class TestStreamBroker:
         broker.subscribe("j", healthy.append)
         assert broker.publish_improvement("j", "A", 1.0, 10.0)
         assert len(healthy) == 1
+
+
+class TestProgressFrames:
+    def test_progress_requires_open_channel(self):
+        assert not StreamBroker().publish_progress("nope", "D", 1, 3)
+
+    def test_progress_frames_share_the_sequence_counter(self):
+        broker = StreamBroker()
+        broker.open("j")
+        frames = []
+        broker.subscribe("j", frames.append)
+        assert broker.publish_progress("j", "decomposed_qa", 1, 3)
+        assert broker.publish_improvement("j", "decomposed_qa", 1.0, 10.0)
+        assert broker.publish_progress("j", "decomposed_qa", 2, 3)
+        # Unlike improvements, every completion is news — no incumbent filter.
+        assert broker.publish_progress("j", "decomposed_qa", 3, 3)
+        assert [frame["seq"] for frame in frames] == [1, 2, 3, 4]
+        assert [frame["type"] for frame in frames] == [
+            "progress",
+            "update",
+            "progress",
+            "progress",
+        ]
+        progress = [f for f in frames if f["type"] == "progress"]
+        assert [(f["completed"], f["total"]) for f in progress] == [(1, 3), (2, 3), (3, 3)]
+        assert all(f["solver"] == "decomposed_qa" for f in progress)
+
+    def test_progress_counts_streamed_deliveries(self):
+        counts = []
+        broker = StreamBroker(on_update_streamed=counts.append)
+        broker.open("j")
+        broker.subscribe("j", lambda frame: None)
+        broker.publish_progress("j", "D", 1, 2)
+        assert counts == [1]

@@ -10,6 +10,7 @@ import time
 
 import pytest
 
+from repro.core.decomposition import current_progress_observers
 from repro.exceptions import AdmissionError
 from repro.server.metrics import ServerMetrics
 from repro.server.queue import JobQueue, ServerJob
@@ -240,6 +241,48 @@ class TestFailureHandling:
         assert not twin.ok
         assert "RuntimeError" in twin.error
         assert metrics.counter("jobs_failed") == 2
+
+
+class TestProgressForwarding:
+    def test_decomposition_progress_streams_as_progress_frames(self):
+        class ProgressingFrontend(StubFrontend):
+            """Double for a decomposed solve: reports cluster completions."""
+
+            def submit(self, request: SolveRequest) -> SolveResult:
+                for completed in range(1, 4):
+                    for observer in current_progress_observers():
+                        observer("decomposed_qa", completed, 3)
+                return super().submit(request)
+
+        async def scenario():
+            queue = JobQueue(capacity=8)
+            broker = StreamBroker()
+            metrics = ServerMetrics()
+            frontend = ProgressingFrontend()
+            pool = WorkerPool(
+                frontend=frontend, queue=queue, broker=broker, metrics=metrics, num_workers=1
+            )
+            job = _job("decomp")
+            frames = []
+            broker.open(job.job_id)
+            broker.subscribe(job.job_id, frames.append, updates=True)
+            pool.admit(job)
+            pool.start()
+            deadline = time.monotonic() + 5.0
+            while not any(f["type"] == "result" for f in frames):
+                if time.monotonic() > deadline:
+                    raise AssertionError("job never completed")
+                await asyncio.sleep(0.01)
+            queue.drain()
+            await pool.join()
+            pool.shutdown_executor()
+            return frames
+
+        frames = asyncio.run(scenario())
+        progress = [f for f in frames if f["type"] == "progress"]
+        assert [(f["completed"], f["total"]) for f in progress] == [(1, 3), (2, 3), (3, 3)]
+        assert all(f["solver"] == "decomposed_qa" for f in progress)
+        assert frames[-1]["type"] == "result"
 
 
 class TestLateFollowerAccounting:

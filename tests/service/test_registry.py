@@ -4,6 +4,7 @@ import pytest
 
 from repro.baselines.hillclimb import IteratedHillClimbing
 from repro.exceptions import DuplicateSolverError, ServiceError, UnknownSolverError
+from repro.mqo.generator import generate_paper_testcase
 from repro.mqo.problem import MQOProblem
 from repro.service.registry import (
     SolverCapabilities,
@@ -87,7 +88,16 @@ class TestCapabilities:
 class TestDefaultRegistry:
     def test_paper_lineup_registered(self):
         registry = default_registry()
-        for name in ("QA", "LIN-MQO", "LIN-QUB", "CLIMB", "GA(50)", "GA(200)", "GREEDY"):
+        for name in (
+            "QA",
+            "LIN-MQO",
+            "LIN-QUB",
+            "CLIMB",
+            "GA(50)",
+            "GA(200)",
+            "GREEDY",
+            "decomposed_qa",
+        ):
             assert name in registry
 
     def test_default_registry_is_singleton(self):
@@ -102,4 +112,12 @@ class TestDefaultRegistry:
 
     def test_register_default_solvers_into_fresh_registry(self):
         registry = register_default_solvers(SolverRegistry())
-        assert len(registry) == 7
+        assert len(registry) == 8
+
+    def test_decomposed_solver_routes_only_oversized_instances(self):
+        spec = default_registry().get("decomposed_qa")
+        qa_cap = default_registry().get("QA").capabilities.max_plans
+        assert spec.capabilities.min_plans == qa_cap + 1
+        small = generate_paper_testcase(4, 2, seed=1)
+        assert not spec.capabilities.supports(small)
+        assert "decomposition" in spec.capabilities.tags

@@ -46,6 +46,7 @@ class TestRegistry:
             "paper",
             "random",
             "clustered",
+            "warehouse",
         ):
             assert get_family(name).name == name
 
@@ -150,6 +151,32 @@ class TestStructure:
             get_family("oversubscribed").build(0, capacity_factor=0.9)
         with pytest.raises(WorkloadError):
             get_family("correlated").build(0, share_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            get_family("warehouse").build(0, group_size=0)
+        with pytest.raises(WorkloadError):
+            get_family("warehouse").build(0, link_span=-1)
+
+    def test_warehouse_sharing_respects_group_span(self):
+        problem = get_family("warehouse").build(
+            7,
+            num_queries=48,
+            plans_per_query=2,
+            group_size=6,
+            intra_density=0.7,
+            link_density=0.5,
+            link_span=2,
+        )
+        for (p1, p2), _ in problem.savings.items():
+            group_a = problem.plan(p1).query_index // 6
+            group_b = problem.plan(p2).query_index // 6
+            assert abs(group_a - group_b) <= 2  # intra or within the link span
+
+    def test_warehouse_without_links_is_fully_decomposable(self):
+        problem = get_family("warehouse").build(
+            7, num_queries=32, plans_per_query=2, group_size=4, link_density=0.0
+        )
+        for (p1, p2), _ in problem.savings.items():
+            assert problem.plan(p1).query_index // 4 == problem.plan(p2).query_index // 4
 
 
 class TestFamilyProperties:
